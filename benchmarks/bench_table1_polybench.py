@@ -1,0 +1,14 @@
+"""Table 1, PolyBench row (paper: 30 benchmarks, Termite 22, Loopus 30).
+
+The pytest harness runs a representative subset; the full row is produced
+by ``python benchmarks/table1.py --suite polybench``.
+"""
+
+import pytest
+
+from conftest import QUICK_TOOLS, run_table1_row
+
+
+@pytest.mark.parametrize("tool", QUICK_TOOLS)
+def test_table1_polybench(benchmark, tool):
+    run_table1_row(benchmark, "polybench", tool, limit=3)

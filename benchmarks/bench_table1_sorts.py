@@ -1,0 +1,12 @@
+"""Table 1, Sorts row (paper: 6 benchmarks, Termite 5, Loopus 3)."""
+
+import pytest
+
+from conftest import QUICK_TOOLS, run_table1_row
+
+
+@pytest.mark.parametrize("tool", QUICK_TOOLS)
+def test_table1_sorts(benchmark, tool):
+    # bubble sort and selection sort are the representative subset; the
+    # remaining four run in the full sweep (benchmarks/table1.py).
+    run_table1_row(benchmark, "sorts", tool, limit=2)

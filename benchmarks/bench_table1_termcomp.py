@@ -1,0 +1,10 @@
+"""Table 1, TermComp row (paper: 129 benchmarks, Termite 119, Loopus 78)."""
+
+import pytest
+
+from conftest import QUICK_TOOLS, run_table1_row
+
+
+@pytest.mark.parametrize("tool", QUICK_TOOLS)
+def test_table1_termcomp(benchmark, tool):
+    run_table1_row(benchmark, "termcomp", tool, limit=6)

@@ -1,0 +1,10 @@
+"""Table 1, WTC row (paper: 58 benchmarks, Termite 46, Loopus 33)."""
+
+import pytest
+
+from conftest import QUICK_TOOLS, run_table1_row
+
+
+@pytest.mark.parametrize("tool", QUICK_TOOLS)
+def test_table1_wtc(benchmark, tool):
+    run_table1_row(benchmark, "wtc", tool, limit=4)

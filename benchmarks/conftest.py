@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_table1_*.py`` file regenerates one row of the paper's
+Table 1 on a representative subset of its suite (pytest-benchmark runs
+must stay within a few minutes); the full sweep over all 223 programs is
+produced by ``python benchmarks/table1.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import get_suite
+from repro.reporting import format_table, run_suite
+from repro.reporting.table import TABLE1_HEADERS, format_table1_row
+
+#: Number of programs per suite exercised by the pytest-benchmark harness.
+QUICK_LIMIT = 4
+
+#: Tools included in the quick harness (the eager baselines are covered by
+#: the dedicated LP-size benchmarks, which use fewer programs).
+QUICK_TOOLS = ("termite", "heuristic")
+
+
+def run_table1_row(benchmark, suite_name: str, tool: str, limit: int = QUICK_LIMIT):
+    """Benchmark one (suite, tool) cell and print the resulting row."""
+    programs = get_suite(suite_name)[:limit]
+
+    def execute():
+        return run_suite(suite_name, programs, tool=tool)
+
+    report = benchmark.pedantic(execute, rounds=1, iterations=1)
+    row = format_table1_row(report)
+    print()
+    print(format_table(TABLE1_HEADERS, [row]))
+    assert not report.unsound, (
+        "soundness violation: proved non-terminating programs %s" % report.unsound
+    )
+    return report

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 1.
+
+Runs every prover over every suite (or a subset via command-line options)
+and prints a table with, per (suite, tool) pair: the number of benchmarks,
+the number proved terminating, the average analysis time, and the average
+LP size — the same columns as the paper.
+
+Examples::
+
+    python benchmarks/table1.py --quick              # fast subset
+    python benchmarks/table1.py --suite wtc           # one full suite
+    python benchmarks/table1.py --tool termite --tool heuristic
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchsuite import get_suite, suite_names
+from repro.reporting import TOOLS, format_table, run_suite
+from repro.reporting.table import TABLE1_HEADERS, format_table1_row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=suite_names(),
+        help="suite(s) to run (default: all four)",
+    )
+    parser.add_argument(
+        "--tool",
+        action="append",
+        choices=list(TOOLS),
+        help="tool(s) to run (default: termite and heuristic)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="only run the first N programs of each suite",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --limit 5",
+    )
+    arguments = parser.parse_args()
+
+    suites = arguments.suite or suite_names()
+    tools = arguments.tool or ["termite", "heuristic"]
+    limit = 5 if arguments.quick and arguments.limit is None else arguments.limit
+
+    rows = []
+    for suite in suites:
+        programs = get_suite(suite)
+        for tool in tools:
+            report = run_suite(suite, programs, tool=tool, limit=limit)
+            rows.append(format_table1_row(report))
+            print(format_table(TABLE1_HEADERS, rows))
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Quickstart: prove termination of a small program and print the witness.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import compile_program, prove_termination
+
+PROGRAM = """
+var x, y;
+assume(y >= 1);
+while (x > 0) {
+    if (nondet()) { x = x - y; } else { x = x - 2 * y; }
+}
+"""
+
+
+def main() -> None:
+    automaton = compile_program(PROGRAM, name="quickstart")
+    result = prove_termination(automaton)
+    print("status            :", result.status)
+    print("dimension         :", result.dimension)
+    print("certificate valid :", result.certificate_checked)
+    print("synthesis time    : %.1f ms" % (result.time_seconds * 1000.0))
+    print(
+        "LP size (avg rows, cols) : (%.1f, %.1f)"
+        % (result.lp_statistics.average_rows, result.lp_statistics.average_cols)
+    )
+    if result.ranking is not None:
+        print("ranking function  :", result.ranking.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+fully offline environments where the ``wheel`` package (required by the
+PEP 660 editable-install path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

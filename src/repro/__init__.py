@@ -1,0 +1,46 @@
+"""Reproduction of "Synthesis of ranking functions using extremal counterexamples".
+
+The package implements the Termite termination analysis (Gonnord,
+Monniaux & Radanne, PLDI 2015) and every substrate it needs — exact linear
+programming, a lazy optimising SMT solver for linear arithmetic, convex
+polyhedra, abstract-interpretation-based invariant generation, a small
+imperative front-end — plus the eager and heuristic baselines the paper
+compares against and the benchmark suites of its evaluation.
+
+Quickstart::
+
+    from repro import compile_program, prove_termination
+
+    automaton = compile_program('''
+        var x, y;
+        assume(y >= 1);
+        while (x > 0) { x = x - y; }
+    ''')
+    result = prove_termination(automaton)
+    assert result.proved
+    print(result.ranking.pretty())
+"""
+
+from repro.core import (
+    LexicographicRankingFunction,
+    TerminationProver,
+    TerminationResult,
+    prove_termination,
+)
+from repro.frontend import compile_program, parse_program
+from repro.program import AutomatonBuilder, ControlFlowAutomaton, simple_loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "prove_termination",
+    "TerminationProver",
+    "TerminationResult",
+    "LexicographicRankingFunction",
+    "compile_program",
+    "parse_program",
+    "AutomatonBuilder",
+    "ControlFlowAutomaton",
+    "simple_loop",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""The complete monodimensional synthesis of Podelski & Rybalchenko (2004).
+
+A single linear ranking function (one affine map per cut point, strictly
+decreasing on *every* transition polyhedron and nonnegative on the
+invariants) either exists — and the Farkas-based LP finds it — or it does
+not, in which case the method reports failure.  It is strictly weaker than
+the lexicographic provers (it cannot prove, e.g., nested loops with
+unrelated counters) and serves as the classical completeness baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.eager_farkas import podelski_rybalchenko_via_farkas
+from repro.baselines.result import BaselineResult
+from repro.core.problem import TerminationProblem
+
+
+def podelski_rybalchenko(problem: TerminationProblem) -> BaselineResult:
+    """Synthesise a single linear ranking function, if one exists."""
+    return podelski_rybalchenko_via_farkas(problem)

@@ -1,0 +1,34 @@
+"""Common result type for the baseline provers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.lp_instance import LpStatistics
+from repro.core.ranking import LexicographicRankingFunction
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline termination prover."""
+
+    name: str
+    proved: bool
+    ranking: Optional[LexicographicRankingFunction] = None
+    time_seconds: float = 0.0
+    lp_statistics: LpStatistics = field(default_factory=LpStatistics)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        return "terminating" if self.proved else "unknown"
+
+    def __repr__(self) -> str:
+        return "BaselineResult(%s, %s, %.1f ms, LP avg (%.1f, %.1f))" % (
+            self.name,
+            self.status,
+            self.time_seconds * 1000.0,
+            self.lp_statistics.average_rows,
+            self.lp_statistics.average_cols,
+        )

@@ -1,0 +1,27 @@
+"""Benchmark suites mirroring the paper's evaluation (Table 1).
+
+The original evaluation runs on four suites of C programs; the
+reproduction re-models them in the mini-language of
+:mod:`repro.frontend` (or, for a few automaton-shaped examples, directly
+through the builder API):
+
+* :mod:`repro.benchsuite.polybench` — 30 affine loop-nest kernels in the
+  style of PolyBench (linear-algebra and stencil kernels),
+* :mod:`repro.benchsuite.sorts` — 6 comparison-sort loop structures,
+* :mod:`repro.benchsuite.termcomp` — 129 small integer programs in the
+  style of the Termination Competition's Integer Transition System
+  category (including non-terminating instances),
+* :mod:`repro.benchsuite.wtc` — 58 programs in the style of the WTC suite
+  used by Alias et al. (nested loops, phase changes, resets, random
+  walks).
+
+Every program records whether it is expected to terminate, so the
+harness can report both "proved" counts (the Table 1 metric) and
+soundness violations (proving a non-terminating program, which must never
+happen).
+"""
+
+from repro.benchsuite.program import BenchmarkProgram
+from repro.benchsuite.registry import SUITES, get_suite, suite_names
+
+__all__ = ["BenchmarkProgram", "SUITES", "get_suite", "suite_names"]

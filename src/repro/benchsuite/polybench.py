@@ -1,0 +1,134 @@
+"""PolyBench-style affine loop-nest kernels (30 programs).
+
+PolyBench kernels are dense linear-algebra and stencil computations whose
+control structure is a perfect (or almost perfect) nest of counted affine
+loops; the array accesses are irrelevant to termination, so each kernel is
+modelled by its loop-control skeleton over the loop counters and symbolic
+problem sizes.  All 30 programs terminate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.benchsuite.program import BenchmarkProgram
+
+SUITE = "polybench"
+
+
+def _counted_loop_nest(name: str, depth: int, bound: str = "n") -> BenchmarkProgram:
+    """A perfect nest of ``depth`` counted loops with bound *bound*."""
+    counters = ["i%d" % level for level in range(depth)]
+    lines = ["var %s, %s;" % (", ".join(counters), bound)]
+    lines.append("assume(%s >= 0 and %s <= 1000);" % (bound, bound))
+    indent = ""
+    for level, counter in enumerate(counters):
+        lines.append("%s%s = 0;" % (indent, counter))
+        lines.append("%swhile (%s < %s) {" % (indent, counter, bound))
+        indent += "    "
+    lines.append("%sskip;" % indent)
+    for level in reversed(range(depth)):
+        indent = "    " * level
+        lines.append("%s    %s = %s + 1;" % (indent, counters[level], counters[level]))
+        lines.append("%s}" % indent)
+    return BenchmarkProgram(
+        name=name,
+        suite=SUITE,
+        terminating=True,
+        source="\n".join(lines),
+        description="%d-deep counted affine loop nest" % depth,
+    )
+
+
+def _triangular_nest(name: str) -> BenchmarkProgram:
+    """A triangular double loop (``j`` bounded by ``i``), e.g. trisolv/lu."""
+    source = """
+    var i, j, n;
+    assume(n >= 0 and n <= 1000);
+    i = 0;
+    while (i < n) {
+        j = 0;
+        while (j < i) { j = j + 1; }
+        i = i + 1;
+    }
+    """
+    return BenchmarkProgram(name, SUITE, True, source, description="triangular nest")
+
+
+def _time_stencil(name: str, spatial_depth: int) -> BenchmarkProgram:
+    """A stencil: an outer time loop around a spatial sweep (jacobi/seidel)."""
+    counters = ["i%d" % level for level in range(spatial_depth)]
+    lines = ["var t, tsteps, %s, n;" % ", ".join(counters)]
+    lines.append("assume(tsteps >= 0 and tsteps <= 500 and n >= 0 and n <= 500);")
+    lines.append("t = 0;")
+    lines.append("while (t < tsteps) {")
+    indent = "    "
+    for counter in counters:
+        lines.append("%s%s = 1;" % (indent, counter))
+        lines.append("%swhile (%s < n - 1) {" % (indent, counter))
+        indent += "    "
+    lines.append("%sskip;" % indent)
+    for level in reversed(range(spatial_depth)):
+        indent = "    " * (level + 1)
+        lines.append("%s    %s = %s + 1;" % (indent, counters[level], counters[level]))
+        lines.append("%s}" % indent)
+    lines.append("    t = t + 1;")
+    lines.append("}")
+    return BenchmarkProgram(
+        name, SUITE, True, "\n".join(lines), description="time-iterated stencil"
+    )
+
+
+def _reduction_with_guard(name: str) -> BenchmarkProgram:
+    """A reduction loop with an inner data-dependent (havocked) branch."""
+    source = """
+    var i, n, acc;
+    assume(n >= 0 and n <= 1000);
+    i = 0;
+    while (i < n) {
+        if (nondet()) { acc = acc + 1; } else { acc = acc - 1; }
+        i = i + 1;
+    }
+    """
+    return BenchmarkProgram(name, SUITE, True, source, description="guarded reduction")
+
+
+def build_suite() -> List[BenchmarkProgram]:
+    """The 30 PolyBench-style kernels."""
+    programs: List[BenchmarkProgram] = []
+
+    # Linear-algebra kernels: mostly 2- and 3-deep rectangular nests.
+    double_nests = [
+        "gemver", "gesummv", "atax", "bicg", "mvt", "trmm",
+        "syrk", "syr2k", "gemm_init", "covariance_mean",
+    ]
+    for name in double_nests:
+        programs.append(_counted_loop_nest(name, depth=2))
+    triple_nests = [
+        "gemm", "2mm_first", "2mm_second", "3mm_first", "3mm_second",
+        "doitgen", "correlation",
+    ]
+    for name in triple_nests:
+        programs.append(_counted_loop_nest(name, depth=3))
+
+    # Triangular solvers and factorisations.
+    for name in ["trisolv", "lu", "cholesky", "ludcmp", "dynprog"]:
+        programs.append(_triangular_nest(name))
+
+    # Stencils: outer time loop around 1-D or 2-D sweeps.
+    programs.append(_time_stencil("jacobi_1d", spatial_depth=1))
+    programs.append(_time_stencil("jacobi_2d", spatial_depth=2))
+    programs.append(_time_stencil("seidel_2d", spatial_depth=2))
+    programs.append(_time_stencil("fdtd_2d", spatial_depth=2))
+    programs.append(_time_stencil("adi", spatial_depth=2))
+
+    # Reductions / scans with data-dependent branches.
+    programs.append(_reduction_with_guard("durbin"))
+    programs.append(_reduction_with_guard("gramschmidt_norm"))
+    programs.append(_counted_loop_nest("floyd_warshall", depth=3, bound="n"))
+
+    assert len(programs) == 30, len(programs)
+    return programs
+
+
+PROGRAMS = build_suite()

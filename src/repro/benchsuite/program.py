@@ -1,0 +1,42 @@
+"""Benchmark program descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.frontend.lowering import compile_program
+from repro.program.automaton import ControlFlowAutomaton
+
+
+@dataclass
+class BenchmarkProgram:
+    """One benchmark: a named program plus its expected status.
+
+    ``source`` is mini-language text; alternatively ``factory`` builds a
+    control-flow automaton directly (used for the handful of benchmarks
+    that are naturally automaton-shaped).  ``terminating`` records the
+    ground truth so the harness can detect soundness violations.
+    """
+
+    name: str
+    suite: str
+    terminating: bool
+    source: Optional[str] = None
+    factory: Optional[Callable[[], ControlFlowAutomaton]] = None
+    description: str = ""
+
+    def build(self) -> ControlFlowAutomaton:
+        """Compile the benchmark into a control-flow automaton."""
+        if self.factory is not None:
+            return self.factory()
+        if self.source is None:
+            raise ValueError("benchmark %r has neither source nor factory" % self.name)
+        return compile_program(self.source, self.name)
+
+    def __repr__(self) -> str:
+        return "BenchmarkProgram(%s/%s, %s)" % (
+            self.suite,
+            self.name,
+            "terminating" if self.terminating else "non-terminating",
+        )

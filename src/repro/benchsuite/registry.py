@@ -1,0 +1,36 @@
+"""Registry of the benchmark suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchsuite import polybench, sorts, termcomp, wtc
+from repro.benchsuite.program import BenchmarkProgram
+
+SUITES: Dict[str, List[BenchmarkProgram]] = {
+    "polybench": polybench.PROGRAMS,
+    "sorts": sorts.PROGRAMS,
+    "termcomp": termcomp.PROGRAMS,
+    "wtc": wtc.PROGRAMS,
+}
+
+
+def suite_names() -> List[str]:
+    return list(SUITES)
+
+
+def get_suite(name: str) -> List[BenchmarkProgram]:
+    """The programs of the named suite."""
+    if name not in SUITES:
+        raise KeyError(
+            "unknown suite %r (available: %s)" % (name, ", ".join(SUITES))
+        )
+    return list(SUITES[name])
+
+
+def get_program(suite: str, name: str) -> BenchmarkProgram:
+    """Look a single benchmark up by suite and name."""
+    for program in get_suite(suite):
+        if program.name == name:
+            return program
+    raise KeyError("no benchmark %r in suite %r" % (name, suite))

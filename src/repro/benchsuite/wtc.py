@@ -1,0 +1,261 @@
+"""WTC-style programs (58 programs).
+
+The WTC suite (used by Alias et al. and in the paper's Table 1) gathers
+termination challenges from the literature: loops whose progress is
+relational (two counters chasing each other), loops with resets and
+phases, nested loops sharing counters, random walks, and a few
+non-terminating instances.  The reproduction re-creates representative
+members plus parametric variants to match the suite's size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.benchsuite.program import BenchmarkProgram
+
+SUITE = "wtc"
+
+
+def _simple(name: str, source: str, terminating: bool = True, description: str = "") -> BenchmarkProgram:
+    return BenchmarkProgram(name, SUITE, terminating, source, description=description)
+
+
+CLASSICS = [
+    _simple(
+        "easy1",
+        """
+        var x, y;
+        assume(y >= 1);
+        while (x > 0) { x = x - y; }
+        """,
+        True,
+        "decrement by a positive parameter",
+    ),
+    _simple(
+        "easy2",
+        """
+        var x, y, z;
+        assume(z >= 1);
+        while (x > y) { x = x - z; }
+        """,
+        True,
+        "chase a parameter from above",
+    ),
+    _simple(
+        "ndecr",
+        """
+        var i, n;
+        i = n - 1;
+        while (i > 1) { i = i - 1; }
+        """,
+        True,
+        "straightforward countdown with an initial offset",
+    ),
+    _simple(
+        "cousot9",
+        """
+        var i, j, N;
+        assume(N >= 0);
+        i = N;
+        while (i > 0) {
+            if (j > 0) { j = j - 1; } else { j = N; i = i - 1; }
+        }
+        """,
+        True,
+        "inner budget refilled from a parameter (paper's Example 3 shape)",
+    ),
+    _simple(
+        "wise",
+        """
+        var x, y;
+        while (x > 0 and y > 0) {
+            if (nondet()) { x = x - 1; y = nondet(); assume(y >= 0); }
+            else { y = y - 1; }
+        }
+        """,
+        True,
+        "outer progress resets the inner counter nondeterministically",
+    ),
+    _simple(
+        "wcet2",
+        """
+        var i, j;
+        i = 0;
+        while (i < 10) {
+            j = 25;
+            while (j > i) { j = j - 1; }
+            i = i + 1;
+        }
+        """,
+        True,
+        "nested loop with constant bounds (WCET-style)",
+    ),
+    _simple(
+        "relational1",
+        """
+        var x, y;
+        while (x >= 0 and y >= 0) {
+            if (nondet()) { x = x - 1; } else { x = y; y = y - 1; }
+        }
+        """,
+        True,
+        "needs a lexicographic argument over ⟨y, x⟩",
+    ),
+    _simple(
+        "random_walk",
+        """
+        var x;
+        assume(x >= 1);
+        while (x > 0) {
+            if (nondet()) { x = x - 1; } else { x = x + 1; }
+        }
+        """,
+        False,
+        "unbiased random walk: non-terminating in the worst case",
+    ),
+    _simple(
+        "nonterm_pingpong",
+        """
+        var x, y;
+        assume(x >= 1 and y >= 1);
+        while (x > 0 and y > 0) { x = y; y = x; }
+        """,
+        False,
+        "values copied back and forth forever",
+    ),
+    _simple(
+        "nested_shared",
+        """
+        var i, j, n;
+        assume(n >= 0 and n <= 1000);
+        i = 0;
+        while (i < n) {
+            j = i;
+            while (j > 0) { j = j - 1; }
+            i = i + 1;
+        }
+        """,
+        True,
+        "inner countdown seeded by the outer counter",
+    ),
+    _simple(
+        "speedup",
+        """
+        var x, speed;
+        assume(speed >= 1);
+        while (x > 0) { x = x - speed; speed = speed + 1; }
+        """,
+        True,
+        "decrement grows over time",
+    ),
+    _simple(
+        "exchange",
+        """
+        var x, y;
+        while (x > 0 and y > 0) { x = x + y; y = y - 1; x = x - y - 2; }
+        """,
+        True,
+        "net effect decreases x once y is folded in",
+    ),
+    _simple(
+        "counterexample_guided",
+        """
+        var x, y, z;
+        assume(z >= 0 and z <= 100);
+        while (x > 0) {
+            if (y > z) { x = x - 1; y = 0; } else { y = y + 1; }
+        }
+        """,
+        True,
+        "progress only every z+1 iterations",
+    ),
+]
+
+
+def _phase_loop(threshold: int) -> BenchmarkProgram:
+    source = """
+    var x, d, n;
+    assume(n >= 0 and n <= %d and x == 0 and d == 1);
+    while (x >= 0 and x <= n) {
+        if (x == n) { d = 0 - 1; }
+        x = x + d;
+    }
+    """ % threshold
+    return _simple(
+        "phases_%d" % threshold,
+        source,
+        True,
+        "two-phase up-then-down sweep (the §8 disjunctive-invariant example)",
+    )
+
+
+def _chase(step: int) -> BenchmarkProgram:
+    source = """
+    var x, y;
+    while (x < y) { x = x + %d; y = y - 1; }
+    """ % step
+    return _simple(
+        "chase_%d" % step, source, True, "two counters approaching each other"
+    )
+
+
+def _reset_budget(budget: int) -> BenchmarkProgram:
+    source = """
+    var i, j, n;
+    assume(n >= 0 and n <= %d);
+    i = n;
+    while (i > 0) {
+        if (j > 0) { j = j - 1; } else { i = i - 1; j = n; }
+    }
+    """ % budget
+    return _simple(
+        "reset_budget_%d" % budget,
+        source,
+        True,
+        "lexicographic descent with parametric refills",
+    )
+
+
+def _strided(stride: int) -> BenchmarkProgram:
+    source = """
+    var i, n;
+    assume(n >= 0 and n <= 100000);
+    i = 0;
+    while (i < n) { i = i + %d; }
+    """ % stride
+    return _simple("strided_%d" % stride, source, True, "counted loop with stride %d" % stride)
+
+
+def _nonterm_gap(gap: int) -> BenchmarkProgram:
+    source = """
+    var x, y;
+    assume(x < y);
+    while (x < y) { x = x + 1; y = y + %d; }
+    """ % gap
+    return _simple(
+        "nonterm_gap_%d" % gap,
+        source,
+        False,
+        "the gap never closes (y grows at least as fast)",
+    )
+
+
+def build_suite() -> List[BenchmarkProgram]:
+    """The 58 WTC-style programs."""
+    programs: List[BenchmarkProgram] = list(CLASSICS)
+    for threshold in (10, 100, 1000, 10000, 100000):
+        programs.append(_phase_loop(threshold))
+    for step in range(1, 11):
+        programs.append(_chase(step))
+    for budget in (5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000):
+        programs.append(_reset_budget(budget))
+    for stride in range(1, 16):
+        programs.append(_strided(stride))
+    for gap in range(1, 6):
+        programs.append(_nonterm_gap(gap))
+    assert len(programs) == 58, len(programs)
+    return programs
+
+
+PROGRAMS = build_suite()

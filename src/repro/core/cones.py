@@ -1,0 +1,75 @@
+"""Cones of quasi ranking functions (§2.4 and §3.1 of the paper).
+
+These helpers are not on the hot path of the synthesiser — Algorithm 1
+manipulates the cone implicitly through the LP — but they make the
+geometric statements of the paper executable, which the test suite uses to
+validate the implementation against Propositions 1–4:
+
+* the quasi ranking functions form a convex cone (Proposition 1),
+* ``λ`` is a quasi ranking function iff it lies in
+  ``Cone(Constraints(I)) ∩ Cone(V)⊥`` (Proposition 3),
+* a ``π``-maximal element is maximal for inclusion (Proposition 4).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.linalg.vector import Vector
+from repro.linexpr.expr import LinExpr
+from repro.lp.problem import Sense
+from repro.lp.simplex import check_feasibility, solve_lp
+
+
+def in_constraint_cone(candidate: Vector, generators: Sequence[Vector]) -> bool:
+    """Whether *candidate* is a nonnegative combination of *generators*.
+
+    This is membership in ``Coneconstraints(I)`` when the generators are the
+    ``a_i`` of the invariant (Equation 2 of the paper).
+    """
+    if candidate.is_zero():
+        return True
+    if not generators:
+        return False
+    names = ["mu_%d" % index for index in range(len(generators))]
+    constraints = [LinExpr.variable(name) >= 0 for name in names]
+    for coordinate in range(len(candidate)):
+        combination = LinExpr()
+        for name, generator in zip(names, generators):
+            if generator[coordinate] != 0:
+                combination = combination + LinExpr(
+                    {name: generator[coordinate]}
+                )
+        constraints.append(combination.eq(candidate[coordinate]))
+    return check_feasibility(constraints).is_optimal
+
+
+def in_orthogonal_cone(candidate: Vector, generators: Sequence[Vector]) -> bool:
+    """Whether ``candidate · v ≥ 0`` for every generator ``v``.
+
+    Membership in the orthogonal cone ``Cone(V)⊥`` of Definition 9, i.e.
+    Equation 1 of the paper expressed over a generator set of
+    ``P^H_{I,τ}``.
+    """
+    return all(candidate.dot(generator) >= 0 for generator in generators)
+
+
+def pi_set(candidate: Vector, generators: Sequence[Vector]) -> List[int]:
+    """``π_V(λ)``: indices of the generators on which λ strictly decreases."""
+    return [
+        index
+        for index, generator in enumerate(generators)
+        if candidate.dot(generator) > 0
+    ]
+
+
+def is_quasi_ranking_direction(
+    candidate: Vector,
+    invariant_normals: Sequence[Vector],
+    difference_generators: Sequence[Vector],
+) -> bool:
+    """Proposition 3: membership in the intersection of the two cones."""
+    return in_constraint_cone(candidate, invariant_normals) and in_orthogonal_cone(
+        candidate, difference_generators
+    )

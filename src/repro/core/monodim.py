@@ -1,0 +1,232 @@
+"""Algorithm 1 / Algorithm 3: one quasi ranking function of maximal power.
+
+The loop alternates between
+
+* an optimising SMT query
+  ``Sat(Φ ∧ AvoidSpace(u, B) ∧ λ·u ≤ 0)`` minimising ``λ·u`` — a
+  counterexample is a transition on which the current candidate fails to
+  decrease strictly, and minimisation makes it *extremal* (a vertex of one
+  disjunct of the convex hull of one-step differences, or a ray when the
+  objective is unbounded, §4.2), and
+* the LP ``LP(V, Constraints(I))`` of Definition 11, which recomputes the
+  quasi ranking function of maximal termination power over the generators
+  collected so far.
+
+Flat directions (counterexamples whose δ is forced to 0, i.e. every quasi
+ranking function is constant along them) are accumulated in the basis ``B``
+and excluded from future queries through ``AvoidSpace`` (§4.1), which is
+what makes the loop terminate even when no strict ranking function exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lp_instance import LpStatistics, RankingLp
+from repro.core.problem import TerminationProblem
+from repro.core.ranking import AffineRankingFunction
+from repro.linalg.matrix import in_span, orthogonal_complement
+from repro.linalg.vector import Vector
+from repro.linexpr.constraint import Constraint
+from repro.linexpr.expr import LinExpr
+from repro.linexpr.formula import Formula, conjunction, disjunction
+from repro.smt.optimize import OptimizingSmtSolver, SearchMode
+
+
+@dataclass
+class MonodimStatistics:
+    """Counters for one run of the mono-dimensional loop."""
+
+    iterations: int = 0
+    counterexamples: int = 0
+    rays: int = 0
+    flat_directions: int = 0
+
+
+@dataclass
+class MonodimResult:
+    """Output of Algorithm 1/3: ``(λ, λ0, strict?)`` plus diagnostics."""
+
+    ranking: AffineRankingFunction
+    strict: bool
+    flat_basis: List[Vector] = field(default_factory=list)
+    statistics: MonodimStatistics = field(default_factory=MonodimStatistics)
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.ranking.is_trivial()
+
+
+class MaxIterationsExceeded(RuntimeError):
+    """The synthesis loop exceeded its iteration budget.
+
+    With an SMT solver returning generators of the transition polyhedra the
+    loop provably terminates (Lemma 1); the budget is a safety net for the
+    fallback paths of the reproduction's own OMT layer.
+    """
+
+
+def synthesize_monodim(
+    problem: TerminationProblem,
+    extra_constraints: Sequence[Constraint] = (),
+    smt_mode: str | SearchMode = SearchMode.LOCAL,
+    integer_mode: bool = False,
+    max_iterations: int = 200,
+    lp_statistics: Optional[LpStatistics] = None,
+) -> MonodimResult:
+    """Run Algorithm 1 (single cut point) / Algorithm 3 (general case).
+
+    ``extra_constraints`` restricts the transition relation — Algorithm 2
+    passes the flatness constraints ``λ_{d'} · u = 0`` of the previous
+    lexicographic components here.  With ``integer_mode`` the SMT queries
+    treat the program variables as integers (more precise, slower);
+    otherwise the rational relaxation is used, which is always sound.
+    """
+    statistics = MonodimStatistics()
+    ranking_lp = RankingLp(problem, lp_statistics)
+    transition_formula = problem.transition_formula()
+    difference_names = problem.difference_variables()
+    dimension = problem.stacked_dimension
+
+    flat_basis: List[Vector] = []
+    current = problem.zero_ranking()
+    deltas: List[Fraction] = []
+    finished = False
+
+    while not finished:
+        statistics.iterations += 1
+        if statistics.iterations > max_iterations:
+            raise MaxIterationsExceeded(
+                "mono-dimensional synthesis exceeded %d iterations"
+                % max_iterations
+            )
+        objective = problem.objective(current)
+        query = _build_query(
+            problem,
+            transition_formula,
+            extra_constraints,
+            flat_basis,
+            objective,
+            integer_mode,
+            smt_mode,
+        )
+        outcome = query.minimize(objective)
+        if outcome.is_unsat:
+            finished = True
+            break
+
+        model = outcome.model
+        witness = problem.difference_vector(model)
+        statistics.counterexamples += 1
+        ranking_lp.add_counterexample(witness)
+        witness_index = len(ranking_lp.counterexamples) - 1
+
+        if outcome.unbounded:
+            ray = Vector(
+                outcome.ray.get(name, Fraction(0)) for name in difference_names
+            )
+            if not ray.is_zero():
+                statistics.rays += 1
+                ranking_lp.add_counterexample(ray)
+
+        solution = ranking_lp.solve()
+        deltas = solution.deltas
+        if solution.all_gamma_zero and all(value == 0 for value in deltas):
+            # No quasi ranking function separates any collected generator:
+            # the component is finished (λ stays as computed, possibly 0).
+            finished = True
+            current = solution.ranking
+            break
+
+        current = solution.ranking
+        if solution.delta_of(witness_index) == 0:
+            if not witness.is_zero() and not in_span(witness, flat_basis):
+                flat_basis.append(witness)
+                statistics.flat_directions += 1
+
+    strict = bool(deltas) and all(value == 1 for value in deltas)
+    if strict:
+        strict = not _has_stuttering_step(
+            problem, transition_formula, extra_constraints, integer_mode
+        )
+    current.strict = strict
+    return MonodimResult(
+        ranking=current,
+        strict=strict,
+        flat_basis=flat_basis,
+        statistics=statistics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query construction
+# ---------------------------------------------------------------------------
+
+
+def _build_query(
+    problem: TerminationProblem,
+    transition_formula: Formula,
+    extra_constraints: Sequence[Constraint],
+    flat_basis: Sequence[Vector],
+    objective: LinExpr,
+    integer_mode: bool,
+    smt_mode: str | SearchMode,
+) -> OptimizingSmtSolver:
+    solver = OptimizingSmtSolver(
+        integer_variables=problem.smt_integer_variables() if integer_mode else (),
+        mode=smt_mode,
+    )
+    solver.assert_formula(transition_formula)
+    for constraint in extra_constraints:
+        solver.assert_formula(constraint)
+    solver.assert_formula(avoid_space(problem, flat_basis))
+    solver.assert_formula(objective <= 0)
+    return solver
+
+
+def avoid_space(
+    problem: TerminationProblem, flat_basis: Sequence[Vector]
+) -> Formula:
+    """``AvoidSpace(u, B)``: the block vector must leave ``span(B)``.
+
+    Implemented through the orthogonal complement: ``u ∈ span(B)`` iff
+    ``w·u = 0`` for every ``w`` in a basis of ``span(B)^⊥``, so the
+    avoidance condition is the disjunction of the dis-equalities
+    ``w·u < 0 ∨ w·u > 0``.  With ``B = ∅`` this is simply ``u ≠ 0``, which
+    also rules out stuttering counterexamples ``(x, x)``.
+    """
+    names = problem.difference_variables()
+    dimension = problem.stacked_dimension
+    complement = orthogonal_complement(list(flat_basis), dimension)
+    disequalities: List[Formula] = []
+    for normal in complement:
+        expr = LinExpr(
+            {name: normal[i] for i, name in enumerate(names) if normal[i] != 0}
+        )
+        disequalities.append(disjunction([expr < 0, expr > 0]))
+    return disjunction(disequalities)
+
+
+def _has_stuttering_step(
+    problem: TerminationProblem,
+    transition_formula: Formula,
+    extra_constraints: Sequence[Constraint],
+    integer_mode: bool,
+) -> bool:
+    """Whether ``Φ`` admits a step with ``u = 0`` (see end of Algorithm 1)."""
+    solver = OptimizingSmtSolver(
+        integer_variables=problem.smt_integer_variables() if integer_mode else ()
+    )
+    solver.assert_formula(transition_formula)
+    for constraint in extra_constraints:
+        solver.assert_formula(constraint)
+    zero = conjunction(
+        [
+            LinExpr.variable(name).eq(0)
+            for name in problem.difference_variables()
+        ]
+    )
+    solver.assert_formula(zero)
+    return solver.check().is_sat

@@ -1,0 +1,95 @@
+"""Algorithm 2: lexicographic (multidimensional) ranking functions.
+
+One component is synthesised per dimension with Algorithm 1/3; before
+synthesising dimension ``d`` the transition relation is restricted to the
+steps on which every previous component is constant (``λ_{d'} · u = 0``),
+exactly as in the paper.  The loop stops as soon as a component is strict
+(success) or when the new component is linearly dependent on the previous
+ones without being strict (failure: no lexicographic linear ranking
+function exists relative to the invariant — Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.lp_instance import LpStatistics
+from repro.core.monodim import MonodimResult, synthesize_monodim
+from repro.core.problem import TerminationProblem
+from repro.core.ranking import LexicographicRankingFunction
+from repro.linalg.matrix import in_span
+from repro.linalg.vector import Vector
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.smt.optimize import SearchMode
+
+
+@dataclass
+class MultidimResult:
+    """Outcome of the lexicographic synthesis."""
+
+    success: bool
+    ranking: Optional[LexicographicRankingFunction]
+    components: List[MonodimResult] = field(default_factory=list)
+
+    @property
+    def dimension(self) -> int:
+        return self.ranking.dimension if self.ranking else 0
+
+
+def synthesize_multidim(
+    problem: TerminationProblem,
+    smt_mode: str | SearchMode = SearchMode.LOCAL,
+    integer_mode: bool = False,
+    max_dimension: Optional[int] = None,
+    max_iterations: int = 200,
+    lp_statistics: Optional[LpStatistics] = None,
+) -> MultidimResult:
+    """Run Algorithm 2 on *problem*.
+
+    Returns a strict lexicographic linear ranking function iff one exists
+    relative to the given invariants (Theorem 1); the returned function has
+    minimal dimension.
+    """
+    if max_dimension is None:
+        max_dimension = problem.stacked_dimension
+
+    components: List[MonodimResult] = []
+    stacked: List[Vector] = []
+    flatness_constraints: List[Constraint] = []
+    ranking = LexicographicRankingFunction()
+
+    while True:
+        result = synthesize_monodim(
+            problem,
+            extra_constraints=flatness_constraints,
+            smt_mode=smt_mode,
+            integer_mode=integer_mode,
+            max_iterations=max_iterations,
+            lp_statistics=lp_statistics,
+        )
+        components.append(result)
+        vector = result.ranking.stacked_vector(problem.cutset)
+
+        if not result.strict:
+            if vector.is_zero() or in_span(vector, stacked):
+                # The new component adds nothing: by Theorem 1, no
+                # lexicographic linear ranking function exists relative to
+                # the invariant.
+                return MultidimResult(False, None, components)
+
+        ranking.components.append(result.ranking)
+        stacked.append(vector)
+
+        if result.strict:
+            return MultidimResult(True, ranking, components)
+
+        if len(ranking.components) >= max_dimension:
+            return MultidimResult(False, None, components)
+
+        # Restrict the next dimension to the steps where this component is
+        # constant: λ_d · u = 0.
+        flatness_constraints.append(
+            Constraint(problem.objective(result.ranking), Relation.EQ)
+        )

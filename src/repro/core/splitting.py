@@ -1,0 +1,126 @@
+"""Control-point splitting for disjunctive invariants (§8 of the paper).
+
+Some loops go through *phases* (the paper's example alternates between
+``d = 1`` and ``d = −1``); a single affine ranking function per control
+point cannot capture them, but splitting the control point according to a
+disjunctive invariant — one copy per disjunct — makes the program amenable
+to the standard algorithm again.
+
+:func:`split_location` performs exactly that CFA transformation: the given
+location is replaced by one copy per case, every transition into the
+location is duplicated with the case constraint conjoined to its guard
+(filtering which copy can actually be reached), and every transition out of
+the location is duplicated from each copy with the case constraint as an
+additional guard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.linexpr.constraint import Constraint
+from repro.linexpr.formula import Formula, conjunction
+from repro.linexpr.transform import rename_formula
+from repro.program.automaton import ControlFlowAutomaton
+from repro.program.transition import Transition
+
+
+def split_location(
+    automaton: ControlFlowAutomaton,
+    location: str,
+    cases: Sequence[Sequence[Constraint]],
+    case_names: Sequence[str] | None = None,
+) -> ControlFlowAutomaton:
+    """Split *location* into one copy per case of a disjunctive invariant.
+
+    ``cases`` is a sequence of constraint conjunctions over the program
+    variables; they should cover every reachable state of *location* (they
+    typically come from a disjunctive invariant such as Pagai's).  The
+    returned automaton is an over-approximation-preserving transformation:
+    every execution of the original program maps to one of the new one.
+    """
+    if location not in automaton.locations:
+        raise ValueError("unknown location %r" % location)
+    if not cases:
+        raise ValueError("at least one case is required")
+    if case_names is None:
+        case_names = ["%s#case%d" % (location, index) for index in range(len(cases))]
+    if len(case_names) != len(cases):
+        raise ValueError("case_names must match cases")
+
+    split = ControlFlowAutomaton(
+        automaton.variables,
+        automaton.initial_location
+        if automaton.initial_location != location
+        else case_names[0],
+        automaton.initial_condition,
+        automaton.integer_variables,
+    )
+    for name in automaton.locations:
+        if name == location:
+            continue
+        split.add_location(name)
+    for name in case_names:
+        split.add_location(name)
+
+    for transition in automaton.transitions:
+        sources = (
+            [(transition.source, None)]
+            if transition.source != location
+            else list(zip(case_names, cases))
+        )
+        targets = (
+            [(transition.target, None)]
+            if transition.target != location
+            else list(zip(case_names, cases))
+        )
+        for source_name, source_case in sources:
+            for target_name, target_case in targets:
+                guard_parts: List[Formula] = [transition.guard]
+                if source_case is not None:
+                    guard_parts.extend(source_case)
+                if target_case is not None:
+                    # The case at the *target* constrains the post-state;
+                    # expressing it on pre-state variables requires the
+                    # update, so it is left to the invariant generator — the
+                    # split is still sound because the disjuncts cover the
+                    # reachable states.  Only same-variable updates are
+                    # substituted here, conservatively.
+                    guard_parts.extend(
+                        _post_case_guard(transition, target_case)
+                    )
+                split.add_transition(
+                    Transition(
+                        source_name,
+                        target_name,
+                        conjunction(guard_parts),
+                        dict(transition.updates),
+                        name="%s[%s->%s]"
+                        % (transition.name, source_name, target_name),
+                    )
+                )
+    return split
+
+
+def _post_case_guard(
+    transition: Transition, case: Sequence[Constraint]
+) -> List[Constraint]:
+    """Express a target-copy case on the pre-state when the update allows it."""
+    guards: List[Constraint] = []
+    substitution = {}
+    for name, expression in transition.updates.items():
+        if expression is not None:
+            substitution[name] = expression
+    for constraint in case:
+        mentioned = constraint.variables()
+        havocked = {
+            name
+            for name in mentioned
+            if name in transition.updates and transition.updates[name] is None
+        }
+        if havocked:
+            # The case talks about a havocked variable: cannot express it on
+            # the pre-state, so do not restrict (sound over-approximation).
+            continue
+        guards.append(constraint.substitute(substitution))
+    return guards

@@ -1,0 +1,191 @@
+"""The end-to-end termination prover (the reproduction's "Termite").
+
+:class:`TerminationProver` glues the pipeline of §9 together:
+
+1. the control-flow automaton (from the front-end or built directly),
+2. invariants from the abstract-interpretation engine
+   (:mod:`repro.invariants`), playing the role of Pagai/Aspic,
+3. the cut-set and the large-block encoding (:mod:`repro.program`),
+4. the multidimensional, multi-control-point synthesis algorithm
+   (:mod:`repro.core.multidim`),
+5. optionally, an independent certificate check of the result.
+
+The :class:`TerminationResult` carries the statistics reported in the
+paper's evaluation: wall-clock time, number of SMT iterations, and the
+average/maximum size of the LP instances (the "(l, c)" columns of
+Table 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.certificate import check_certificate
+from repro.core.lp_instance import LpStatistics
+from repro.core.monodim import MaxIterationsExceeded
+from repro.core.multidim import MultidimResult, synthesize_multidim
+from repro.core.problem import TerminationProblem
+from repro.core.ranking import LexicographicRankingFunction
+from repro.core.relevance import restrict_to_guarded_states
+from repro.invariants.analyzer import compute_invariants
+from repro.invariants.domain import AbstractDomain
+from repro.invariants.invariant_map import InvariantMap
+from repro.program.automaton import ControlFlowAutomaton
+from repro.program.cutset import compute_cutset
+from repro.program.large_block import large_block_encoding
+from repro.smt.optimize import SearchMode
+
+
+@dataclass
+class TerminationResult:
+    """Outcome of a termination proof attempt."""
+
+    proved: bool
+    ranking: Optional[LexicographicRankingFunction]
+    status: str                      # "terminating", "unknown", or "error"
+    time_seconds: float = 0.0
+    iterations: int = 0
+    dimension: int = 0
+    lp_statistics: LpStatistics = field(default_factory=LpStatistics)
+    certificate_checked: bool = False
+    problem_statistics: Dict[str, int] = field(default_factory=dict)
+    message: str = ""
+
+    def __repr__(self) -> str:
+        return "TerminationResult(%s, dim=%d, %.1f ms, LP avg (%.1f, %.1f))" % (
+            self.status,
+            self.dimension,
+            self.time_seconds * 1000.0,
+            self.lp_statistics.average_rows,
+            self.lp_statistics.average_cols,
+        )
+
+
+class TerminationProver:
+    """Prove termination of a control-flow automaton."""
+
+    def __init__(
+        self,
+        automaton: ControlFlowAutomaton,
+        invariants: Optional[InvariantMap] = None,
+        cutset: Optional[Sequence[str]] = None,
+        domain: Optional[AbstractDomain] = None,
+        smt_mode: str | SearchMode = SearchMode.LOCAL,
+        integer_mode: bool = False,
+        check_certificates: bool = True,
+        restrict_to_guarded: bool = True,
+        max_iterations: int = 200,
+    ):
+        self.automaton = automaton
+        self.smt_mode = smt_mode
+        self.integer_mode = integer_mode
+        self.check_certificates = check_certificates
+        self.restrict_to_guarded = restrict_to_guarded
+        self.max_iterations = max_iterations
+        self._domain = domain
+        self._given_invariants = invariants
+        self._given_cutset = list(cutset) if cutset is not None else None
+
+    # -- pipeline ------------------------------------------------------------------
+
+    def build_problem(self) -> TerminationProblem:
+        """Run the front half of the pipeline: invariants + large blocks."""
+        cutset = self._given_cutset or compute_cutset(self.automaton)
+        if not cutset:
+            # No cycle at all: the program trivially terminates; keep a
+            # placeholder cut point so the problem object stays well-formed.
+            cutset = [self.automaton.initial_location]
+        invariants = self._given_invariants
+        if invariants is None:
+            invariants = compute_invariants(self.automaton, self._domain)
+        if self.restrict_to_guarded:
+            invariants = restrict_to_guarded_states(
+                self.automaton, cutset, invariants
+            )
+        blocks = large_block_encoding(self.automaton, cutset)
+        return TerminationProblem(
+            self.automaton.variables,
+            cutset,
+            invariants,
+            blocks,
+            sorted(self.automaton.integer_variables),
+        )
+
+    def prove(self) -> TerminationResult:
+        """Attempt to prove termination; never raises on ordinary failures."""
+        start = time.perf_counter()
+        lp_statistics = LpStatistics()
+        try:
+            problem = self.build_problem()
+            if not problem.blocks:
+                elapsed = time.perf_counter() - start
+                return TerminationResult(
+                    proved=True,
+                    ranking=LexicographicRankingFunction(),
+                    status="terminating",
+                    time_seconds=elapsed,
+                    dimension=0,
+                    lp_statistics=lp_statistics,
+                    problem_statistics=problem.statistics(),
+                    message="no cycle through the cut-set",
+                )
+            outcome = synthesize_multidim(
+                problem,
+                smt_mode=self.smt_mode,
+                integer_mode=self.integer_mode,
+                max_iterations=self.max_iterations,
+                lp_statistics=lp_statistics,
+            )
+        except MaxIterationsExceeded as error:
+            elapsed = time.perf_counter() - start
+            return TerminationResult(
+                proved=False,
+                ranking=None,
+                status="unknown",
+                time_seconds=elapsed,
+                lp_statistics=lp_statistics,
+                message=str(error),
+            )
+
+        elapsed = time.perf_counter() - start
+        iterations = sum(
+            component.statistics.iterations for component in outcome.components
+        )
+        if not outcome.success:
+            return TerminationResult(
+                proved=False,
+                ranking=None,
+                status="unknown",
+                time_seconds=elapsed,
+                iterations=iterations,
+                lp_statistics=lp_statistics,
+                problem_statistics=problem.statistics(),
+                message="no lexicographic linear ranking function "
+                "relative to the computed invariant",
+            )
+
+        certificate_checked = False
+        if self.check_certificates and outcome.ranking is not None:
+            certificate_checked = check_certificate(
+                problem, outcome.ranking, integer_mode=self.integer_mode
+            )
+        return TerminationResult(
+            proved=True,
+            ranking=outcome.ranking,
+            status="terminating",
+            time_seconds=elapsed,
+            iterations=iterations,
+            dimension=outcome.dimension,
+            lp_statistics=lp_statistics,
+            certificate_checked=certificate_checked,
+            problem_statistics=problem.statistics(),
+        )
+
+
+def prove_termination(
+    automaton: ControlFlowAutomaton, **options
+) -> TerminationResult:
+    """Convenience wrapper around :class:`TerminationProver`."""
+    return TerminationProver(automaton, **options).prove()

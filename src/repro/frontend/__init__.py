@@ -1,0 +1,51 @@
+"""A small imperative front-end.
+
+The paper's tool consumes C through LLVM; the reproduction ships a compact
+structured language that is sufficient to express every benchmark of the
+evaluation (integer variables, linear assignments, ``if``/``while``,
+``assume`` and non-deterministic choice) and lowers it to the
+control-flow automata of :mod:`repro.program`.
+
+Example::
+
+    var x, y;
+    assume(x >= 0);
+    while (x > 0) {
+        if (nondet()) { x = x - 1; } else { x = x - 2; }
+    }
+
+Use :func:`parse_program` to obtain the AST and :func:`compile_program`
+to go straight to a :class:`~repro.program.automaton.ControlFlowAutomaton`.
+"""
+
+from repro.frontend.ast import (
+    Assign,
+    Assume,
+    Block,
+    Havoc,
+    IfThenElse,
+    Program,
+    Skip,
+    While,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import ParseError, parse_program
+from repro.frontend.lowering import compile_program, lower_program
+
+__all__ = [
+    "Program",
+    "Block",
+    "Assign",
+    "Havoc",
+    "Assume",
+    "Skip",
+    "IfThenElse",
+    "While",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ParseError",
+    "parse_program",
+    "lower_program",
+    "compile_program",
+]

@@ -1,0 +1,108 @@
+"""Abstract syntax of the mini-language.
+
+Conditions are represented directly as formulas of
+:mod:`repro.linexpr.formula`; the special nondeterministic condition
+(``nondet()`` used as a boolean) is encoded by the sentinel
+:data:`NONDET_CONDITION`, which the lowering pass turns into two
+unguarded edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.linexpr.expr import LinExpr
+from repro.linexpr.formula import FALSE, Formula, TRUE
+
+
+@dataclass
+class NondetCondition:
+    """A condition that depends on a nondeterministic boolean input.
+
+    ``lower`` and ``upper`` bracket the condition: ``lower ⇒ condition ⇒
+    upper``.  A bare ``nondet()`` has ``lower = FALSE`` and ``upper =
+    TRUE``; combining with deterministic conjuncts/disjuncts tightens the
+    brackets.  The lowering pass guards the "condition holds" edge with
+    ``upper`` and the "condition fails" edge with ``¬lower``, which
+    over-approximates the program's behaviours and is therefore sound for
+    termination proving.
+    """
+
+    lower: Formula
+    upper: Formula
+
+    def __repr__(self) -> str:
+        return "NondetCondition(lower=%r, upper=%r)" % (self.lower, self.upper)
+
+
+NONDET_CONDITION = NondetCondition(FALSE, TRUE)
+
+Condition = Union[Formula, NondetCondition]
+
+
+class Statement:
+    """Base class of statements."""
+
+
+@dataclass
+class Skip(Statement):
+    """The no-op statement."""
+
+
+@dataclass
+class Assign(Statement):
+    """Deterministic assignment ``target = expression``."""
+
+    target: str
+    expression: LinExpr
+
+
+@dataclass
+class Havoc(Statement):
+    """Nondeterministic assignment ``target = nondet()``."""
+
+    target: str
+
+
+@dataclass
+class Assume(Statement):
+    """``assume(condition)``: restrict executions to those satisfying it."""
+
+    condition: Formula
+
+
+@dataclass
+class Block(Statement):
+    """A sequence of statements."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class IfThenElse(Statement):
+    """Conditional with optional else branch."""
+
+    condition: Condition
+    then_branch: Block
+    else_branch: Optional[Block] = None
+
+
+@dataclass
+class While(Statement):
+    """A while loop."""
+
+    condition: Condition
+    body: Block
+
+
+@dataclass
+class Program:
+    """A whole program: variable declarations followed by a body."""
+
+    variables: List[str]
+    body: Block
+    name: str = "program"
+
+    def statements(self) -> Sequence[Statement]:
+        return self.body.statements

@@ -1,0 +1,100 @@
+"""Tokenizer for the mini-language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = {
+    "var",
+    "while",
+    "if",
+    "else",
+    "assume",
+    "assert",
+    "skip",
+    "nondet",
+    "true",
+    "false",
+    "and",
+    "or",
+    "not",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+|//[^\n]*|\#[^\n]*)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<operator><=|>=|==|!=|&&|\|\||[-+*<>=!])
+  | (?P<punct>[(){},;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, %d:%d)" % (
+            self.kind.name,
+            self.text,
+            self.line,
+            self.column,
+        )
+
+
+class LexError(ValueError):
+    """Raised on an unrecognised character."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise *source*; comments (``//`` and ``#``) are skipped."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise LexError(
+                "unexpected character %r at line %d column %d"
+                % (source[position], line, column)
+            )
+        text = match.group(0)
+        column = position - line_start + 1
+        if match.lastgroup == "space":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + text.rfind("\n") + 1
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+        elif match.lastgroup == "ident":
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, column))
+        elif match.lastgroup == "operator":
+            tokens.append(Token(TokenKind.OPERATOR, text, line, column))
+        elif match.lastgroup == "punct":
+            tokens.append(Token(TokenKind.PUNCT, text, line, column))
+        position = match.end()
+    tokens.append(Token(TokenKind.END, "", line, 0))
+    return tokens

@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the mini-language.
+
+Grammar (informally)::
+
+    program   := decl* statement*
+    decl      := 'var' IDENT (',' IDENT)* ';'
+    statement := 'skip' ';'
+               | 'assume' '(' condition ')' ';'
+               | IDENT '=' 'nondet' '(' ')' ';'
+               | IDENT '=' expression ';'
+               | 'if' '(' condition ')' block ('else' block)?
+               | 'while' '(' condition ')' block
+               | block
+    block     := '{' statement* '}'
+    condition := disjunct ('or' | '||' disjunct)*
+    disjunct  := atom ('and' | '&&' atom)*
+    atom      := 'true' | 'false' | 'nondet' '(' ')' | '(' condition ')'
+               | expression ('<' | '<=' | '>' | '>=' | '==' | '!=') expression
+    expression := term (('+' | '-') term)*
+    term      := NUMBER '*' IDENT | NUMBER | IDENT | '-' term
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.ast import (
+    Assign,
+    Assume,
+    Block,
+    Condition,
+    Havoc,
+    IfThenElse,
+    NONDET_CONDITION,
+    Program,
+    Skip,
+    Statement,
+    While,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.linexpr.expr import LinExpr
+from repro.linexpr.formula import FALSE, Formula, TRUE, conjunction, disjunction
+
+
+class ParseError(ValueError):
+    """Raised on a syntax error, with line/column information."""
+
+
+def _combine(parts, combiner) -> Condition:
+    """Combine condition parts, propagating nondeterministic brackets.
+
+    Deterministic parts are plain formulas; nondeterministic parts carry a
+    (lower, upper) bracket.  The combined condition keeps per-bound
+    combinations, so ``j > 0 and nondet()`` yields lower = FALSE and
+    upper = ``j > 0``.
+    """
+    from repro.frontend.ast import NondetCondition
+
+    if all(isinstance(part, Formula) for part in parts):
+        return combiner(parts)
+    lowers = [
+        part.lower if isinstance(part, NondetCondition) else part
+        for part in parts
+    ]
+    uppers = [
+        part.upper if isinstance(part, NondetCondition) else part
+        for part in parts
+    ]
+    return NondetCondition(combiner(lowers), combiner(uppers))
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], declared: Optional[List[str]] = None):
+        self._tokens = tokens
+        self._position = 0
+        self.variables: List[str] = list(declared or [])
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            token = self._peek()
+            raise ParseError(
+                "expected %s%s but found %r at line %d"
+                % (
+                    kind.name.lower(),
+                    " %r" % text if text else "",
+                    token.text or "<end>",
+                    token.line,
+                )
+            )
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_program(self, name: str = "program") -> Program:
+        while self._check(TokenKind.KEYWORD, "var"):
+            self._parse_declaration()
+        body = Block(self._parse_statements_until_end())
+        self._expect(TokenKind.END)
+        return Program(self.variables, body, name)
+
+    def _parse_declaration(self) -> None:
+        self._expect(TokenKind.KEYWORD, "var")
+        while True:
+            token = self._expect(TokenKind.IDENT)
+            if token.text not in self.variables:
+                self.variables.append(token.text)
+            if not self._accept(TokenKind.PUNCT, ","):
+                break
+        self._expect(TokenKind.PUNCT, ";")
+
+    def _parse_statements_until_end(self) -> List[Statement]:
+        statements: List[Statement] = []
+        while not self._check(TokenKind.END) and not self._check(
+            TokenKind.PUNCT, "}"
+        ):
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_block(self) -> Block:
+        self._expect(TokenKind.PUNCT, "{")
+        statements = self._parse_statements_until_end()
+        self._expect(TokenKind.PUNCT, "}")
+        return Block(statements)
+
+    def _parse_statement(self) -> Statement:
+        if self._check(TokenKind.PUNCT, "{"):
+            return self._parse_block()
+        if self._accept(TokenKind.KEYWORD, "skip"):
+            self._expect(TokenKind.PUNCT, ";")
+            return Skip()
+        if self._accept(TokenKind.KEYWORD, "assume") or self._accept(
+            TokenKind.KEYWORD, "assert"
+        ):
+            self._expect(TokenKind.PUNCT, "(")
+            condition = self._parse_condition()
+            self._expect(TokenKind.PUNCT, ")")
+            self._expect(TokenKind.PUNCT, ";")
+            if isinstance(condition, Formula):
+                return Assume(condition)
+            # Every state passing a nondeterministic assumption satisfies its
+            # upper bracket, so assuming the bracket over-approximates the
+            # reachable states (sound for termination proving).
+            return Assume(condition.upper)
+        if self._accept(TokenKind.KEYWORD, "if"):
+            self._expect(TokenKind.PUNCT, "(")
+            condition = self._parse_condition()
+            self._expect(TokenKind.PUNCT, ")")
+            then_branch = self._parse_block()
+            else_branch = None
+            if self._accept(TokenKind.KEYWORD, "else"):
+                else_branch = self._parse_block()
+            return IfThenElse(condition, then_branch, else_branch)
+        if self._accept(TokenKind.KEYWORD, "while"):
+            self._expect(TokenKind.PUNCT, "(")
+            condition = self._parse_condition()
+            self._expect(TokenKind.PUNCT, ")")
+            body = self._parse_block()
+            return While(condition, body)
+        if self._check(TokenKind.IDENT):
+            target = self._advance().text
+            self._require_variable(target)
+            self._expect(TokenKind.OPERATOR, "=")
+            if self._check(TokenKind.KEYWORD, "nondet"):
+                self._advance()
+                self._expect(TokenKind.PUNCT, "(")
+                self._expect(TokenKind.PUNCT, ")")
+                self._expect(TokenKind.PUNCT, ";")
+                return Havoc(target)
+            expression = self._parse_expression()
+            self._expect(TokenKind.PUNCT, ";")
+            return Assign(target, expression)
+        token = self._peek()
+        raise ParseError(
+            "unexpected token %r at line %d" % (token.text or "<end>", token.line)
+        )
+
+    def _require_variable(self, name: str) -> None:
+        if name not in self.variables:
+            raise ParseError("use of undeclared variable %r" % name)
+
+    # -- conditions --------------------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        disjuncts = [self._parse_conjunction()]
+        while self._accept(TokenKind.KEYWORD, "or") or self._accept(
+            TokenKind.OPERATOR, "||"
+        ):
+            disjuncts.append(self._parse_conjunction())
+        return _combine(disjuncts, disjunction)
+
+    def _parse_conjunction(self) -> Condition:
+        conjuncts = [self._parse_condition_atom()]
+        while self._accept(TokenKind.KEYWORD, "and") or self._accept(
+            TokenKind.OPERATOR, "&&"
+        ):
+            conjuncts.append(self._parse_condition_atom())
+        return _combine(conjuncts, conjunction)
+
+    def _parse_condition_atom(self) -> Condition:
+        if self._accept(TokenKind.KEYWORD, "true"):
+            return TRUE
+        if self._accept(TokenKind.KEYWORD, "false"):
+            return FALSE
+        if self._check(TokenKind.KEYWORD, "nondet"):
+            self._advance()
+            self._expect(TokenKind.PUNCT, "(")
+            self._expect(TokenKind.PUNCT, ")")
+            return NONDET_CONDITION
+        if self._check(TokenKind.PUNCT, "("):
+            self._advance()
+            inner = self._parse_condition()
+            self._expect(TokenKind.PUNCT, ")")
+            return inner
+        left = self._parse_expression()
+        operator = self._expect(TokenKind.OPERATOR).text
+        right = self._parse_expression()
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+        if operator == "==":
+            return left.eq(right)
+        if operator == "!=":
+            return disjunction([left < right, left > right])
+        raise ParseError("unknown comparison operator %r" % operator)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _parse_expression(self) -> LinExpr:
+        expression = self._parse_term()
+        while True:
+            if self._accept(TokenKind.OPERATOR, "+"):
+                expression = expression + self._parse_term()
+            elif self._accept(TokenKind.OPERATOR, "-"):
+                expression = expression - self._parse_term()
+            else:
+                return expression
+
+    def _parse_term(self) -> LinExpr:
+        if self._accept(TokenKind.OPERATOR, "-"):
+            return -self._parse_term()
+        if self._check(TokenKind.NUMBER):
+            value = int(self._advance().text)
+            if self._accept(TokenKind.OPERATOR, "*"):
+                name = self._expect(TokenKind.IDENT).text
+                self._require_variable(name)
+                return LinExpr({name: value})
+            return LinExpr.constant(value)
+        token = self._expect(TokenKind.IDENT)
+        self._require_variable(token.text)
+        expression = LinExpr.variable(token.text)
+        if self._accept(TokenKind.OPERATOR, "*"):
+            number = self._expect(TokenKind.NUMBER)
+            return expression * int(number.text)
+        return expression
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse *source* into a :class:`~repro.frontend.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program(name)

@@ -1,0 +1,31 @@
+"""Inductive invariant generation by abstract interpretation.
+
+The paper assumes "some external tool provides us with invariants" (§2.2)
+— Aspic or Pagai in the authors' toolchain.  This package is the
+reproduction's stand-in: a classic abstract-interpretation engine
+(Cousot–Halbwachs) over
+
+* the convex-polyhedra domain (:class:`PolyhedraDomain`), the default, and
+* the interval domain (:class:`IntervalDomain`), a cheaper alternative
+  used by some benchmarks and by tests,
+
+with widening at the cut points and a configurable number of descending
+(narrowing) iterations.  The result is an :class:`InvariantMap` giving, at
+every control location, a closed convex polyhedron that over-approximates
+the reachable states — exactly the ``I_k`` of Definition 4.
+"""
+
+from repro.invariants.domain import AbstractDomain
+from repro.invariants.intervals import IntervalDomain
+from repro.invariants.polyhedra_domain import PolyhedraDomain
+from repro.invariants.invariant_map import InvariantMap
+from repro.invariants.analyzer import InvariantAnalyzer, compute_invariants
+
+__all__ = [
+    "AbstractDomain",
+    "IntervalDomain",
+    "PolyhedraDomain",
+    "InvariantMap",
+    "InvariantAnalyzer",
+    "compute_invariants",
+]

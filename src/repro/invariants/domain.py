@@ -1,0 +1,74 @@
+"""The abstract-domain interface used by the invariant analyzer.
+
+An abstract value represents a set of environments (assignments of the
+program variables to rationals).  Domains are value-oriented: operations
+return new abstract values, never mutate.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, List, Optional, Sequence, TypeVar
+
+from repro.linexpr.constraint import Constraint
+from repro.linexpr.expr import LinExpr
+from repro.polyhedra.polyhedron import Polyhedron
+
+Value = TypeVar("Value")
+
+
+class AbstractDomain(abc.ABC, Generic[Value]):
+    """Operations every abstract domain must provide."""
+
+    def __init__(self, variables: Sequence[str]):
+        self.variables = list(variables)
+
+    # -- lattice ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def top(self) -> Value:
+        """The abstract value representing every environment."""
+
+    @abc.abstractmethod
+    def bottom(self) -> Value:
+        """The abstract value representing no environment."""
+
+    @abc.abstractmethod
+    def is_bottom(self, value: Value) -> bool:
+        """Whether *value* denotes the empty set."""
+
+    @abc.abstractmethod
+    def join(self, left: Value, right: Value) -> Value:
+        """An upper bound of both arguments (the merge at control joins)."""
+
+    @abc.abstractmethod
+    def widen(self, previous: Value, current: Value) -> Value:
+        """Widening: an upper bound enforcing convergence of iteration."""
+
+    @abc.abstractmethod
+    def includes(self, bigger: Value, smaller: Value) -> bool:
+        """Whether *smaller* ⊑ *bigger* (used as the fixpoint test)."""
+
+    # -- transfer functions ------------------------------------------------------
+
+    @abc.abstractmethod
+    def constrain(self, value: Value, constraints: Sequence[Constraint]) -> Value:
+        """Intersect with a conjunction of linear constraints (guard)."""
+
+    @abc.abstractmethod
+    def assign(self, value: Value, variable: str, expression: LinExpr) -> Value:
+        """Strongest post of the deterministic assignment ``variable := e``."""
+
+    @abc.abstractmethod
+    def havoc(self, value: Value, variable: str) -> Value:
+        """Forget all information about *variable*."""
+
+    # -- conversions ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def to_polyhedron(self, value: Value) -> Polyhedron:
+        """A polyhedron over-approximating *value* (what the synthesiser uses)."""
+
+    def narrow(self, previous: Value, current: Value) -> Value:
+        """Narrowing used by descending iterations (defaults to *current*)."""
+        return current

@@ -1,0 +1,214 @@
+"""The interval (box) abstract domain.
+
+A much cheaper domain than polyhedra: each variable is tracked
+independently as a closed interval with optionally infinite bounds.  It is
+used by tests, by the Loopus-style heuristic baseline (which only needs
+variable bounds) and as a fallback when the polyhedral analysis is too
+slow for a benchmark sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.invariants.domain import AbstractDomain
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.polyhedra.polyhedron import Polyhedron
+
+Bound = Optional[Fraction]  # None encodes the corresponding infinity.
+
+
+@dataclass(frozen=True)
+class Box:
+    """A product of intervals, or bottom."""
+
+    intervals: Tuple[Tuple[str, Bound, Bound], ...]
+    empty: bool = False
+
+    def as_dict(self) -> Dict[str, Tuple[Bound, Bound]]:
+        return {name: (low, high) for name, low, high in self.intervals}
+
+
+class IntervalDomain(AbstractDomain[Box]):
+    """Independent per-variable intervals with the standard widening."""
+
+    def __init__(self, variables: Sequence[str], integer_variables=None):
+        super().__init__(variables)
+        self.integer_variables = set(
+            integer_variables if integer_variables is not None else variables
+        )
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _box(self, bounds: Dict[str, Tuple[Bound, Bound]], empty=False) -> Box:
+        return Box(
+            tuple(
+                (name, *bounds.get(name, (None, None)))
+                for name in self.variables
+            ),
+            empty,
+        )
+
+    # -- lattice --------------------------------------------------------------------
+
+    def top(self) -> Box:
+        return self._box({})
+
+    def bottom(self) -> Box:
+        return self._box({}, empty=True)
+
+    def is_bottom(self, value: Box) -> bool:
+        if value.empty:
+            return True
+        return any(
+            low is not None and high is not None and low > high
+            for _, low, high in value.intervals
+        )
+
+    def join(self, left: Box, right: Box) -> Box:
+        if self.is_bottom(left):
+            return right
+        if self.is_bottom(right):
+            return left
+        left_bounds = left.as_dict()
+        right_bounds = right.as_dict()
+        merged: Dict[str, Tuple[Bound, Bound]] = {}
+        for name in self.variables:
+            left_low, left_high = left_bounds[name]
+            right_low, right_high = right_bounds[name]
+            low = None if left_low is None or right_low is None else min(
+                left_low, right_low
+            )
+            high = None if left_high is None or right_high is None else max(
+                left_high, right_high
+            )
+            merged[name] = (low, high)
+        return self._box(merged)
+
+    def widen(self, previous: Box, current: Box) -> Box:
+        if self.is_bottom(previous):
+            return current
+        if self.is_bottom(current):
+            return previous
+        previous_bounds = previous.as_dict()
+        current_bounds = self.join(previous, current).as_dict()
+        widened: Dict[str, Tuple[Bound, Bound]] = {}
+        for name in self.variables:
+            old_low, old_high = previous_bounds[name]
+            new_low, new_high = current_bounds[name]
+            low = old_low if old_low is not None and new_low == old_low else (
+                None if new_low is None or old_low is None or new_low < old_low else new_low
+            )
+            high = old_high if old_high is not None and new_high == old_high else (
+                None if new_high is None or old_high is None or new_high > old_high else new_high
+            )
+            widened[name] = (low, high)
+        return self._box(widened)
+
+    def includes(self, bigger: Box, smaller: Box) -> bool:
+        if self.is_bottom(smaller):
+            return True
+        if self.is_bottom(bigger):
+            return False
+        big = bigger.as_dict()
+        small = smaller.as_dict()
+        for name in self.variables:
+            big_low, big_high = big[name]
+            small_low, small_high = small[name]
+            if big_low is not None and (small_low is None or small_low < big_low):
+                return False
+            if big_high is not None and (small_high is None or small_high > big_high):
+                return False
+        return True
+
+    # -- expression evaluation ----------------------------------------------------------
+
+    def _evaluate(self, value: Box, expression: LinExpr) -> Tuple[Bound, Bound]:
+        """Interval of a linear expression over a box."""
+        bounds = value.as_dict()
+        low: Bound = expression.constant_term
+        high: Bound = expression.constant_term
+        for name, coefficient in expression.terms.items():
+            if name not in bounds:
+                return (None, None)
+            var_low, var_high = bounds[name]
+            if coefficient >= 0:
+                term_low = None if var_low is None else coefficient * var_low
+                term_high = None if var_high is None else coefficient * var_high
+            else:
+                term_low = None if var_high is None else coefficient * var_high
+                term_high = None if var_low is None else coefficient * var_low
+            low = None if low is None or term_low is None else low + term_low
+            high = None if high is None or term_high is None else high + term_high
+        return (low, high)
+
+    # -- transfer functions ----------------------------------------------------------------
+
+    def constrain(self, value: Box, constraints: Sequence[Constraint]) -> Box:
+        if self.is_bottom(value):
+            return value
+        bounds = dict(value.as_dict())
+        for constraint in constraints:
+            prepared = constraint
+            if constraint.is_strict() and constraint.variables() <= self.integer_variables:
+                prepared = constraint.tighten_for_integers()
+            box_value = self._box(bounds)
+            expr_low, expr_high = self._evaluate(box_value, prepared.expr)
+            # Unsatisfiable within the current box?
+            if prepared.relation is Relation.LE and expr_low is not None and expr_low > 0:
+                return self.bottom()
+            if prepared.relation is Relation.LT and expr_low is not None and expr_low >= 0:
+                return self.bottom()
+            if prepared.relation is Relation.EQ and (
+                (expr_low is not None and expr_low > 0)
+                or (expr_high is not None and expr_high < 0)
+            ):
+                return self.bottom()
+            # Refine single-variable constraints exactly.
+            terms = prepared.expr.terms
+            if len(terms) == 1:
+                (name, coefficient), = terms.items()
+                constant = prepared.expr.constant_term
+                threshold = -constant / coefficient
+                low, high = bounds[name]
+                if prepared.relation in (Relation.LE, Relation.LT):
+                    if coefficient > 0:
+                        high = threshold if high is None else min(high, threshold)
+                    else:
+                        low = threshold if low is None else max(low, threshold)
+                else:  # equality
+                    low = threshold if low is None else max(low, threshold)
+                    high = threshold if high is None else min(high, threshold)
+                bounds[name] = (low, high)
+        return self._box(bounds)
+
+    def assign(self, value: Box, variable: str, expression: LinExpr) -> Box:
+        if self.is_bottom(value):
+            return value
+        low, high = self._evaluate(value, expression)
+        bounds = dict(value.as_dict())
+        bounds[variable] = (low, high)
+        return self._box(bounds)
+
+    def havoc(self, value: Box, variable: str) -> Box:
+        if self.is_bottom(value):
+            return value
+        bounds = dict(value.as_dict())
+        bounds[variable] = (None, None)
+        return self._box(bounds)
+
+    # -- conversions ---------------------------------------------------------------------------
+
+    def to_polyhedron(self, value: Box) -> Polyhedron:
+        if self.is_bottom(value):
+            return Polyhedron.empty(self.variables)
+        constraints: List[Constraint] = []
+        for name, low, high in value.intervals:
+            if low is not None:
+                constraints.append(LinExpr.variable(name) >= low)
+            if high is not None:
+                constraints.append(LinExpr.variable(name) <= high)
+        return Polyhedron(self.variables, constraints)

@@ -1,0 +1,68 @@
+"""Invariant maps: one polyhedron per control location."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Sequence
+
+from repro.linexpr.constraint import Constraint
+from repro.linexpr.formula import Formula, conjunction
+from repro.polyhedra.polyhedron import Polyhedron
+
+
+class InvariantMap:
+    """The ``I_k`` of Definition 4: a polyhedral invariant per location."""
+
+    def __init__(self, variables: Sequence[str]):
+        self.variables = list(variables)
+        self._invariants: Dict[str, Polyhedron] = {}
+
+    @classmethod
+    def universal(
+        cls, variables: Sequence[str], locations: Sequence[str]
+    ) -> "InvariantMap":
+        """The trivial invariant (no information) at every location."""
+        result = cls(variables)
+        for location in locations:
+            result.set(location, Polyhedron.universe(variables))
+        return result
+
+    @classmethod
+    def from_constraints(
+        cls,
+        variables: Sequence[str],
+        table: Mapping[str, Sequence[Constraint]],
+    ) -> "InvariantMap":
+        """Build from explicit constraint lists (used by the paper examples)."""
+        result = cls(variables)
+        for location, constraints in table.items():
+            result.set(location, Polyhedron(variables, constraints))
+        return result
+
+    def set(self, location: str, invariant: Polyhedron) -> None:
+        self._invariants[location] = invariant
+
+    def get(self, location: str) -> Polyhedron:
+        """The invariant at *location* (universe when unknown)."""
+        return self._invariants.get(
+            location, Polyhedron.universe(self.variables)
+        )
+
+    def formula(self, location: str) -> Formula:
+        """The invariant at *location* as a conjunction formula."""
+        return conjunction(self.get(location).constraints)
+
+    def locations(self) -> Iterator[str]:
+        return iter(self._invariants)
+
+    def items(self):
+        return self._invariants.items()
+
+    def __contains__(self, location: str) -> bool:
+        return location in self._invariants
+
+    def __repr__(self) -> str:
+        lines = [
+            "  %s: %r" % (location, invariant)
+            for location, invariant in sorted(self._invariants.items())
+        ]
+        return "InvariantMap(\n%s\n)" % "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Linear expressions, constraints and first-order formulas over them.
+
+This is the small logic the whole library speaks:
+
+* :class:`LinExpr` — affine expression ``Σ c_i · x_i + c0`` over named
+  variables with exact rational coefficients.
+* :class:`Constraint` — atomic constraint ``expr ⋈ 0`` with
+  ``⋈ ∈ {≤, <, =}`` (other comparisons are normalised on construction).
+* :mod:`repro.linexpr.formula` — formulas built from atoms with
+  ``And`` / ``Or`` / ``Not`` / ``Exists`` plus the constants TRUE/FALSE.
+  The transition relations of the paper (large-block encodings) live here.
+"""
+
+from repro.linexpr.expr import LinExpr, var, const
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.formula import (
+    And,
+    Atom,
+    Exists,
+    FALSE,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    atom,
+    conjunction,
+    disjunction,
+)
+from repro.linexpr.transform import (
+    dnf_conjunctions,
+    formula_atoms,
+    formula_variables,
+    negate_constraint,
+    prime_suffix,
+    rename_formula,
+    substitute_formula,
+    to_nnf,
+)
+
+__all__ = [
+    "LinExpr",
+    "var",
+    "const",
+    "Constraint",
+    "Relation",
+    "Formula",
+    "Atom",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "TRUE",
+    "FALSE",
+    "atom",
+    "conjunction",
+    "disjunction",
+    "to_nnf",
+    "negate_constraint",
+    "rename_formula",
+    "substitute_formula",
+    "formula_variables",
+    "formula_atoms",
+    "dnf_conjunctions",
+    "prime_suffix",
+]

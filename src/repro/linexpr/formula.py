@@ -1,0 +1,197 @@
+"""Quantifier- and disjunction-capable formulas over linear constraints.
+
+The paper's transition relations are "large-block" formulas: conjunctions
+and disjunctions of linear atoms, possibly with existentially quantified
+auxiliary variables, and *without* an eager expansion into disjunctive
+normal form.  This module provides exactly that abstract syntax.
+
+Formulas form a DAG: sub-formulas may be shared between parents.  The
+Tseitin conversion in :mod:`repro.smt.cnf` caches on object identity, so a
+shared sub-formula is encoded once — this is what keeps the large-block
+encoding linear in the size of the program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.linexpr.constraint import Constraint
+
+FormulaLike = Union["Formula", Constraint, bool]
+
+
+class Formula:
+    """Base class of all formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: FormulaLike) -> "Formula":
+        return conjunction([self, other])
+
+    def __rand__(self, other: FormulaLike) -> "Formula":
+        return conjunction([other, self])
+
+    def __or__(self, other: FormulaLike) -> "Formula":
+        return disjunction([self, other])
+
+    def __ror__(self, other: FormulaLike) -> "Formula":
+        return disjunction([other, self])
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate sub-formulas (empty for leaves)."""
+        return ()
+
+
+class _Constant(Formula):
+    """The constants TRUE and FALSE."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Constant(True)
+FALSE = _Constant(False)
+
+
+class Atom(Formula):
+    """A linear constraint used as a formula leaf."""
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: Constraint):
+        if not isinstance(constraint, Constraint):
+            raise TypeError("Atom wraps a Constraint")
+        self.constraint = constraint
+
+    def __repr__(self) -> str:
+        return "Atom(%s)" % self.constraint
+
+
+class And(Formula):
+    """Conjunction of sub-formulas (empty conjunction is TRUE)."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[FormulaLike]):
+        self.operands: Tuple[Formula, ...] = tuple(
+            atom(op) for op in operands
+        )
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "And(%d operands)" % len(self.operands)
+
+
+class Or(Formula):
+    """Disjunction of sub-formulas (empty disjunction is FALSE)."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[FormulaLike]):
+        self.operands: Tuple[Formula, ...] = tuple(
+            atom(op) for op in operands
+        )
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "Or(%d operands)" % len(self.operands)
+
+
+class Not(Formula):
+    """Negation.
+
+    The paper's input language excludes negation, but the synthesiser itself
+    introduces negated candidate conditions (``λ·u ≤ 0`` is the negation of
+    strict decrease), so the node exists and is pushed to the leaves by
+    :func:`repro.linexpr.transform.to_nnf`.
+    """
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: FormulaLike):
+        self.operand = atom(operand)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return "Not(%r)" % (self.operand,)
+
+
+class Exists(Formula):
+    """Existential quantification over a block of variables."""
+
+    __slots__ = ("variables", "body")
+
+    def __init__(self, variables: Sequence[str], body: FormulaLike):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.body = atom(body)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return "Exists(%s, %r)" % (list(self.variables), self.body)
+
+
+def atom(value: FormulaLike) -> Formula:
+    """Coerce a constraint or boolean into a formula node."""
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, Constraint):
+        return Atom(value)
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    raise TypeError("cannot interpret %r as a formula" % (value,))
+
+
+def conjunction(operands: Iterable[FormulaLike]) -> Formula:
+    """N-ary conjunction with the obvious simplifications."""
+    flattened = []
+    for operand in operands:
+        node = atom(operand)
+        if node is TRUE:
+            continue
+        if node is FALSE:
+            return FALSE
+        if isinstance(node, And):
+            flattened.extend(node.operands)
+        else:
+            flattened.append(node)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(flattened)
+
+
+def disjunction(operands: Iterable[FormulaLike]) -> Formula:
+    """N-ary disjunction with the obvious simplifications."""
+    flattened = []
+    for operand in operands:
+        node = atom(operand)
+        if node is FALSE:
+            continue
+        if node is TRUE:
+            return TRUE
+        if isinstance(node, Or):
+            flattened.extend(node.operands)
+        else:
+            flattened.append(node)
+    if not flattened:
+        return FALSE
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(flattened)

@@ -1,0 +1,355 @@
+"""Two-phase primal simplex over exact rationals.
+
+The implementation favours clarity and exactness over raw speed: every
+pivot is performed with :class:`fractions.Fraction`, Bland's anti-cycling
+rule is used throughout, and infeasibility / unboundedness are reported
+with certificates (a feasible point and an improving ray respectively).
+
+The LPs produced by the ranking-function synthesiser are tiny (the whole
+point of the paper is that the lazy construction keeps them at a handful of
+rows and columns), so a dense tableau is entirely adequate.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.lp.problem import LpResult, LpStatus, Sense
+
+
+class _StandardForm:
+    """The LP rewritten as ``min c·y  s.t.  A y = b, y ≥ 0, b ≥ 0``.
+
+    Free original variables are split into a positive and a negative part;
+    slack variables turn inequalities into equations.  The mapping back to
+    the original variables is kept so that solutions and rays can be
+    reported in user terms.
+    """
+
+    def __init__(
+        self,
+        objective: LinExpr,
+        constraints: Sequence[Constraint],
+        variables: Sequence[str],
+    ):
+        self.original_variables = list(variables)
+        # Column layout: for every original variable two columns (x+, x-),
+        # then one slack column per inequality row.
+        self.plus_index: Dict[str, int] = {}
+        self.minus_index: Dict[str, int] = {}
+        column = 0
+        for name in self.original_variables:
+            self.plus_index[name] = column
+            self.minus_index[name] = column + 1
+            column += 2
+        self.num_structural = column
+
+        rows: List[List[Fraction]] = []
+        rhs: List[Fraction] = []
+        slack_count = 0
+        for constraint in constraints:
+            if constraint.relation is Relation.LT:
+                raise ValueError("strict inequalities are not LP constraints")
+            coefficients = [Fraction(0)] * self.num_structural
+            for name, value in constraint.expr.terms.items():
+                if name not in self.plus_index:
+                    raise ValueError(
+                        "constraint mentions undeclared variable %r" % name
+                    )
+                coefficients[self.plus_index[name]] += value
+                coefficients[self.minus_index[name]] -= value
+            bound = -constraint.expr.constant_term
+            rows.append(coefficients)
+            rhs.append(bound)
+            if constraint.relation is Relation.LE:
+                slack_count += 1
+
+        self.num_slacks = slack_count
+        self.num_columns = self.num_structural + slack_count
+
+        # Second pass: install slack columns and normalise signs.  A row
+        # whose slack column keeps coefficient +1 after sign normalisation
+        # can use that slack as its initial basic variable, avoiding an
+        # artificial column (and the phase-1 pivots to drive it out).
+        slack_position = 0
+        self.matrix: List[List[Fraction]] = []
+        self.rhs: List[Fraction] = []
+        self.basis_candidate: List[Optional[int]] = []
+        for constraint, row, bound in zip(constraints, rows, rhs):
+            full_row = row + [Fraction(0)] * slack_count
+            slack_column = None
+            if constraint.relation is Relation.LE:
+                slack_column = self.num_structural + slack_position
+                full_row[slack_column] = Fraction(1)
+                slack_position += 1
+            if bound < 0:
+                full_row = [-value for value in full_row]
+                bound = -bound
+                slack_column = None
+            self.matrix.append(full_row)
+            self.rhs.append(bound)
+            self.basis_candidate.append(slack_column)
+
+        # Objective over the standard columns (constant handled separately).
+        self.cost = [Fraction(0)] * self.num_columns
+        for name, value in objective.terms.items():
+            if name not in self.plus_index:
+                # A variable that only appears in the objective is free and
+                # unconstrained; give it columns on the fly.
+                raise ValueError(
+                    "objective mentions undeclared variable %r" % name
+                )
+            self.cost[self.plus_index[name]] += value
+            self.cost[self.minus_index[name]] -= value
+        self.objective_constant = objective.constant_term
+
+    def to_original(self, values: Sequence[Fraction]) -> Dict[str, Fraction]:
+        """Map standard-form column values back to the original variables."""
+        result: Dict[str, Fraction] = {}
+        for name in self.original_variables:
+            result[name] = (
+                values[self.plus_index[name]] - values[self.minus_index[name]]
+            )
+        return result
+
+
+class _Tableau:
+    """A dense simplex tableau with an explicit basis.
+
+    The reduced-cost row is maintained incrementally across pivots (it is
+    eliminated against the basic columns exactly like an ordinary row),
+    which keeps each pivot at ``O(rows × cols)`` work.
+    """
+
+    def __init__(
+        self,
+        matrix: List[List[Fraction]],
+        rhs: List[Fraction],
+        cost: List[Fraction],
+    ):
+        self.matrix = [list(row) for row in matrix]
+        self.rhs = list(rhs)
+        self.cost = list(cost)
+        self.num_rows = len(matrix)
+        self.num_cols = len(cost)
+        self.basis: List[int] = []
+        self._cost_row: List[Fraction] = list(cost)
+        self._cost_rhs = Fraction(0)  # equals minus the current objective
+
+    def install_cost(self, cost: List[Fraction]) -> None:
+        """Install a new objective and price it out against the basis."""
+        self.cost = list(cost)
+        self._cost_row = list(cost)
+        self._cost_rhs = Fraction(0)
+        for row_index, basic_col in enumerate(self.basis):
+            factor = self._cost_row[basic_col]
+            if factor == 0:
+                continue
+            row = self.matrix[row_index]
+            self._cost_row = [
+                value - factor * entry
+                for value, entry in zip(self._cost_row, row)
+            ]
+            self._cost_rhs -= factor * self.rhs[row_index]
+
+    # -- pivoting ------------------------------------------------------------
+
+    def pivot(self, row: int, col: int) -> None:
+        """Pivot so that column *col* becomes basic in row *row*."""
+        pivot_value = self.matrix[row][col]
+        if pivot_value == 0:
+            raise ValueError("pivot on a zero element")
+        inverse = Fraction(1) / pivot_value
+        self.matrix[row] = [value * inverse for value in self.matrix[row]]
+        self.rhs[row] *= inverse
+        pivot_row = self.matrix[row]
+        for other in range(self.num_rows):
+            if other == row:
+                continue
+            factor = self.matrix[other][col]
+            if factor == 0:
+                continue
+            self.matrix[other] = [
+                value - factor * pivot_entry
+                for value, pivot_entry in zip(self.matrix[other], pivot_row)
+            ]
+            self.rhs[other] -= factor * self.rhs[row]
+        factor = self._cost_row[col]
+        if factor != 0:
+            self._cost_row = [
+                value - factor * pivot_entry
+                for value, pivot_entry in zip(self._cost_row, pivot_row)
+            ]
+            self._cost_rhs -= factor * self.rhs[row]
+        self.basis[row] = col
+
+    def reduced_costs(self) -> List[Fraction]:
+        """Reduced cost of every column for the current basis."""
+        return self._cost_row
+
+    def objective_value(self) -> Fraction:
+        return -self._cost_rhs
+
+    def column_values(self) -> List[Fraction]:
+        values = [Fraction(0)] * self.num_cols
+        for row, col in enumerate(self.basis):
+            values[col] = self.rhs[row]
+        return values
+
+    # -- the simplex loop ------------------------------------------------------
+
+    def optimize(self, allowed_columns: Optional[set] = None) -> Tuple[str, Optional[int]]:
+        """Run the primal simplex to optimality.
+
+        Returns ``("optimal", None)`` or ``("unbounded", entering_column)``.
+        Columns not in *allowed_columns* (when given) are never entered —
+        this is how phase 2 keeps the artificial columns out of the basis.
+        """
+        while True:
+            reduced = self.reduced_costs()
+            entering = None
+            for col in range(self.num_cols):
+                if allowed_columns is not None and col not in allowed_columns:
+                    continue
+                if reduced[col] < 0:
+                    entering = col  # Bland: smallest index
+                    break
+            if entering is None:
+                return ("optimal", None)
+            leaving = None
+            best_ratio: Optional[Fraction] = None
+            for row in range(self.num_rows):
+                coefficient = self.matrix[row][entering]
+                if coefficient > 0:
+                    ratio = self.rhs[row] / coefficient
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (
+                            ratio == best_ratio
+                            and self.basis[row] < self.basis[leaving]
+                        )
+                    ):
+                        best_ratio = ratio
+                        leaving = row
+            if leaving is None:
+                return ("unbounded", entering)
+            self.pivot(leaving, entering)
+
+    def ray_direction(self, entering: int) -> List[Fraction]:
+        """The improving ray associated with an unbounded entering column."""
+        direction = [Fraction(0)] * self.num_cols
+        direction[entering] = Fraction(1)
+        for row, basic_col in enumerate(self.basis):
+            direction[basic_col] = -self.matrix[row][entering]
+        return direction
+
+
+def solve_lp(
+    objective: LinExpr,
+    constraints: Sequence[Constraint],
+    sense: Sense = Sense.MINIMIZE,
+    variables: Optional[Sequence[str]] = None,
+) -> LpResult:
+    """Solve ``optimise objective subject to constraints`` exactly.
+
+    ``variables`` fixes the set (and order) of variables appearing in the
+    result; when omitted it is inferred from the constraints and objective.
+    """
+    if variables is None:
+        names = set(objective.variables())
+        for constraint in constraints:
+            names |= set(constraint.variables())
+        variables = sorted(names)
+
+    minimize_objective = (
+        objective if sense is Sense.MINIMIZE else -objective
+    )
+    standard = _StandardForm(minimize_objective, constraints, variables)
+
+    num_rows = len(standard.matrix)
+    num_cols = standard.num_columns
+
+    # ---- Phase 1: find a basic feasible solution --------------------------
+    # Rows whose slack can serve as the initial basic variable need no
+    # artificial column; only the remaining rows get one.
+    artificial_start = num_cols
+    needy_rows = [
+        row_index
+        for row_index in range(num_rows)
+        if standard.basis_candidate[row_index] is None
+    ]
+    artificial_of_row = {
+        row_index: artificial_start + position
+        for position, row_index in enumerate(needy_rows)
+    }
+    num_artificials = len(needy_rows)
+    phase1_matrix = []
+    for row_index, row in enumerate(standard.matrix):
+        extension = [Fraction(0)] * num_artificials
+        if row_index in artificial_of_row:
+            extension[artificial_of_row[row_index] - artificial_start] = Fraction(1)
+        phase1_matrix.append(row + extension)
+    phase1_cost = [Fraction(0)] * num_cols + [Fraction(1)] * num_artificials
+    tableau = _Tableau(phase1_matrix, standard.rhs, phase1_cost)
+    tableau.basis = [
+        artificial_of_row.get(row_index, standard.basis_candidate[row_index])
+        for row_index in range(num_rows)
+    ]
+    if needy_rows:
+        tableau.install_cost(phase1_cost)
+        status, _ = tableau.optimize()
+        assert status == "optimal", "phase 1 is always bounded below by zero"
+        if tableau.objective_value() > 0:
+            return LpResult(status=LpStatus.INFEASIBLE)
+
+    # Drive any leftover artificial variables out of the basis.
+    for row in range(num_rows):
+        if tableau.basis[row] >= artificial_start:
+            replacement = None
+            for col in range(num_cols):
+                if tableau.matrix[row][col] != 0:
+                    replacement = col
+                    break
+            if replacement is not None:
+                tableau.pivot(row, replacement)
+            # Otherwise the row is redundant (all-zero over real columns);
+            # the artificial stays basic at value zero, which is harmless
+            # as long as it can never re-enter with a non-zero value.
+
+    # ---- Phase 2: optimise the real objective -----------------------------
+    tableau.install_cost(list(standard.cost) + [Fraction(0)] * num_artificials)
+    allowed = set(range(num_cols))
+    status, entering = tableau.optimize(allowed_columns=allowed)
+
+    values = tableau.column_values()[:num_cols]
+    assignment = standard.to_original(values)
+
+    if status == "unbounded":
+        direction = tableau.ray_direction(entering)[:num_cols]
+        ray = standard.to_original(direction)
+        return LpResult(
+            status=LpStatus.UNBOUNDED,
+            assignment=assignment,
+            ray=ray,
+        )
+
+    objective_value = tableau.objective_value() + standard.objective_constant
+    if sense is Sense.MAXIMIZE:
+        objective_value = -objective_value
+    return LpResult(
+        status=LpStatus.OPTIMAL,
+        assignment=assignment,
+        objective=objective_value,
+    )
+
+
+def check_feasibility(
+    constraints: Sequence[Constraint],
+    variables: Optional[Sequence[str]] = None,
+) -> LpResult:
+    """Feasibility check: solve with the zero objective."""
+    return solve_lp(LinExpr(), constraints, Sense.MINIMIZE, variables)

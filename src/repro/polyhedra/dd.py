@@ -1,0 +1,244 @@
+"""Double-description (Chernikova) conversion between representations.
+
+The core routine, :func:`cone_double_description`, incrementally intersects
+the full space with homogeneous half-spaces ``a·y ≤ 0`` while maintaining a
+generating system of lines and rays.  Polyhedra are handled through the
+usual homogenisation ``x ↦ (x, t)``: a generator with ``t > 0`` is a vertex
+(after scaling ``t`` to 1) and a generator with ``t = 0`` is a ray.
+
+The adjacency test used when combining rays is the combinatorial one
+(zero-set inclusion), with the zero sets recomputed exactly against the
+half-spaces already processed.  In degenerate situations the output may
+contain a few redundant generators, which is harmless for every use in
+this library (consumers deduplicate or run LP-based redundancy removal).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.linalg.vector import Vector
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.polyhedra.generators import GeneratorSystem
+
+
+def cone_double_description(
+    rows: Sequence[Tuple[Vector, bool]], dimension: int
+) -> Tuple[List[Vector], List[Vector]]:
+    """Generators of the cone ``{y | a·y ≤ 0 (rows), a·y = 0 (equalities)}``.
+
+    *rows* is a sequence of ``(a, is_equality)`` pairs.  Returns
+    ``(lines, rays)`` such that the cone equals ``span(lines) + cone(rays)``.
+    """
+    halfspaces: List[Vector] = []
+    for normal, is_equality in rows:
+        if len(normal) != dimension:
+            raise ValueError("constraint normal has wrong dimension")
+        halfspaces.append(normal)
+        if is_equality:
+            halfspaces.append(-normal)
+
+    lines: List[Vector] = [Vector.unit(dimension, i) for i in range(dimension)]
+    rays: List[Vector] = []
+
+    for index, normal in enumerate(halfspaces):
+        processed = halfspaces[:index]
+
+        # ---- Case 1: some line does not lie in the hyperplane. -----------
+        pivot_line: Optional[Vector] = None
+        for line in lines:
+            if normal.dot(line) != 0:
+                pivot_line = line
+                break
+        if pivot_line is not None:
+            value = normal.dot(pivot_line)
+            if value > 0:
+                pivot_line = -pivot_line
+                value = -value
+            new_lines: List[Vector] = []
+            for line in lines:
+                scalar = normal.dot(line)
+                if scalar == 0:
+                    new_lines.append(line)
+                    continue
+                if line is pivot_line:
+                    continue
+                projected = line - pivot_line * (scalar / value)
+                if not projected.is_zero():
+                    new_lines.append(projected)
+            new_rays: List[Vector] = []
+            for ray in rays:
+                scalar = normal.dot(ray)
+                if scalar == 0:
+                    new_rays.append(ray)
+                else:
+                    projected = ray - pivot_line * (scalar / value)
+                    if not projected.is_zero():
+                        new_rays.append(projected)
+            # The pivot line survives as a ray strictly inside the half-space.
+            new_rays.append(pivot_line)
+            lines = new_lines
+            rays = _deduplicate(new_rays)
+            continue
+
+        # ---- Case 2: all lines lie in the hyperplane; split the rays. ----
+        values = [normal.dot(ray) for ray in rays]
+        satisfied = [ray for ray, v in zip(rays, values) if v < 0]
+        tight = [ray for ray, v in zip(rays, values) if v == 0]
+        violated = [ray for ray, v in zip(rays, values) if v > 0]
+
+        if not violated:
+            continue
+
+        zero_sets = {
+            id(ray): _zero_set(ray, processed) for ray in rays
+        }
+
+        combined: List[Vector] = []
+        for plus in violated:
+            for minus in satisfied:
+                if not _adjacent(plus, minus, rays, zero_sets):
+                    continue
+                plus_value = normal.dot(plus)
+                minus_value = normal.dot(minus)
+                new_ray = minus * plus_value - plus * minus_value
+                if not new_ray.is_zero():
+                    combined.append(new_ray.normalized())
+
+        rays = _deduplicate(satisfied + tight + combined)
+
+    return lines, rays
+
+
+def _zero_set(ray: Vector, halfspaces: Sequence[Vector]) -> Set[int]:
+    return {
+        position
+        for position, normal in enumerate(halfspaces)
+        if normal.dot(ray) == 0
+    }
+
+
+def _adjacent(
+    first: Vector,
+    second: Vector,
+    rays: Sequence[Vector],
+    zero_sets: Dict[int, Set[int]],
+) -> bool:
+    """Combinatorial adjacency test for the double-description step."""
+    common = zero_sets[id(first)] & zero_sets[id(second)]
+    for other in rays:
+        if other is first or other is second:
+            continue
+        if common <= zero_sets[id(other)]:
+            return False
+    return True
+
+
+def _deduplicate(rays: List[Vector]) -> List[Vector]:
+    seen: Dict[Vector, None] = {}
+    for ray in rays:
+        if ray.is_zero():
+            continue
+        seen.setdefault(ray.normalized())
+    return list(seen)
+
+
+# ---------------------------------------------------------------------------
+# Polyhedron-level conversions via homogenisation
+# ---------------------------------------------------------------------------
+
+
+def constraints_to_generators(
+    constraints: Sequence[Constraint], variables: Sequence[str]
+) -> GeneratorSystem:
+    """Generator system of ``{x | constraints}`` over the given variables.
+
+    Strict inequalities are relaxed to their closures: the paper's
+    polyhedra are closed (Definition 1), and callers normalise strict
+    guards on integer variables beforehand.
+    """
+    ordering = tuple(variables)
+    dimension = len(ordering) + 1  # homogenising coordinate comes last
+
+    rows: List[Tuple[Vector, bool]] = []
+    for constraint in constraints:
+        coefficients = [
+            constraint.expr.coefficient(name) for name in ordering
+        ]
+        coefficients.append(constraint.expr.constant_term)
+        rows.append((Vector(coefficients), constraint.is_equality()))
+    # t ≥ 0, i.e. -t ≤ 0.
+    rows.append((Vector([Fraction(0)] * len(ordering) + [Fraction(-1)]), False))
+
+    lines, rays = cone_double_description(rows, dimension)
+
+    system = GeneratorSystem(ordering)
+    for line in lines:
+        # The homogenising coordinate of a line must be zero because t ≥ 0.
+        spatial = Vector(line[: len(ordering)])
+        if not spatial.is_zero():
+            system.lines.append(spatial)
+    has_point = False
+    for ray in rays:
+        weight = ray[len(ordering)]
+        spatial = Vector(ray[: len(ordering)])
+        if weight > 0:
+            system.vertices.append(spatial / weight)
+            has_point = True
+        elif not spatial.is_zero():
+            system.rays.append(spatial.normalized())
+    if not has_point:
+        # Without a single point the polyhedron is empty: drop the stray
+        # recession directions so is_empty() answers correctly.
+        system.rays = []
+        system.lines = []
+    return system
+
+
+def generators_to_constraints(system: GeneratorSystem) -> List[Constraint]:
+    """Facet constraints of the polyhedron generated by *system*.
+
+    Works by double description on the polar: a valid constraint
+    ``a·x ≤ b`` corresponds to a vector ``(a, -b)`` in the polar of the
+    homogenised cone, whose extreme rays are exactly the facets.
+    """
+    ordering = system.variables
+    dimension = len(ordering) + 1
+    if system.is_empty():
+        # The canonical representation of the empty polyhedron.
+        return [Constraint(LinExpr.constant(1), Relation.LE)]
+
+    rows: List[Tuple[Vector, bool]] = []
+    for vertex in system.vertices:
+        rows.append((Vector(list(vertex) + [Fraction(1)]), False))
+    for ray in system.rays:
+        rows.append((Vector(list(ray) + [Fraction(0)]), False))
+    for line in system.lines:
+        rows.append((Vector(list(line) + [Fraction(0)]), True))
+
+    lines, rays = cone_double_description(rows, dimension)
+
+    constraints: List[Constraint] = []
+    for line in lines:
+        constraint = _row_to_constraint(line, ordering, Relation.EQ)
+        if constraint is not None:
+            constraints.append(constraint)
+    for ray in rays:
+        constraint = _row_to_constraint(ray, ordering, Relation.LE)
+        if constraint is not None:
+            constraints.append(constraint)
+    return constraints
+
+
+def _row_to_constraint(
+    row: Vector, ordering: Sequence[str], relation: Relation
+) -> Optional[Constraint]:
+    coefficients = {name: row[i] for i, name in enumerate(ordering)}
+    constant = row[len(ordering)]
+    expr = LinExpr(coefficients, constant)
+    constraint = Constraint(expr, relation)
+    if constraint.is_trivially_true():
+        return None
+    return constraint.normalized()

@@ -1,0 +1,270 @@
+"""Constraint-representation polyhedra and the lattice operations on them.
+
+:class:`Polyhedron` is the value manipulated by the polyhedral abstract
+domain (our Aspic/Pagai substitute) and by the eager Ben-Amram & Genaim
+baseline.  It is a *closed convex rational* polyhedron as in Definition 1
+of the paper, described by a conjunction of non-strict inequalities and
+equalities over a fixed tuple of variables.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.lp.problem import Sense
+from repro.lp.simplex import check_feasibility, solve_lp
+from repro.polyhedra.dd import (
+    constraints_to_generators,
+    generators_to_constraints,
+)
+from repro.polyhedra.generators import GeneratorSystem
+from repro.polyhedra.projection import (
+    entails,
+    project_constraints,
+    remove_redundant,
+)
+
+
+class Polyhedron:
+    """A closed convex polyhedron ``{x | constraints}`` over named variables."""
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        constraints: Iterable[Constraint] = (),
+    ):
+        self._variables: Tuple[str, ...] = tuple(variables)
+        cleaned: List[Constraint] = []
+        for constraint in constraints:
+            unknown = constraint.variables() - set(self._variables)
+            if unknown:
+                raise ValueError(
+                    "constraint %s mentions variables %s outside the space"
+                    % (constraint, sorted(unknown))
+                )
+            cleaned.append(constraint.weaken().normalized())
+        self._constraints = cleaned
+        self._empty_cache: Optional[bool] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def universe(cls, variables: Sequence[str]) -> "Polyhedron":
+        """The whole space (no constraints)."""
+        return cls(variables, [])
+
+    @classmethod
+    def empty(cls, variables: Sequence[str]) -> "Polyhedron":
+        """The canonical empty polyhedron."""
+        return cls(variables, [Constraint(LinExpr.constant(1), Relation.LE)])
+
+    @classmethod
+    def from_generators(cls, system: GeneratorSystem) -> "Polyhedron":
+        """Build the constraint representation from a generator system."""
+        return cls(system.variables, generators_to_constraints(system))
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._variables
+
+    @property
+    def constraints(self) -> List[Constraint]:
+        """The defining constraints (Definition 5's ``Constraints(I)``)."""
+        return list(self._constraints)
+
+    def __repr__(self) -> str:
+        if not self._constraints:
+            return "Polyhedron(universe over %s)" % (list(self._variables),)
+        return "Polyhedron(%s)" % " ∧ ".join(
+            str(constraint) for constraint in self._constraints
+        )
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Exact emptiness test (LP feasibility)."""
+        if self._empty_cache is None:
+            outcome = check_feasibility(
+                self._constraints, variables=self._variables
+            )
+            self._empty_cache = outcome.is_infeasible
+        return self._empty_cache
+
+    def is_universe(self) -> bool:
+        return all(c.is_trivially_true() for c in self._constraints)
+
+    def contains_point(self, point: Mapping[str, Fraction]) -> bool:
+        return all(c.satisfied_by(point) for c in self._constraints)
+
+    def entails_constraint(self, candidate: Constraint) -> bool:
+        """Whether every point of the polyhedron satisfies *candidate*."""
+        return entails(self._constraints, candidate)
+
+    def includes(self, other: "Polyhedron") -> bool:
+        """Whether *other* ⊆ *self*."""
+        if other.is_empty():
+            return True
+        return all(
+            entails(other._constraints, constraint)
+            for constraint in self._constraints
+        )
+
+    def equals(self, other: "Polyhedron") -> bool:
+        return self.includes(other) and other.includes(self)
+
+    # -- lattice operations ----------------------------------------------------
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        self._check_space(other)
+        return Polyhedron(
+            self._variables, self._constraints + other._constraints
+        )
+
+    def intersect_constraints(
+        self, constraints: Iterable[Constraint]
+    ) -> "Polyhedron":
+        return Polyhedron(
+            self._variables, self._constraints + list(constraints)
+        )
+
+    def join(self, other: "Polyhedron") -> "Polyhedron":
+        """Convex hull of the union (the abstract-domain join)."""
+        self._check_space(other)
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        mine = self.generators()
+        theirs = other.generators()
+        return Polyhedron.from_generators(mine.merge(theirs))
+
+    def widen(self, other: "Polyhedron") -> "Polyhedron":
+        """Standard widening: keep the constraints of *self* that *other* obeys.
+
+        ``self`` is the previous iterate, ``other`` the new one; the result
+        is an upper bound of both that guarantees termination of the
+        ascending iteration sequence.
+        """
+        self._check_space(other)
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        candidates: List[Constraint] = []
+        for constraint in self._constraints:
+            if constraint.is_equality():
+                # Split equalities so that one half can survive widening even
+                # when the other is lost (e.g. ``j = 0`` keeps ``j ≥ 0``).
+                candidates.append(Constraint(constraint.expr, Relation.LE))
+                candidates.append(Constraint(-constraint.expr, Relation.LE))
+            else:
+                candidates.append(constraint)
+        stable = [
+            constraint
+            for constraint in candidates
+            if other.entails_constraint(constraint)
+        ]
+        return Polyhedron(self._variables, stable)
+
+    # -- geometric operations ----------------------------------------------------
+
+    def generators(self) -> GeneratorSystem:
+        """The generator system (vertices, rays, lines)."""
+        if self.is_empty():
+            return GeneratorSystem(self._variables)
+        return constraints_to_generators(self._constraints, self._variables)
+
+    def project(self, keep: Sequence[str]) -> "Polyhedron":
+        """Orthogonal projection onto the variables in *keep*."""
+        projected = project_constraints(self._constraints, keep)
+        return Polyhedron(tuple(keep), projected)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polyhedron":
+        new_variables = tuple(mapping.get(v, v) for v in self._variables)
+        return Polyhedron(
+            new_variables,
+            [constraint.rename(mapping) for constraint in self._constraints],
+        )
+
+    def extend_space(self, variables: Sequence[str]) -> "Polyhedron":
+        """Embed into a larger space (new variables unconstrained)."""
+        missing = [v for v in self._variables if v not in variables]
+        if missing:
+            raise ValueError("extended space misses variables %s" % missing)
+        return Polyhedron(tuple(variables), self._constraints)
+
+    def assign(self, variable: str, expression: LinExpr) -> "Polyhedron":
+        """Strongest postcondition of the assignment ``variable := expression``."""
+        if variable not in self._variables:
+            raise ValueError("unknown variable %r" % variable)
+        fresh = variable + "!old"
+        renaming = {variable: fresh}
+        renamed = [c.rename(renaming) for c in self._constraints]
+        new_value = LinExpr.variable(variable) - expression.rename(renaming)
+        renamed.append(Constraint(new_value, Relation.EQ))
+        kept = project_constraints(renamed, self._variables)
+        return Polyhedron(self._variables, kept)
+
+    def havoc(self, variable: str) -> "Polyhedron":
+        """Forget everything about *variable* (nondeterministic assignment)."""
+        if variable not in self._variables:
+            raise ValueError("unknown variable %r" % variable)
+        others = [v for v in self._variables if v != variable]
+        kept = project_constraints(self._constraints, others)
+        return Polyhedron(self._variables, kept)
+
+    def minimized(self) -> "Polyhedron":
+        """An equivalent polyhedron without redundant constraints."""
+        if self.is_empty():
+            return Polyhedron.empty(self._variables)
+        return Polyhedron(
+            self._variables, remove_redundant(self._constraints)
+        )
+
+    def bounds(self, expression: LinExpr) -> Tuple[Optional[Fraction], Optional[Fraction]]:
+        """Exact (min, max) of *expression* over the polyhedron.
+
+        ``None`` means unbounded in that direction; both are ``None`` for an
+        empty polyhedron.
+        """
+        if self.is_empty():
+            return (None, None)
+        low = solve_lp(
+            expression, self._constraints, Sense.MINIMIZE, self._variables
+        )
+        high = solve_lp(
+            expression, self._constraints, Sense.MAXIMIZE, self._variables
+        )
+        return (
+            low.objective if low.is_optimal else None,
+            high.objective if high.is_optimal else None,
+        )
+
+    # -- misc ------------------------------------------------------------------
+
+    def constraint_vectors(self) -> List[Tuple["LinExpr", Fraction]]:
+        """The ``(a_i, b_i)`` pairs of Definition 5 (``a_i · x ≥ b_i``).
+
+        Every stored constraint ``expr ≤ 0`` (with ``expr = c·x + c0``) is
+        flipped into ``(-c)·x ≥ c0``; equalities contribute two pairs.
+        """
+        pairs: List[Tuple[LinExpr, Fraction]] = []
+        for constraint in self._constraints:
+            expr = constraint.expr
+            homogeneous = expr - expr.constant_term
+            pairs.append((-homogeneous, expr.constant_term))
+            if constraint.is_equality():
+                pairs.append((homogeneous, -expr.constant_term))
+        return pairs
+
+    def _check_space(self, other: "Polyhedron") -> None:
+        if self._variables != other._variables:
+            raise ValueError(
+                "polyhedra over different variable tuples: %s vs %s"
+                % (self._variables, other._variables)
+            )

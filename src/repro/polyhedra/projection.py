@@ -1,0 +1,168 @@
+"""Fourier–Motzkin elimination (projection of polyhedra).
+
+Used by the polyhedral abstract domain (assignments and havoc operations
+project the old value of the assigned variable away) and by the eager
+baselines when they need the transition polyhedron in ``(x, x')`` space
+with the auxiliary existential variables removed.
+
+The paper points out (§2.2) that eliminating a block of existential
+quantifiers can blow up exponentially; the lazy algorithm never does it,
+but the substrate still needs a correct implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.lp.problem import Sense
+from repro.lp.simplex import solve_lp
+
+
+def eliminate_variable(
+    constraints: Sequence[Constraint], variable: str
+) -> List[Constraint]:
+    """Project *variable* out of a conjunction of non-strict constraints."""
+    equalities = [
+        constraint
+        for constraint in constraints
+        if constraint.is_equality()
+        and constraint.expr.coefficient(variable) != 0
+    ]
+    if equalities:
+        # Solve the first equality for the variable and substitute.
+        pivot = equalities[0]
+        coefficient = pivot.expr.coefficient(variable)
+        # variable = -(rest)/coefficient
+        rest = pivot.expr - LinExpr({variable: coefficient})
+        replacement = rest * (-1) / coefficient
+        result = []
+        for constraint in constraints:
+            if constraint is pivot:
+                continue
+            substituted = constraint.substitute({variable: replacement})
+            if substituted.is_trivially_true():
+                continue
+            result.append(substituted)
+        return result
+
+    lowers: List[Constraint] = []   # variable ≥ something
+    uppers: List[Constraint] = []   # variable ≤ something
+    others: List[Constraint] = []
+    for constraint in constraints:
+        coefficient = constraint.expr.coefficient(variable)
+        if coefficient == 0:
+            others.append(constraint)
+        elif coefficient > 0:
+            uppers.append(constraint)
+        else:
+            lowers.append(constraint)
+
+    result = list(others)
+    for upper in uppers:
+        for lower in lowers:
+            upper_coefficient = upper.expr.coefficient(variable)
+            lower_coefficient = -lower.expr.coefficient(variable)
+            combined_expr = (
+                upper.expr * lower_coefficient + lower.expr * upper_coefficient
+            )
+            relation = Relation.LE
+            if upper.is_strict() or lower.is_strict():
+                relation = Relation.LT
+            combined = Constraint(combined_expr, relation)
+            if combined.is_trivially_true():
+                continue
+            result.append(combined.normalized())
+    return result
+
+
+def fourier_motzkin(
+    constraints: Sequence[Constraint],
+    eliminate: Iterable[str],
+    simplify: bool = True,
+) -> List[Constraint]:
+    """Eliminate every variable in *eliminate* from the conjunction."""
+    current = list(constraints)
+    for variable in eliminate:
+        current = eliminate_variable(current, variable)
+        if simplify:
+            current = remove_redundant(current)
+    return current
+
+
+def project_constraints(
+    constraints: Sequence[Constraint],
+    keep: Sequence[str],
+    simplify: bool = True,
+) -> List[Constraint]:
+    """Project the conjunction onto the variables in *keep*."""
+    keep_set = set(keep)
+    mentioned = set()
+    for constraint in constraints:
+        mentioned |= constraint.variables()
+    eliminate = sorted(mentioned - keep_set)
+    return fourier_motzkin(constraints, eliminate, simplify)
+
+
+def remove_redundant(
+    constraints: Sequence[Constraint],
+) -> List[Constraint]:
+    """Drop constraints implied by the others (LP-based, exact).
+
+    Duplicate constraints are removed first; then each remaining
+    inequality is tested for entailment by maximising its left-hand side
+    subject to the others.
+    """
+    unique: List[Constraint] = []
+    seen = set()
+    for constraint in constraints:
+        normal = constraint.normalized()
+        if normal.is_trivially_true():
+            continue
+        key = (normal.expr, normal.relation)
+        if key not in seen:
+            seen.add(key)
+            unique.append(normal)
+
+    result: List[Constraint] = []
+    for index, candidate in enumerate(unique):
+        if candidate.is_equality():
+            result.append(candidate)
+            continue
+        # Test against the constraints already kept plus the ones not yet
+        # examined; this never drops two mutually redundant constraints.
+        others = result + unique[index + 1 :]
+        context = [c.weaken() for c in others]
+        outcome = solve_lp(candidate.expr, context, Sense.MAXIMIZE)
+        if outcome.is_optimal and outcome.objective is not None and (
+            outcome.objective <= 0
+        ):
+            # The constraint is implied by the others; drop it.
+            continue
+        result.append(candidate)
+    return result
+
+
+def entails(
+    constraints: Sequence[Constraint], candidate: Constraint
+) -> bool:
+    """Whether the conjunction of *constraints* implies *candidate*.
+
+    Only meaningful for satisfiable conjunctions of non-strict constraints;
+    an unsatisfiable conjunction entails everything and is reported as such.
+    """
+    context = [c.weaken() for c in constraints]
+    if candidate.is_equality():
+        upper = Constraint(candidate.expr, Relation.LE)
+        lower = Constraint(-candidate.expr, Relation.LE)
+        return entails(constraints, upper) and entails(constraints, lower)
+    outcome = solve_lp(candidate.expr, context, Sense.MAXIMIZE)
+    if outcome.is_infeasible:
+        return True
+    if outcome.is_unbounded:
+        return False
+    assert outcome.objective is not None
+    if candidate.is_strict():
+        return outcome.objective < 0
+    return outcome.objective <= 0

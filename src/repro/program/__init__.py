@@ -1,0 +1,29 @@
+"""Integer transition systems (control-flow automata).
+
+Programs are modelled the way the paper models them (§2.2): a finite set of
+control states, integer-valued variables, and guarded transitions whose
+guards and updates are linear.  The package also provides
+
+* cut-set computation (the set of loop headers / feedback vertex set the
+  ranking functions are attached to),
+* the *large-block encoding*: one formula per pair of cut points capturing
+  every path between them without enumerating those paths,
+* a convenience builder used by the examples, tests and benchmark suites.
+"""
+
+from repro.program.transition import Transition
+from repro.program.automaton import ControlFlowAutomaton
+from repro.program.cutset import compute_cutset, is_cutset
+from repro.program.large_block import BlockTransition, large_block_encoding
+from repro.program.builder import AutomatonBuilder, simple_loop
+
+__all__ = [
+    "Transition",
+    "ControlFlowAutomaton",
+    "compute_cutset",
+    "is_cutset",
+    "BlockTransition",
+    "large_block_encoding",
+    "AutomatonBuilder",
+    "simple_loop",
+]

@@ -1,0 +1,117 @@
+"""Convenience constructors for control-flow automata.
+
+The paper's running examples are small guarded-command automata
+("transitions are specified by guard/action"); :class:`AutomatonBuilder`
+lets tests, examples and benchmark suites write them almost verbatim::
+
+    builder = AutomatonBuilder(["x", "y"], initial="k0")
+    builder.transition(
+        "k0", "k0",
+        guard=[x <= 10, y >= 0],
+        updates={"x": x + 1, "y": y - 1},
+        name="t1",
+    )
+    automaton = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.linexpr.constraint import Constraint
+from repro.linexpr.expr import LinExpr
+from repro.linexpr.formula import Formula, TRUE, atom, conjunction
+from repro.program.automaton import ControlFlowAutomaton
+from repro.program.transition import Transition
+
+GuardLike = Union[Formula, Constraint, Sequence[Union[Formula, Constraint]], None]
+
+
+def _as_guard(guard: GuardLike) -> Formula:
+    if guard is None:
+        return TRUE
+    if isinstance(guard, (list, tuple)):
+        return conjunction(atom(part) for part in guard)
+    return atom(guard)
+
+
+class AutomatonBuilder:
+    """Incremental construction of a :class:`ControlFlowAutomaton`."""
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        initial: str = "init",
+        initial_condition: GuardLike = None,
+        integer_variables: Optional[Iterable[str]] = None,
+    ):
+        self._automaton = ControlFlowAutomaton(
+            variables,
+            initial,
+            _as_guard(initial_condition),
+            integer_variables,
+        )
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self._automaton.variables)
+
+    def location(self, name: str) -> str:
+        return self._automaton.add_location(name)
+
+    def transition(
+        self,
+        source: str,
+        target: str,
+        guard: GuardLike = None,
+        updates: Optional[Mapping[str, Optional[LinExpr]]] = None,
+        name: str = "",
+    ) -> Transition:
+        """Add a guarded transition; integer right-hand sides are accepted."""
+        normalised: Dict[str, Optional[LinExpr]] = {}
+        for variable, expression in (updates or {}).items():
+            if expression is None:
+                normalised[variable] = None
+            elif isinstance(expression, LinExpr):
+                normalised[variable] = expression
+            else:
+                normalised[variable] = LinExpr.constant(expression)
+        transition = Transition(
+            source, target, _as_guard(guard), normalised, name
+        )
+        return self._automaton.add_transition(transition)
+
+    def build(self) -> ControlFlowAutomaton:
+        return self._automaton
+
+
+def simple_loop(
+    variables: Sequence[str],
+    transitions: Sequence[
+        Mapping[str, object]
+    ],
+    initial_condition: GuardLike = None,
+    location: str = "loop",
+    integer_variables: Optional[Iterable[str]] = None,
+) -> ControlFlowAutomaton:
+    """A single-location automaton — the setting of sections 3–5 of the paper.
+
+    Each element of *transitions* is a mapping with keys ``guard``,
+    ``updates`` and optionally ``name``; every transition is a self-loop on
+    *location*.
+    """
+    builder = AutomatonBuilder(
+        variables,
+        initial=location,
+        initial_condition=initial_condition,
+        integer_variables=integer_variables,
+    )
+    for description in transitions:
+        builder.transition(
+            location,
+            location,
+            guard=description.get("guard"),
+            updates=description.get("updates"),
+            name=str(description.get("name", "")),
+        )
+    return builder.build()

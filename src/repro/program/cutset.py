@@ -1,0 +1,83 @@
+"""Cut-set computation.
+
+A *cut-set* (Shamir 1979, used in §2.2 of the paper) is a set of control
+locations whose removal breaks every cycle of the control-flow graph.  The
+synthesiser only attaches ranking functions to cut-set locations; all other
+locations are summarised away by the large-block encoding.
+
+For reducible control-flow graphs (everything produced by the structured
+mini-language front-end) the targets of DFS back edges — the loop headers —
+form a cut-set.  For irreducible graphs built directly through the
+automaton API, a greedy completion pass adds locations until every cycle is
+cut; the result is still a valid (if not always minimum) cut-set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.program.automaton import ControlFlowAutomaton
+
+
+def compute_cutset(automaton: ControlFlowAutomaton) -> List[str]:
+    """A cut-set of the automaton's control-flow graph (loop headers first)."""
+    headers: List[str] = []
+    for transition in automaton._back_edges():
+        if transition.target not in headers:
+            headers.append(transition.target)
+
+    cutset = list(headers)
+    # Greedy completion for irreducible graphs: while a cycle avoiding the
+    # cut-set remains, add the location with the highest degree on such a
+    # cycle.
+    while True:
+        cycle = _find_cycle_avoiding(automaton, set(cutset))
+        if cycle is None:
+            break
+        best = max(
+            cycle,
+            key=lambda location: len(automaton.outgoing(location))
+            + len(automaton.incoming(location)),
+        )
+        cutset.append(best)
+    return cutset
+
+
+def is_cutset(automaton: ControlFlowAutomaton, cutset: Iterable[str]) -> bool:
+    """Whether removing *cutset* breaks every cycle of the CFG."""
+    return _find_cycle_avoiding(automaton, set(cutset)) is None
+
+
+def _find_cycle_avoiding(
+    automaton: ControlFlowAutomaton, excluded: Set[str]
+) -> List[str] | None:
+    """A cycle of the CFG avoiding *excluded*, or None if none exists."""
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def visit(location: str) -> List[str] | None:
+        color[location] = 1
+        stack.append(location)
+        for transition in automaton.outgoing(location):
+            successor = transition.target
+            if successor in excluded:
+                continue
+            state = color.get(successor, 0)
+            if state == 1:
+                cycle_start = stack.index(successor)
+                return stack[cycle_start:]
+            if state == 0:
+                found = visit(successor)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[location] = 2
+        return None
+
+    for start in sorted(automaton.locations):
+        if start in excluded or color.get(start, 0) != 0:
+            continue
+        found = visit(start)
+        if found is not None:
+            return found
+    return None

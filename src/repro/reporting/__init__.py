@@ -1,0 +1,13 @@
+"""Result collection and table rendering for the evaluation harness."""
+
+from repro.reporting.runner import ProgramOutcome, SuiteReport, run_suite, TOOLS
+from repro.reporting.table import format_table, format_table1_row
+
+__all__ = [
+    "ProgramOutcome",
+    "SuiteReport",
+    "run_suite",
+    "TOOLS",
+    "format_table",
+    "format_table1_row",
+]

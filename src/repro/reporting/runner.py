@@ -1,0 +1,144 @@
+"""Run the provers over benchmark suites and aggregate Table-1 statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    eager_farkas_lexicographic,
+    eager_generator_synthesis,
+    heuristic_prover,
+    podelski_rybalchenko,
+)
+from repro.benchsuite.program import BenchmarkProgram
+from repro.core.lp_instance import LpStatistics
+from repro.core.termination import TerminationProver
+
+
+def _run_termite(program: BenchmarkProgram) -> "ProgramOutcome":
+    prover = TerminationProver(program.build(), check_certificates=False)
+    result = prover.prove()
+    return ProgramOutcome(
+        program=program.name,
+        proved=result.proved,
+        time_seconds=result.time_seconds,
+        lp_statistics=result.lp_statistics,
+    )
+
+
+def _run_baseline(builder: Callable, program: BenchmarkProgram) -> "ProgramOutcome":
+    prover = TerminationProver(program.build(), check_certificates=False)
+    problem = prover.build_problem()
+    start = time.perf_counter()
+    result = builder(problem)
+    elapsed = time.perf_counter() - start
+    return ProgramOutcome(
+        program=program.name,
+        proved=result.proved,
+        time_seconds=elapsed,
+        lp_statistics=result.lp_statistics,
+    )
+
+
+#: The tool column of Table 1 mapped onto the reproduction's provers.
+TOOLS: Dict[str, Callable[[BenchmarkProgram], "ProgramOutcome"]] = {
+    "termite": _run_termite,
+    "heuristic": lambda program: _run_baseline(heuristic_prover, program),
+    "eager-farkas": lambda program: _run_baseline(
+        eager_farkas_lexicographic, program
+    ),
+    "eager-generators": lambda program: _run_baseline(
+        eager_generator_synthesis, program
+    ),
+    "podelski-rybalchenko": lambda program: _run_baseline(
+        podelski_rybalchenko, program
+    ),
+}
+
+
+@dataclass
+class ProgramOutcome:
+    """Result of one tool on one benchmark."""
+
+    program: str
+    proved: bool
+    time_seconds: float
+    lp_statistics: LpStatistics = field(default_factory=LpStatistics)
+    error: Optional[str] = None
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate of one tool over one suite (one cell row of Table 1)."""
+
+    suite: str
+    tool: str
+    outcomes: List[ProgramOutcome] = field(default_factory=list)
+    unsound: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.proved)
+
+    @property
+    def average_time_ms(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return 1000.0 * sum(o.time_seconds for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def average_lp_rows(self) -> float:
+        sizes = [
+            o.lp_statistics.average_rows
+            for o in self.outcomes
+            if o.lp_statistics.instances
+        ]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    @property
+    def average_lp_cols(self) -> float:
+        sizes = [
+            o.lp_statistics.average_cols
+            for o in self.outcomes
+            if o.lp_statistics.instances
+        ]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+def run_suite(
+    suite: str,
+    programs: Sequence[BenchmarkProgram],
+    tool: str = "termite",
+    limit: Optional[int] = None,
+) -> SuiteReport:
+    """Run *tool* over *programs* and aggregate the Table-1 statistics.
+
+    ``limit`` restricts the run to the first *limit* programs (used by the
+    pytest-benchmark harness to keep wall-clock time reasonable; the full
+    sweep is available through ``benchmarks/table1.py``).
+    """
+    if tool not in TOOLS:
+        raise KeyError("unknown tool %r (available: %s)" % (tool, ", ".join(TOOLS)))
+    runner = TOOLS[tool]
+    selected = list(programs if limit is None else programs[:limit])
+    report = SuiteReport(suite=suite, tool=tool)
+    for program in selected:
+        try:
+            outcome = runner(program)
+        except Exception as error:  # a prover crash counts as "not proved"
+            outcome = ProgramOutcome(
+                program=program.name,
+                proved=False,
+                time_seconds=0.0,
+                error=str(error),
+            )
+        report.outcomes.append(outcome)
+        if outcome.proved and not program.terminating:
+            report.unsound.append(program.name)
+    return report

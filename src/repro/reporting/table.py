@@ -1,0 +1,45 @@
+"""Plain-text table rendering (the shape of the paper's Table 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.reporting.runner import SuiteReport
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [render(list(headers)), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_table1_row(report: SuiteReport) -> List[object]:
+    """One row in the shape of the paper's Table 1."""
+    return [
+        report.suite,
+        report.tool,
+        report.total,
+        report.successes,
+        "%.0f" % report.average_time_ms,
+        "(%.1f, %.1f)" % (report.average_lp_rows, report.average_lp_cols),
+        "; ".join(report.unsound) if report.unsound else "-",
+    ]
+
+
+TABLE1_HEADERS = [
+    "suite",
+    "tool",
+    "#benchmarks",
+    "#success",
+    "avg time (ms)",
+    "avg LP (rows, cols)",
+    "soundness violations",
+]

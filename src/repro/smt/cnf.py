@@ -1,0 +1,136 @@
+"""Propositional abstraction and Tseitin encoding of formulas.
+
+Each distinct (normalised) linear atom gets one propositional variable;
+every composite node of the formula DAG gets a Tseitin variable.  The
+encoder caches on object identity, so sub-formulas shared by the
+large-block encoding are translated once — the CNF stays linear in the
+size of the program rather than in its number of paths, which is the
+structural property the paper's laziness relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.linexpr.constraint import Constraint
+from repro.linexpr.formula import (
+    And,
+    Atom,
+    Exists,
+    FALSE,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.linexpr.transform import to_nnf
+from repro.smt.sat import SatSolver
+
+
+class CnfEncoder:
+    """Maps formulas to clauses of a :class:`~repro.smt.sat.SatSolver`."""
+
+    def __init__(self, solver: SatSolver):
+        self._solver = solver
+        self._atom_literal: Dict[Constraint, int] = {}
+        self._literal_atom: Dict[int, Constraint] = {}
+        # The cache stores (formula, literal) pairs: keeping a reference to
+        # the formula object is essential, otherwise CPython may reuse the
+        # id() of a garbage-collected node and alias two distinct formulas.
+        self._node_cache: Dict[int, Tuple[Formula, int]] = {}
+        self._true_literal: Optional[int] = None
+
+    # -- atom bookkeeping ------------------------------------------------------
+
+    def atom_literal(self, constraint: Constraint) -> int:
+        """The propositional variable standing for *constraint*."""
+        key = constraint.normalized()
+        literal = self._atom_literal.get(key)
+        if literal is None:
+            literal = self._solver.new_variable()
+            self._atom_literal[key] = literal
+            self._literal_atom[literal] = key
+        return literal
+
+    def atoms(self) -> Dict[int, Constraint]:
+        """Mapping from propositional variable to the atom it encodes."""
+        return dict(self._literal_atom)
+
+    def constraint_of(self, variable: int) -> Optional[Constraint]:
+        return self._literal_atom.get(variable)
+
+    # -- encoding ----------------------------------------------------------------
+
+    def assert_formula(self, formula: Formula) -> None:
+        """Add clauses forcing *formula* to be true."""
+        literal = self.encode(formula)
+        self._solver.add_clause([literal])
+
+    def encode(self, formula: Formula) -> int:
+        """Tseitin-encode *formula*; returns the literal representing it."""
+        return self._encode(to_nnf(formula))
+
+    def _constant(self, value: bool) -> int:
+        if self._true_literal is None:
+            self._true_literal = self._solver.new_variable()
+            self._solver.add_clause([self._true_literal])
+        return self._true_literal if value else -self._true_literal
+
+    def _encode(self, formula: Formula) -> int:
+        if formula is TRUE:
+            return self._constant(True)
+        if formula is FALSE:
+            return self._constant(False)
+        cached = self._node_cache.get(id(formula))
+        if cached is not None:
+            return cached[1]
+
+        if isinstance(formula, Atom):
+            constraint = formula.constraint
+            if constraint.is_trivially_true():
+                literal = self._constant(True)
+            elif constraint.is_trivially_false():
+                literal = self._constant(False)
+            else:
+                literal = self.atom_literal(constraint)
+        elif isinstance(formula, Not):
+            # NNF leaves Not only above atoms that could not be negated
+            # syntactically; encode as the negation of the operand literal.
+            literal = -self._encode(formula.operand)
+        elif isinstance(formula, And):
+            children = [self._encode(child) for child in formula.operands]
+            literal = self._define_and(children)
+        elif isinstance(formula, Or):
+            children = [self._encode(child) for child in formula.operands]
+            literal = self._define_or(children)
+        elif isinstance(formula, Exists):
+            # The bound variables are theory variables; satisfiability of the
+            # existential closure is exactly satisfiability of the body.
+            literal = self._encode(formula.body)
+        else:
+            raise TypeError("cannot encode formula node %r" % (formula,))
+
+        self._node_cache[id(formula)] = (formula, literal)
+        return literal
+
+    def _define_and(self, children: List[int]) -> int:
+        if not children:
+            return self._constant(True)
+        if len(children) == 1:
+            return children[0]
+        fresh = self._solver.new_variable()
+        for child in children:
+            self._solver.add_clause([-fresh, child])
+        self._solver.add_clause([fresh] + [-child for child in children])
+        return fresh
+
+    def _define_or(self, children: List[int]) -> int:
+        if not children:
+            return self._constant(False)
+        if len(children) == 1:
+            return children[0]
+        fresh = self._solver.new_variable()
+        for child in children:
+            self._solver.add_clause([-child, fresh])
+        self._solver.add_clause([-fresh] + list(children))
+        return fresh

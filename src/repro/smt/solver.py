@@ -1,0 +1,274 @@
+"""The lazy DPLL(T) loop.
+
+:class:`SmtSolver` ties together the propositional abstraction
+(:mod:`repro.smt.cnf`), the CDCL SAT core (:mod:`repro.smt.sat`) and the
+linear-arithmetic theory solver (:mod:`repro.smt.theory`):
+
+1. the asserted formulas are Tseitin-encoded,
+2. the SAT core proposes a boolean model,
+3. the linear atoms assigned by that model are checked for consistency,
+4. an inconsistent assignment is blocked through its (minimised) unsat
+   core, and the loop continues until either a theory-consistent model is
+   found or the propositional abstraction becomes unsatisfiable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.formula import (
+    And,
+    Atom,
+    Exists,
+    FALSE,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    atom,
+)
+from repro.linexpr.transform import formula_variables, to_nnf
+from repro.smt.cnf import CnfEncoder
+from repro.smt.sat import SatSolver
+from repro.smt.theory import TheoryResult, check_conjunction
+
+
+class SmtStatus(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SmtResult:
+    """Outcome of a satisfiability check."""
+
+    status: SmtStatus
+    model: Dict[str, Fraction] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SmtStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SmtStatus.UNSAT
+
+
+class SmtSolver:
+    """Lazy SMT solver for quantifier-free / existential linear arithmetic."""
+
+    def __init__(
+        self,
+        integer_variables: Optional[Iterable[str]] = None,
+        max_theory_iterations: int = 10_000,
+        core_minimization_limit: int = 12,
+    ):
+        self._sat = SatSolver()
+        self._encoder = CnfEncoder(self._sat)
+        self._integer_variables: Set[str] = set(integer_variables or ())
+        self._free_variables: Set[str] = set()
+        self._roots: List[Formula] = []
+        self._max_theory_iterations = max_theory_iterations
+        # Deletion-based core minimisation costs one LP per constraint; past
+        # this size the raw conflict is blocked instead, which is cheaper
+        # overall because justified conflicts are already path-sized.
+        self._core_minimization_limit = core_minimization_limit
+        self.statistics: Dict[str, int] = {
+            "sat_calls": 0,
+            "theory_calls": 0,
+            "theory_conflicts": 0,
+        }
+
+    # -- problem construction ---------------------------------------------------
+
+    def add_integer_variables(self, names: Iterable[str]) -> None:
+        self._integer_variables |= set(names)
+
+    def assert_formula(self, formula) -> None:
+        """Conjoin *formula* (a Formula or a bare Constraint) to the assertions."""
+        node = to_nnf(atom(formula))
+        self._free_variables |= formula_variables(node)
+        self._roots.append(node)
+        self._encoder.assert_formula(node)
+
+    # -- solving -------------------------------------------------------------------
+
+    def check(self) -> SmtResult:
+        """Decide satisfiability of the asserted conjunction."""
+        assignment = self._next_consistent_assignment()
+        if assignment is None:
+            return SmtResult(SmtStatus.UNSAT)
+        _, theory_model = assignment
+        return SmtResult(SmtStatus.SAT, model=self._complete_model(theory_model))
+
+    def enumerate_assignments(
+        self,
+    ) -> Iterable[Tuple[List[Constraint], Dict[str, Fraction]]]:
+        """Yield theory-consistent assignments, blocking each one in turn.
+
+        Every yielded pair is ``(asserted constraints, model)`` where the
+        constraints are the theory literals made true by the boolean model.
+        The generator terminates when the propositional abstraction has no
+        further theory-consistent models.  Used by the optimising layer to
+        search all disjuncts for the global optimum.
+        """
+        while True:
+            assignment = self._next_consistent_assignment()
+            if assignment is None:
+                return
+            literals, model = assignment
+            yield self._constraints_of(literals), self._complete_model(model)
+            # Block this exact set of theory literals.
+            self._sat.add_clause([-literal for literal in literals])
+
+    # -- internals --------------------------------------------------------------------
+
+    def _next_consistent_assignment(
+        self,
+    ) -> Optional[Tuple[List[int], Dict[str, Fraction]]]:
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self._max_theory_iterations:
+                raise RuntimeError(
+                    "theory/SAT refinement did not converge within %d rounds"
+                    % self._max_theory_iterations
+                )
+            self.statistics["sat_calls"] += 1
+            boolean_model = self._sat.solve()
+            if boolean_model is None:
+                return None
+            literals = self._theory_literals(boolean_model)
+            constraints = self._constraints_of(literals)
+            self.statistics["theory_calls"] += 1
+            outcome = check_conjunction(
+                constraints,
+                self._integer_variables,
+                minimize_core=len(constraints) <= self._core_minimization_limit,
+            )
+            if outcome.satisfiable:
+                return literals, outcome.model
+            self.statistics["theory_conflicts"] += 1
+            core_literals = [literals[index] for index in outcome.core]
+            if not core_literals:
+                # The conjunction is inconsistent independently of any atom
+                # (cannot happen with a sound theory solver); fail safe.
+                return None
+            self._sat.add_clause([-literal for literal in core_literals])
+
+    def _theory_literals(self, boolean_model: Dict[int, bool]) -> List[int]:
+        """A *justification*: atoms sufficient to make every assertion true.
+
+        After NNF conversion every atom occurs with positive polarity only,
+        so the assertions are monotone in their atoms and it is enough to
+        collect, for each asserted formula, the atoms of one satisfied
+        branch (the first true child of every disjunction under the current
+        boolean model).  This keeps the theory conjunction the size of one
+        program path — exactly the disjunct the paper's algorithm reasons
+        about — instead of the whole formula, and it makes theory conflicts
+        and their blocking clauses much smaller.
+        """
+        justified: Dict[int, None] = {}
+        for root in self._roots:
+            self._justify(root, boolean_model, justified)
+        return list(justified)
+
+    def _justify(
+        self,
+        node: Formula,
+        boolean_model: Dict[int, bool],
+        justified: Dict[int, None],
+    ) -> None:
+        if node is TRUE:
+            return
+        if isinstance(node, Atom):
+            constraint = node.constraint
+            if constraint.is_trivially_true():
+                return
+            justified.setdefault(self._encoder.atom_literal(constraint))
+            return
+        if isinstance(node, And):
+            for child in node.operands:
+                self._justify(child, boolean_model, justified)
+            return
+        if isinstance(node, Or):
+            for child in node.operands:
+                if self._holds(child, boolean_model):
+                    self._justify(child, boolean_model, justified)
+                    return
+            # No child is boolean-true (can only happen through rounding of
+            # don't-care variables); fall back to the first child.
+            self._justify(node.operands[0], boolean_model, justified)
+            return
+        if isinstance(node, Exists):
+            self._justify(node.body, boolean_model, justified)
+            return
+        raise TypeError("unexpected formula node %r in justification" % (node,))
+
+    def _holds(self, node: Formula, boolean_model: Dict[int, bool]) -> bool:
+        """Evaluate a (monotone, NNF) formula under the boolean model."""
+        if node is TRUE:
+            return True
+        if node is FALSE:
+            return False
+        if isinstance(node, Atom):
+            if node.constraint.is_trivially_true():
+                return True
+            if node.constraint.is_trivially_false():
+                return False
+            literal = self._encoder.atom_literal(node.constraint)
+            return bool(boolean_model.get(literal))
+        if isinstance(node, And):
+            return all(self._holds(child, boolean_model) for child in node.operands)
+        if isinstance(node, Or):
+            return any(self._holds(child, boolean_model) for child in node.operands)
+        if isinstance(node, Exists):
+            return self._holds(node.body, boolean_model)
+        return False
+
+    def _constraints_of(self, literals: Sequence[int]) -> List[Constraint]:
+        constraints: List[Constraint] = []
+        for literal in literals:
+            constraint = self._encoder.constraint_of(abs(literal))
+            if constraint is None:
+                continue
+            if literal > 0:
+                constraints.append(constraint)
+            else:
+                constraints.append(self._negate(constraint))
+        return constraints
+
+    @staticmethod
+    def _negate(constraint: Constraint) -> Constraint:
+        if constraint.relation is Relation.EQ:
+            # ¬(e = 0) is a disjunction; over-approximating it as TRUE would
+            # be unsound for satisfiability, so keep it as a non-strict
+            # disequality witness: we choose the half the theory can check.
+            # The encoder never produces negative equality literals because
+            # equalities appear positively in the NNF input fragment, so
+            # reaching this branch indicates a blocking clause artefact; the
+            # safe over-approximation for *blocking* purposes is "true",
+            # represented by a trivially satisfied constraint.
+            return Constraint(constraint.expr * 0, Relation.LE)
+        return constraint.negate()
+
+    def _complete_model(self, theory_model: Dict[str, Fraction]) -> Dict[str, Fraction]:
+        model = dict(theory_model)
+        for name in self._free_variables:
+            model.setdefault(name, Fraction(0))
+        return model
+
+    # -- helpers exposed to the optimiser -----------------------------------------------
+
+    @property
+    def integer_variables(self) -> Set[str]:
+        return set(self._integer_variables)
+
+    @property
+    def free_variables(self) -> Set[str]:
+        return set(self._free_variables)

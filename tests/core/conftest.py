@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's example automata and a few classics."""
+
+import pytest
+
+from repro.linexpr.expr import var
+from repro.program.builder import AutomatonBuilder
+
+x, y, i, j, N = var("x"), var("y"), var("i"), var("j"), var("N")
+
+
+@pytest.fixture
+def example1_automaton():
+    """Example 1 / Figure 1 of the paper (two guarded self-loop transitions)."""
+    builder = AutomatonBuilder(
+        ["x", "y"], initial="start", initial_condition=[x.eq(5), y.eq(10)]
+    )
+    builder.transition("start", "k0", name="init")
+    builder.transition(
+        "k0", "k0", guard=[x <= 10, y >= 0], updates={"x": x + 1, "y": y - 1}, name="t1"
+    )
+    builder.transition(
+        "k0", "k0", guard=[x >= 0, y >= 0], updates={"x": x - 1, "y": y - 1}, name="t2"
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def example3_automaton():
+    """Example 3 of the paper (unbounded reset — exercises ray handling)."""
+    builder = AutomatonBuilder(["i", "j", "N"], initial="k0")
+    builder.transition(
+        "k0", "k0", guard=[i > 0, j > 1], updates={"j": j - 1}, name="t1"
+    )
+    builder.transition(
+        "k0", "k0", guard=[i > 0, j <= 0], updates={"i": i - 1, "j": N}, name="t2"
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def example4_automaton():
+    """Example 4 of the paper (nested loops, two cut points)."""
+    builder = AutomatonBuilder(["i", "j"], initial="start")
+    builder.transition("start", "1", updates={"i": 0})
+    builder.transition("1", "2", guard=[i < 5], updates={"j": 0}, name="t2")
+    builder.transition("2", "2", guard=[i >= 3, j <= 9], updates={"j": j + 1}, name="t3")
+    builder.transition("2", "1", guard=[i <= 2], updates={"i": i + 1}, name="t4a")
+    builder.transition("2", "1", guard=[j > 9], updates={"i": i + 1}, name="t4b")
+    return builder.build()
+
+
+@pytest.fixture
+def countdown_automaton():
+    builder = AutomatonBuilder(["x"], initial="k")
+    builder.transition("k", "k", guard=[x > 0], updates={"x": x - 1}, name="dec")
+    return builder.build()
+
+
+@pytest.fixture
+def stutter_automaton():
+    """``while (x > 0) skip`` — non-terminating."""
+    builder = AutomatonBuilder(["x"], initial="k")
+    builder.transition("k", "k", guard=[x > 0], updates={}, name="stutter")
+    return builder.build()
+
+
+@pytest.fixture
+def lexicographic_automaton():
+    """Needs a 2-component (or cleverly combined) ranking function."""
+    builder = AutomatonBuilder(
+        ["x", "y"], initial="k", initial_condition=[x >= 0, y >= 0, y <= 10]
+    )
+    builder.transition("k", "k", guard=[x > 0], updates={"x": x - 1, "y": 10}, name="outer")
+    builder.transition("k", "k", guard=[y > 0], updates={"y": y - 1}, name="inner")
+    return builder.build()

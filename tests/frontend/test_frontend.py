@@ -1,0 +1,109 @@
+"""Tests for the lexer, parser and lowering of the mini-language."""
+
+import pytest
+
+from repro.frontend.ast import Assign, Assume, Havoc, IfThenElse, NondetCondition, While
+from repro.frontend.lexer import LexError, TokenKind, tokenize
+from repro.frontend.lowering import compile_program
+from repro.frontend.parser import ParseError, parse_program
+from repro.linexpr.formula import FALSE, TRUE
+from repro.program.cutset import compute_cutset
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("while (x <= 10) { x = x + 1; }")
+        kinds = [token.kind for token in tokens]
+        assert kinds[0] is TokenKind.KEYWORD
+        assert kinds[-1] is TokenKind.END
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x = 1; // comment\n# another\ny = 2;")
+        texts = [token.text for token in tokens if token.kind is TokenKind.IDENT]
+        assert texts == ["x", "y"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("x\ny")
+        assert tokens[1].line == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("x = $;")
+
+
+class TestParser:
+    def test_declarations_and_assignment(self):
+        program = parse_program("var x, y; x = y + 1;")
+        assert program.variables == ["x", "y"]
+        assert isinstance(program.statements()[0], Assign)
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("var x; y = 1;")
+
+    def test_while_and_if(self):
+        program = parse_program(
+            "var x; while (x > 0) { if (x > 5) { x = x - 2; } else { x = x - 1; } }"
+        )
+        loop = program.statements()[0]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body.statements[0], IfThenElse)
+
+    def test_assume(self):
+        program = parse_program("var x; assume(x >= 0);")
+        assert isinstance(program.statements()[0], Assume)
+
+    def test_havoc(self):
+        program = parse_program("var x; x = nondet();")
+        assert isinstance(program.statements()[0], Havoc)
+
+    def test_nondet_condition_brackets(self):
+        program = parse_program("var x; while (x > 0 and nondet()) { x = x - 1; }")
+        condition = program.statements()[0].condition
+        assert isinstance(condition, NondetCondition)
+        assert condition.lower is FALSE
+        assert condition.upper is not TRUE
+
+    def test_disequality(self):
+        program = parse_program("var x; while (x != 0) { x = x - 1; }")
+        assert isinstance(program.statements()[0], While)
+
+    def test_coefficient_syntax(self):
+        program = parse_program("var x, y; x = 3 * y - 2;")
+        assignment = program.statements()[0]
+        assert assignment.expression.coefficient("y") == 3
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("var x; x = 1")
+
+    def test_boolean_constants(self):
+        program = parse_program("var x; while (false) { skip; } if (true) { skip; }")
+        assert isinstance(program.statements()[0], While)
+
+
+class TestLowering:
+    def test_loop_header_is_cutpoint(self):
+        cfa = compile_program("var x; while (x > 0) { x = x - 1; }")
+        cutset = compute_cutset(cfa)
+        assert len(cutset) == 1
+        assert cutset[0].startswith("loop_head")
+
+    def test_no_loop_no_cycle(self):
+        cfa = compile_program("var x; x = 1; if (x > 0) { x = 2; }")
+        assert not cfa.has_cycle()
+
+    def test_nested_loops_two_cutpoints(self):
+        cfa = compile_program(
+            "var i, j; while (i > 0) { j = i; while (j > 0) { j = j - 1; } i = i - 1; }"
+        )
+        assert len(compute_cutset(cfa)) == 2
+
+    def test_nondet_branch_two_edges(self):
+        cfa = compile_program("var x; if (nondet()) { x = 1; } else { x = 2; }")
+        branch_sources = [t for t in cfa.transitions if len(cfa.outgoing(t.source)) == 2]
+        assert branch_sources
+
+    def test_integer_variables_default(self):
+        cfa = compile_program("var x; x = 1;")
+        assert cfa.integer_variables == {"x"}

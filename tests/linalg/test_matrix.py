@@ -1,0 +1,114 @@
+"""Tests for exact matrices and subspace helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.matrix import (
+    Matrix,
+    complete_basis,
+    in_span,
+    linearly_independent,
+    orthogonal_complement,
+)
+from repro.linalg.vector import Vector
+
+small = st.integers(min_value=-6, max_value=6)
+matrices = st.lists(
+    st.lists(small, min_size=3, max_size=3), min_size=2, max_size=4
+).map(Matrix)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert Matrix.identity(2) == Matrix([[1, 0], [0, 1]])
+
+    def test_shape(self):
+        assert Matrix([[1, 2, 3], [4, 5, 6]]).shape == (2, 3)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+
+    def test_transpose(self):
+        assert Matrix([[1, 2], [3, 4]]).transpose() == Matrix([[1, 3], [2, 4]])
+
+    def test_matmul(self):
+        product = Matrix([[1, 2], [3, 4]]) @ Matrix([[0, 1], [1, 0]])
+        assert product == Matrix([[2, 1], [4, 3]])
+
+    def test_apply(self):
+        assert Matrix([[1, 2], [3, 4]]).apply(Vector([1, 1])) == Vector([3, 7])
+
+    def test_from_rows_columns(self):
+        rows = [Vector([1, 2]), Vector([3, 4])]
+        assert Matrix.from_rows(rows).row(1) == Vector([3, 4])
+        assert Matrix.from_columns(rows).column(1) == Vector([3, 4])
+
+
+class TestElimination:
+    def test_rank_full(self):
+        assert Matrix([[1, 0], [0, 1]]).rank() == 2
+
+    def test_rank_deficient(self):
+        assert Matrix([[1, 2], [2, 4]]).rank() == 1
+
+    def test_null_space(self):
+        kernel = Matrix([[1, 2], [2, 4]]).null_space()
+        assert len(kernel) == 1
+        assert Matrix([[1, 2], [2, 4]]).apply(kernel[0]).is_zero()
+
+    def test_solve_consistent(self):
+        solution = Matrix([[2, 0], [0, 4]]).solve(Vector([6, 8]))
+        assert solution == Vector([3, 2])
+
+    def test_solve_inconsistent(self):
+        assert Matrix([[1, 1], [1, 1]]).solve(Vector([1, 2])) is None
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_nullity(self, matrix):
+        assert matrix.rank() + len(matrix.null_space()) == matrix.num_cols
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_vectors_are_in_kernel(self, matrix):
+        for vector in matrix.null_space():
+            assert matrix.apply(vector).is_zero()
+
+
+class TestSubspaces:
+    def test_in_span(self):
+        family = [Vector([1, 0, 0]), Vector([0, 1, 0])]
+        assert in_span(Vector([2, 3, 0]), family)
+        assert not in_span(Vector([0, 0, 1]), family)
+
+    def test_zero_always_in_span(self):
+        assert in_span(Vector([0, 0]), [])
+
+    def test_complete_basis(self):
+        basis = complete_basis([Vector([1, 1, 0])], 3)
+        assert len(basis) == 3
+        assert linearly_independent(basis)
+
+    def test_linearly_independent(self):
+        assert linearly_independent([Vector([1, 0]), Vector([1, 1])])
+        assert not linearly_independent([Vector([1, 2]), Vector([2, 4])])
+
+    def test_orthogonal_complement_empty_family(self):
+        complement = orthogonal_complement([], 2)
+        assert len(complement) == 2
+
+    def test_orthogonal_complement_is_orthogonal(self):
+        family = [Vector([1, 2, 3])]
+        for w in orthogonal_complement(family, 3):
+            assert w.dot(family[0]) == 0
+
+    def test_membership_via_complement(self):
+        family = [Vector([1, 0, 1])]
+        complement = orthogonal_complement(family, 3)
+        inside = Vector([2, 0, 2])
+        outside = Vector([1, 1, 0])
+        assert all(w.dot(inside) == 0 for w in complement)
+        assert any(w.dot(outside) != 0 for w in complement)

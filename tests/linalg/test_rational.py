@@ -1,0 +1,84 @@
+"""Tests for exact rational helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linalg.rational import (
+    as_fraction,
+    fraction_gcd,
+    integer_normalize,
+)
+
+
+class TestAsFraction:
+    def test_integer(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        value = Fraction(2, 7)
+        assert as_fraction(value) is value
+
+    def test_string(self):
+        assert as_fraction("2/5") == Fraction(2, 5)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(0.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_other_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+
+class TestFractionGcd:
+    def test_integers(self):
+        assert fraction_gcd([Fraction(4), Fraction(6)]) == Fraction(2)
+
+    def test_fractions(self):
+        assert fraction_gcd([Fraction(1, 2), Fraction(3, 4)]) == Fraction(1, 4)
+
+    def test_zeroes_only(self):
+        assert fraction_gcd([Fraction(0), Fraction(0)]) == 0
+
+    def test_empty(self):
+        assert fraction_gcd([]) == 0
+
+    @given(st.lists(st.fractions(), min_size=1, max_size=6))
+    def test_divides_all(self, values):
+        g = fraction_gcd(values)
+        if g != 0:
+            for value in values:
+                assert (value / g).denominator == 1
+
+
+class TestIntegerNormalize:
+    def test_halves(self):
+        assert integer_normalize([Fraction(1, 2), Fraction(3, 2)]) == [
+            Fraction(1),
+            Fraction(3),
+        ]
+
+    def test_zero_vector(self):
+        assert integer_normalize([Fraction(0), Fraction(0)]) == [0, 0]
+
+    def test_sign_preserved(self):
+        assert integer_normalize([Fraction(-2), Fraction(4)]) == [-1, 2]
+
+    @given(st.lists(st.fractions(), min_size=1, max_size=5))
+    def test_result_is_integral_and_parallel(self, values):
+        scaled = integer_normalize(values)
+        assert all(entry.denominator == 1 for entry in scaled)
+        # Parallel: cross-ratios preserved for a nonzero pivot.
+        nonzero = [i for i, v in enumerate(values) if v != 0]
+        if nonzero:
+            pivot = nonzero[0]
+            factor = scaled[pivot] / values[pivot]
+            assert factor > 0
+            for index, value in enumerate(values):
+                assert scaled[index] == value * factor

@@ -1,0 +1,123 @@
+"""Tests for formula transformations (NNF, renaming, DNF, …)."""
+
+import pytest
+
+from repro.linexpr.expr import var
+from repro.linexpr.formula import (
+    And,
+    Exists,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+from repro.linexpr.transform import (
+    dnf_conjunctions,
+    formula_atoms,
+    formula_size,
+    formula_variables,
+    negate_constraint,
+    prime_suffix,
+    rename_formula,
+    substitute_formula,
+    to_nnf,
+)
+
+x, y = var("x"), var("y")
+
+
+class TestNnf:
+    def test_double_negation(self):
+        formula = to_nnf(Not(Not(x <= 0)))
+        assert formula_atoms(formula) == [(x <= 0).normalized()]
+
+    def test_de_morgan(self):
+        formula = to_nnf(Not(conjunction([x <= 0, y <= 0])))
+        assert isinstance(formula, Or)
+
+    def test_negated_equality_splits(self):
+        formula = to_nnf(Not(x.eq(0)))
+        assert isinstance(formula, Or)
+        assert len(formula.operands) == 2
+
+    def test_constants(self):
+        assert to_nnf(Not(TRUE)) is FALSE
+        assert to_nnf(Not(FALSE)) is TRUE
+
+    def test_negating_exists_rejected(self):
+        with pytest.raises(ValueError):
+            to_nnf(Not(Exists(["t"], x <= var("t"))))
+
+
+class TestNegateConstraint:
+    def test_le(self):
+        negated = negate_constraint(x <= 0)
+        atoms = formula_atoms(negated)
+        assert len(atoms) == 1 and atoms[0].is_strict()
+
+    def test_equality(self):
+        assert isinstance(negate_constraint(x.eq(0)), Or)
+
+
+class TestRenameSubstitute:
+    def test_rename_free(self):
+        renamed = rename_formula(conjunction([x <= 0, y <= 0]), {"x": "z"})
+        assert "z" in formula_variables(renamed)
+        assert "x" not in formula_variables(renamed)
+
+    def test_rename_respects_binding(self):
+        formula = Exists(["x"], x <= y)
+        renamed = rename_formula(formula, {"x": "z"})
+        assert "z" not in formula_variables(renamed)
+
+    def test_substitute(self):
+        formula = substitute_formula(conjunction([x <= 5]), {"x": y + 1})
+        assert formula_variables(formula) == frozenset({"y"})
+
+    def test_prime_suffix(self):
+        assert prime_suffix("x") == "x'"
+
+
+class TestQueries:
+    def test_formula_variables(self):
+        formula = conjunction([x <= 0, Exists(["t"], var("t") <= y)])
+        assert formula_variables(formula) == frozenset({"x", "y"})
+
+    def test_formula_atoms_dedup(self):
+        formula = conjunction([x <= 0, disjunction([x <= 0, y <= 0])])
+        assert len(formula_atoms(formula)) == 2
+
+    def test_formula_size_counts_shared_once(self):
+        shared = conjunction([x <= 0, y <= 0])
+        formula = disjunction([shared, shared])
+        assert formula_size(formula) == formula_size(shared) + 1
+
+
+class TestDnf:
+    def test_simple_or(self):
+        conjunctions = dnf_conjunctions(disjunction([x <= 0, y <= 0]))
+        assert len(conjunctions) == 2
+
+    def test_distribution(self):
+        formula = conjunction(
+            [disjunction([x <= 0, x >= 5]), disjunction([y <= 0, y >= 5])]
+        )
+        assert len(dnf_conjunctions(formula)) == 4
+
+    def test_false_disjunct_dropped(self):
+        formula = disjunction([FALSE, x <= 0])
+        assert len(dnf_conjunctions(formula)) == 1
+
+    def test_true_gives_empty_conjunction(self):
+        assert dnf_conjunctions(TRUE) == [[]]
+
+    def test_exists_renames_bound_variables(self):
+        formula = Exists(["t"], conjunction([var("t") >= 0, x <= var("t")]))
+        (conjunct,) = dnf_conjunctions(formula)
+        names = set()
+        for constraint in conjunct:
+            names |= constraint.variables()
+        assert "t" not in names
+        assert "x" in names

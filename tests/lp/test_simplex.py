@@ -1,0 +1,120 @@
+"""Tests for the exact two-phase simplex."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linexpr.expr import LinExpr, var
+from repro.lp.problem import LinearProgram, LpStatus, Sense
+from repro.lp.simplex import check_feasibility, solve_lp
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+class TestBasicSolves:
+    def test_bounded_maximum(self):
+        result = solve_lp(x + y, [x <= 3, y <= 4, x + y <= 5, x >= 0, y >= 0], Sense.MAXIMIZE)
+        assert result.is_optimal
+        assert result.objective == 5
+
+    def test_bounded_minimum(self):
+        result = solve_lp(x, [x >= -7, x <= 3], Sense.MINIMIZE)
+        assert result.objective == -7
+
+    def test_infeasible(self):
+        assert solve_lp(x, [x <= 0, x >= 1], Sense.MINIMIZE).is_infeasible
+
+    def test_unbounded_with_ray(self):
+        result = solve_lp(x, [x <= 5], Sense.MINIMIZE)
+        assert result.is_unbounded
+        assert result.ray["x"] < 0
+
+    def test_equality_constraints(self):
+        result = solve_lp(x, [(x + y).eq(10), x >= 2, y >= 3], Sense.MINIMIZE)
+        assert result.objective == 2
+
+    def test_free_variables(self):
+        result = solve_lp(x - y, [x - y >= -3], Sense.MINIMIZE)
+        assert result.objective == -3
+
+    def test_fractional_optimum(self):
+        result = solve_lp(x, [2 * x >= 1, 3 * x <= 2], Sense.MINIMIZE)
+        assert result.objective == Fraction(1, 2)
+
+    def test_constant_objective(self):
+        result = solve_lp(LinExpr.constant(7), [x >= 0], Sense.MINIMIZE)
+        assert result.objective == 7
+
+    def test_strict_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp(x, [x < 1], Sense.MINIMIZE)
+
+    def test_solution_satisfies_constraints(self):
+        constraints = [x + 2 * y <= 14, 3 * x - y >= 0, x - y <= 2]
+        result = solve_lp(x + y, constraints, Sense.MAXIMIZE)
+        assert result.is_optimal
+        for constraint in constraints:
+            assert constraint.satisfied_by(result.assignment)
+
+    def test_degenerate_redundant_rows(self):
+        result = solve_lp(x, [x >= 0, x >= 0, (x - y).eq(0), (y - x).eq(0)], Sense.MINIMIZE)
+        assert result.is_optimal
+        assert result.objective == 0
+
+
+class TestCheckFeasibility:
+    def test_feasible(self):
+        assert check_feasibility([x >= 0, x <= 1]).is_optimal
+
+    def test_infeasible(self):
+        assert check_feasibility([x >= 2, x <= 1]).is_infeasible
+
+
+class TestLinearProgramModel:
+    def test_num_rows_cols(self):
+        program = LinearProgram(Sense.MAXIMIZE, x + y)
+        program.add_constraints([x <= 1, y <= 2])
+        assert program.num_rows == 2
+        assert program.num_cols == 2
+
+    def test_declared_variables_present(self):
+        program = LinearProgram()
+        program.declare("a", "b")
+        assert program.variables()[:2] == ["a", "b"]
+
+    def test_solve_wrapper(self):
+        program = LinearProgram(Sense.MAXIMIZE, x)
+        program.add_constraint(x <= 9)
+        program.add_constraint(x >= 0)
+        assert program.solve().objective == 9
+
+    def test_strict_rejected(self):
+        program = LinearProgram()
+        with pytest.raises(ValueError):
+            program.add_constraint(x < 1)
+
+
+bounds = st.integers(min_value=-10, max_value=10)
+
+
+class TestRandomisedBoxes:
+    @given(bounds, bounds, bounds, bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_box_optimum_hits_corner(self, lox, hix, loy, hiy):
+        constraints = [x >= lox, x <= hix, y >= loy, y <= hiy]
+        result = solve_lp(x + y, constraints, Sense.MAXIMIZE)
+        if lox > hix or loy > hiy:
+            assert result.is_infeasible
+        else:
+            assert result.is_optimal
+            assert result.objective == hix + hiy
+
+    @given(st.lists(st.tuples(bounds, bounds, bounds), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_point_satisfies_all(self, rows):
+        constraints = [a * x + b * y <= c for a, b, c in rows]
+        result = solve_lp(x + y, constraints + [x >= -20, y >= -20], Sense.MAXIMIZE)
+        if result.is_optimal:
+            for constraint in constraints:
+                assert constraint.satisfied_by(result.assignment)

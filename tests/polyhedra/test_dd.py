@@ -1,0 +1,116 @@
+"""Tests for the double-description conversions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg.vector import Vector
+from repro.linexpr.expr import var
+from repro.polyhedra.dd import (
+    cone_double_description,
+    constraints_to_generators,
+    generators_to_constraints,
+)
+from repro.polyhedra.generators import GeneratorSystem
+from repro.polyhedra.polyhedron import Polyhedron
+
+x, y = var("x"), var("y")
+
+
+class TestConeDoubleDescription:
+    def test_nonnegative_quadrant(self):
+        lines, rays = cone_double_description(
+            [(Vector([-1, 0]), False), (Vector([0, -1]), False)], 2
+        )
+        assert not lines
+        assert sorted(tuple(r) for r in rays) == [(0, 1), (1, 0)]
+
+    def test_halfplane_keeps_a_line(self):
+        lines, rays = cone_double_description([(Vector([0, -1]), False)], 2)
+        assert len(lines) == 1 and lines[0][1] == 0
+        assert any(r[1] > 0 for r in rays)
+
+    def test_equality_gives_line_in_plane(self):
+        lines, rays = cone_double_description([(Vector([1, 1]), True)], 2)
+        directions = [tuple(l) for l in lines] + [tuple(r) for r in rays]
+        assert all(a + b == 0 for a, b in directions)
+
+    def test_point_cone(self):
+        lines, rays = cone_double_description(
+            [
+                (Vector([1, 0]), True),
+                (Vector([0, 1]), True),
+            ],
+            2,
+        )
+        assert not lines and not rays
+
+
+class TestPolyhedronConversions:
+    def test_square_vertices(self):
+        system = constraints_to_generators([x >= 0, x <= 1, y >= 0, y <= 1], ["x", "y"])
+        assert sorted(tuple(v) for v in system.vertices) == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+        assert not system.rays and not system.lines
+
+    def test_unbounded_rays(self):
+        system = constraints_to_generators([x >= 0, y >= 0, x - y <= 3], ["x", "y"])
+        assert sorted(tuple(r) for r in system.rays) == [(0, 1), (1, 1)]
+
+    def test_empty_polyhedron(self):
+        system = constraints_to_generators([x >= 1, x <= 0], ["x"])
+        assert system.is_empty()
+
+    def test_line_generator(self):
+        system = constraints_to_generators([x >= 0], ["x", "y"])
+        assert any(tuple(l)[0] == 0 for l in system.lines)
+
+    def test_round_trip_square(self):
+        original = Polyhedron(["x", "y"], [x >= 0, x <= 2, y >= 0, y <= 1])
+        rebuilt = Polyhedron.from_generators(original.generators())
+        assert rebuilt.equals(original)
+
+    def test_round_trip_unbounded(self):
+        original = Polyhedron(["x", "y"], [x >= 0, y >= 2])
+        rebuilt = Polyhedron.from_generators(original.generators())
+        assert rebuilt.equals(original)
+
+    def test_generators_to_constraints_empty(self):
+        constraints = generators_to_constraints(GeneratorSystem(("x",)))
+        assert len(constraints) == 1
+        assert constraints[0].is_trivially_false()
+
+    def test_single_point(self):
+        system = GeneratorSystem(("x", "y"), vertices=[Vector([2, 3])])
+        poly = Polyhedron.from_generators(system)
+        assert poly.contains_point({"x": 2, "y": 3})
+        assert not poly.contains_point({"x": 2, "y": 4})
+
+
+class TestGeneratorSystem:
+    def test_merge_keeps_distinct_vertices(self):
+        a = GeneratorSystem(("x",), vertices=[Vector([1])])
+        b = GeneratorSystem(("x",), vertices=[Vector([2])])
+        assert len(a.merge(b).vertices) == 2
+
+    def test_merge_dedupes_parallel_rays(self):
+        a = GeneratorSystem(("x",), rays=[Vector([1])])
+        b = GeneratorSystem(("x",), rays=[Vector([2])])
+        assert len(a.merge(b).rays) == 1
+
+    def test_contains_point_barycentric(self):
+        square = constraints_to_generators([x >= 0, x <= 1, y >= 0, y <= 1], ["x", "y"])
+        assert square.contains_point([Fraction(1, 2), Fraction(1, 2)])
+        assert not square.contains_point([Fraction(2), Fraction(0)])
+
+    def test_difference_generators_tags(self):
+        system = GeneratorSystem(
+            ("x",), vertices=[Vector([1])], rays=[Vector([1])], lines=[Vector([1])]
+        )
+        tags = [tag for tag, _ in system.difference_generators()]
+        assert tags.count("vertex") == 1
+        assert tags.count("ray") == 3  # the ray plus both orientations of the line

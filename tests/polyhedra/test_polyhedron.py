@@ -1,0 +1,132 @@
+"""Tests for constraint-representation polyhedra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linexpr.expr import var
+from repro.polyhedra.polyhedron import Polyhedron
+
+x, y = var("x"), var("y")
+
+
+def box(lox, hix, loy, hiy):
+    return Polyhedron(["x", "y"], [x >= lox, x <= hix, y >= loy, y <= hiy])
+
+
+class TestPredicates:
+    def test_universe(self):
+        assert Polyhedron.universe(["x"]).is_universe()
+        assert not Polyhedron.universe(["x"]).is_empty()
+
+    def test_empty(self):
+        assert Polyhedron.empty(["x"]).is_empty()
+
+    def test_emptiness_by_conflict(self):
+        assert Polyhedron(["x"], [x >= 1, x <= 0]).is_empty()
+
+    def test_contains_point(self):
+        assert box(0, 2, 0, 2).contains_point({"x": 1, "y": 2})
+        assert not box(0, 2, 0, 2).contains_point({"x": 3, "y": 0})
+
+    def test_entails_constraint(self):
+        assert box(0, 2, 0, 2).entails_constraint(x <= 5)
+        assert not box(0, 2, 0, 2).entails_constraint(x <= 1)
+
+    def test_includes_and_equals(self):
+        small = box(0, 1, 0, 1)
+        large = box(0, 2, 0, 2)
+        assert large.includes(small)
+        assert not small.includes(large)
+        assert small.equals(box(0, 1, 0, 1))
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Polyhedron(["x"], [y <= 0])
+
+
+class TestOperations:
+    def test_intersect(self):
+        meet = box(0, 3, 0, 3).intersect(box(2, 5, 2, 5))
+        assert meet.equals(box(2, 3, 2, 3))
+
+    def test_join_is_convex_hull(self):
+        hull = box(0, 1, 0, 1).join(box(3, 4, 0, 1))
+        assert hull.contains_point({"x": 2, "y": Fraction(1, 2)})
+        assert not hull.contains_point({"x": 2, "y": 2})
+
+    def test_join_with_empty(self):
+        assert box(0, 1, 0, 1).join(Polyhedron.empty(["x", "y"])).equals(box(0, 1, 0, 1))
+
+    def test_widen_keeps_stable_constraints(self):
+        widened = box(0, 1, 0, 1).widen(box(0, 2, 0, 1))
+        assert widened.entails_constraint(x >= 0)
+        assert widened.entails_constraint(y <= 1)
+        assert not widened.entails_constraint(x <= 10)
+
+    def test_widening_splits_equalities(self):
+        line = Polyhedron(["x", "y"], [y.eq(0), x >= 0])
+        widened = line.widen(Polyhedron(["x", "y"], [y >= 0, y <= 1, x >= 0]))
+        assert widened.entails_constraint(y >= 0)
+
+    def test_project(self):
+        projected = box(0, 2, 5, 7).project(["x"])
+        assert projected.entails_constraint(x <= 2)
+        assert projected.variables == ("x",)
+
+    def test_assign(self):
+        result = box(0, 2, 0, 2).assign("x", x + 10)
+        low, high = result.bounds(x)
+        assert (low, high) == (10, 12)
+
+    def test_assign_swap_independent(self):
+        result = box(0, 1, 5, 6).assign("x", y)
+        low, high = result.bounds(x)
+        assert (low, high) == (5, 6)
+
+    def test_havoc(self):
+        result = box(0, 2, 0, 2).havoc("x")
+        assert result.bounds(x) == (None, None)
+        assert result.bounds(y) == (0, 2)
+
+    def test_rename(self):
+        renamed = box(0, 1, 0, 1).rename({"x": "a"})
+        assert renamed.variables == ("a", "y")
+
+    def test_minimized_removes_redundant(self):
+        redundant = Polyhedron(["x"], [x <= 1, x <= 2, x <= 3])
+        assert len(redundant.minimized().constraints) == 1
+
+    def test_bounds_unbounded(self):
+        assert Polyhedron(["x"], [x >= 0]).bounds(x) == (0, None)
+
+    def test_constraint_vectors_convention(self):
+        poly = Polyhedron(["x"], [x <= 7])
+        ((normal, bound),) = poly.constraint_vectors()
+        # a·x ≥ b with a = -1, b = -7 encodes x ≤ 7.
+        assert normal.coefficient("x") == -1
+        assert bound == -7
+
+
+bounds_strategy = st.integers(min_value=-5, max_value=5)
+
+
+class TestHypothesis:
+    @given(bounds_strategy, bounds_strategy, bounds_strategy, bounds_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_join_upper_bounds_both(self, a, b, c, d):
+        first = Polyhedron(["x"], [x >= min(a, b), x <= max(a, b)])
+        second = Polyhedron(["x"], [x >= min(c, d), x <= max(c, d)])
+        hull = first.join(second)
+        assert hull.includes(first)
+        assert hull.includes(second)
+
+    @given(bounds_strategy, bounds_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_widen_upper_bounds_arguments(self, a, b):
+        first = Polyhedron(["x"], [x >= 0, x <= max(a, 0)])
+        second = Polyhedron(["x"], [x >= 0, x <= max(b, 0)])
+        widened = first.widen(second)
+        assert widened.includes(first)
+        assert widened.includes(second)

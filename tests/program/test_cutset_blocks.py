@@ -1,0 +1,94 @@
+"""Tests for cut-set computation and the large-block encoding."""
+
+import pytest
+
+from repro.linexpr.expr import var
+from repro.linexpr.transform import prime_suffix
+from repro.program.builder import AutomatonBuilder
+from repro.program.cutset import compute_cutset, is_cutset
+from repro.program.large_block import large_block_encoding
+from repro.smt.solver import SmtSolver
+
+x, y = var("x"), var("y")
+
+
+def nested_loops():
+    builder = AutomatonBuilder(["i", "j"], initial="start")
+    i, j = var("i"), var("j")
+    builder.transition("start", "outer", updates={"i": 0})
+    builder.transition("outer", "inner", guard=[i <= 9], updates={"j": 0})
+    builder.transition("inner", "inner", guard=[j <= 9], updates={"j": j + 1})
+    builder.transition("inner", "outer", guard=[j >= 10], updates={"i": i + 1})
+    return builder.build()
+
+
+def diamond_loop():
+    """A loop whose body has two paths through a diamond."""
+    builder = AutomatonBuilder(["x"], initial="head")
+    builder.transition("head", "left", guard=[x >= 1])
+    builder.transition("head", "right", guard=[x >= 1])
+    builder.transition("left", "head", updates={"x": x - 1})
+    builder.transition("right", "head", updates={"x": x - 2})
+    return builder.build()
+
+
+class TestCutset:
+    def test_loop_headers_found(self):
+        cutset = compute_cutset(nested_loops())
+        assert set(cutset) == {"outer", "inner"}
+
+    def test_is_cutset(self):
+        cfa = nested_loops()
+        assert is_cutset(cfa, ["outer", "inner"])
+        assert not is_cutset(cfa, ["outer"])
+
+    def test_acyclic_graph_has_empty_cutset(self):
+        builder = AutomatonBuilder(["x"], initial="a")
+        builder.transition("a", "b")
+        builder.transition("b", "c")
+        assert compute_cutset(builder.build()) == []
+
+    def test_self_loop(self):
+        builder = AutomatonBuilder(["x"], initial="a")
+        builder.transition("a", "a", guard=[x >= 0], updates={"x": x - 1})
+        assert compute_cutset(builder.build()) == ["a"]
+
+
+class TestLargeBlocks:
+    def test_diamond_becomes_one_block_with_two_paths(self):
+        cfa = diamond_loop()
+        blocks = large_block_encoding(cfa, ["head"])
+        assert len(blocks) == 1
+        assert blocks[0].path_count == 2
+
+    def test_block_relation_is_correct(self):
+        cfa = diamond_loop()
+        (block,) = large_block_encoding(cfa, ["head"])
+        solver = SmtSolver()
+        solver.assert_formula(block.formula)
+        solver.assert_formula(var("x").eq(5))
+        solver.assert_formula(var(prime_suffix("x")).eq(4))
+        assert solver.check().is_sat
+        # x' = 5 is not reachable in one body execution from x = 5.
+        solver2 = SmtSolver()
+        solver2.assert_formula(block.formula)
+        solver2.assert_formula(var("x").eq(5))
+        solver2.assert_formula(var(prime_suffix("x")).eq(5))
+        assert solver2.check().is_unsat
+
+    def test_guard_excludes_models(self):
+        cfa = diamond_loop()
+        (block,) = large_block_encoding(cfa, ["head"])
+        solver = SmtSolver()
+        solver.assert_formula(block.formula)
+        solver.assert_formula(var("x").eq(0))
+        assert solver.check().is_unsat
+
+    def test_nested_loop_block_structure(self):
+        cfa = nested_loops()
+        blocks = large_block_encoding(cfa)
+        pairs = {(block.source, block.target) for block in blocks}
+        assert ("inner", "inner") in pairs
+        assert ("outer", "inner") in pairs
+        assert ("inner", "outer") in pairs
+        assert ("outer", "outer") not in pairs

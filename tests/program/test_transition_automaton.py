@@ -1,0 +1,96 @@
+"""Tests for transitions and control-flow automata."""
+
+import pytest
+
+from repro.linexpr.expr import var
+from repro.linexpr.formula import Or
+from repro.linexpr.transform import formula_variables
+from repro.program.automaton import ControlFlowAutomaton
+from repro.program.builder import AutomatonBuilder, simple_loop
+from repro.program.transition import Transition, fresh_variable
+from repro.smt.solver import SmtSolver
+
+x, y = var("x"), var("y")
+
+
+class TestTransitionRelation:
+    def test_identity_for_unassigned(self):
+        transition = Transition("a", "b", guard=x >= 0, updates={"x": x - 1})
+        relation = transition.relation(["x", "y"])
+        solver = SmtSolver()
+        solver.assert_formula(relation)
+        solver.assert_formula(var("x").eq(5))
+        model = solver.check().model
+        assert model["x'"] == 4
+        assert model["y'"] == model["y"]
+
+    def test_havoc_unconstrained(self):
+        transition = Transition("a", "b", updates={"x": None})
+        relation = transition.relation(["x"])
+        solver = SmtSolver()
+        solver.assert_formula(relation)
+        solver.assert_formula(var("x").eq(0))
+        solver.assert_formula(var("x'").eq(1000))
+        assert solver.check().is_sat
+
+    def test_auxiliary_variables_freshened(self):
+        transition = Transition("a", "b", guard=var("aux") >= 0, updates={"x": var("aux")})
+        first = transition.relation(["x"])
+        second = transition.relation(["x"])
+        assert formula_variables(first) != formula_variables(second)
+
+    def test_guard_constraints_conjunction(self):
+        transition = Transition("a", "b", guard=(x >= 0) & (y <= 2))
+        assert len(transition.guard_constraints()) == 2
+
+    def test_guard_constraints_disjunction_is_none(self):
+        transition = Transition("a", "b", guard=Or([x >= 0, y <= 2]))
+        assert transition.guard_constraints() is None
+
+    def test_fresh_variable_unique(self):
+        assert fresh_variable("v") != fresh_variable("v")
+
+
+class TestAutomaton:
+    def build(self):
+        builder = AutomatonBuilder(["x"], initial="a")
+        builder.transition("a", "b", guard=[x >= 0])
+        builder.transition("b", "a", updates={"x": x - 1})
+        builder.transition("b", "c")
+        return builder.build()
+
+    def test_structure(self):
+        cfa = self.build()
+        assert cfa.locations == {"a", "b", "c"}
+        assert cfa.successors("b") == ["a", "c"]
+        assert cfa.predecessors("a") == ["b"]
+
+    def test_reachability_and_cycles(self):
+        cfa = self.build()
+        assert cfa.reachable_locations() == {"a", "b", "c"}
+        assert cfa.has_cycle()
+
+    def test_statistics(self):
+        stats = self.build().statistics()
+        assert stats == {"locations": 3, "transitions": 3, "variables": 1}
+
+    def test_unknown_update_variable_rejected(self):
+        cfa = ControlFlowAutomaton(["x"], "a")
+        with pytest.raises(ValueError):
+            cfa.add_transition(Transition("a", "a", updates={"z": x}))
+
+    def test_simple_loop_helper(self):
+        cfa = simple_loop(
+            ["x"],
+            [
+                {"guard": [x >= 1], "updates": {"x": x - 1}, "name": "dec"},
+            ],
+        )
+        assert cfa.locations == {"loop"}
+        assert len(cfa.transitions) == 1
+        assert cfa.integer_variables == {"x"}
+
+    def test_integer_constant_update_coerced(self):
+        builder = AutomatonBuilder(["x"], initial="a")
+        transition = builder.transition("a", "a", updates={"x": 7})
+        assert transition.updates["x"].constant_term == 7

@@ -1,0 +1,114 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SatSolver
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1] for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def make_solver(num_vars, clauses):
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_variable()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    return solver, ok
+
+
+class TestBasics:
+    def test_single_unit(self):
+        solver, _ = make_solver(1, [[1]])
+        assert solver.solve() == {1: True}
+
+    def test_contradiction(self):
+        solver, ok = make_solver(1, [[1], [-1]])
+        assert not ok or solver.solve() is None
+
+    def test_empty_clause_rejected(self):
+        solver, ok = make_solver(1, [[]])
+        assert not ok
+
+    def test_zero_literal_rejected(self):
+        solver = SatSolver()
+        solver.new_variable()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_tautology_ignored(self):
+        solver, ok = make_solver(1, [[1, -1]])
+        assert ok and solver.solve() is not None
+
+    def test_implication_chain(self):
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        solver, _ = make_solver(4, clauses)
+        model = solver.solve()
+        assert model == {1: True, 2: True, 3: True, 4: True}
+
+    def test_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: unsatisfiable.
+        clauses = [[1], [2], [-1, -2]]
+        solver, ok = make_solver(2, clauses)
+        assert not ok or solver.solve() is None
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        solver, _ = make_solver(3, clauses)
+        model = solver.solve()
+        assert model is not None
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_assumptions_conflict(self):
+        solver, _ = make_solver(2, [[1, 2]])
+        assert solver.solve(assumptions=[-1, -2]) is None
+        assert solver.solve() is not None
+
+    def test_incremental_clause_addition(self):
+        solver, _ = make_solver(2, [[1, 2]])
+        assert solver.solve() is not None
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+
+clause_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestAgainstBruteForce:
+    @given(clause_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_truth_table(self, clauses):
+        solver, ok = make_solver(5, clauses)
+        expected = brute_force(5, clauses)
+        if not ok:
+            assert not expected
+            return
+        model = solver.solve()
+        assert (model is not None) == expected
+        if model is not None:
+            for clause in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
