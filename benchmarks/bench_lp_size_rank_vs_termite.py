@@ -6,7 +6,6 @@ of magnitude smaller.  The benchmark measures both constructions on the
 same problems and asserts the ordering (eager ≫ lazy).
 """
 
-import pytest
 
 from repro.baselines import eager_farkas_lexicographic
 from repro.benchsuite import get_suite

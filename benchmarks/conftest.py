@@ -8,7 +8,6 @@ produced by ``python benchmarks/table1.py``.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.benchsuite import get_suite
 from repro.reporting import format_table, run_suite

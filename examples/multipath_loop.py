@@ -12,7 +12,6 @@ Run with ``python examples/multipath_loop.py``.
 """
 
 from repro import compile_program, prove_termination
-from repro.core import TerminationProver
 from repro.program import compute_cutset, large_block_encoding
 
 LISTING1 = """

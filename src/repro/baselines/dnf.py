@@ -14,7 +14,7 @@ space, so no quantifier elimination is required.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from repro.core.problem import TerminationProblem
 from repro.linexpr.constraint import Constraint

@@ -28,13 +28,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.baselines.dnf import TransitionDisjunct, expand_disjuncts
 from repro.baselines.result import BaselineResult
 from repro.core.lp_instance import LpStatistics
-from repro.core.problem import ONE_COORDINATE, TerminationProblem
+from repro.core.problem import TerminationProblem
 from repro.core.ranking import (
     AffineRankingFunction,
     LexicographicRankingFunction,
 )
 from repro.linalg.vector import Vector
-from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.constraint import Constraint
 from repro.linexpr.expr import LinExpr
 from repro.linexpr.transform import prime_suffix
 from repro.lp.problem import LinearProgram, LpStatus, Sense

@@ -17,7 +17,7 @@ counterexamples it actually needs.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.baselines.dnf import TransitionDisjunct, expand_disjuncts
 from repro.baselines.result import BaselineResult
@@ -47,7 +47,6 @@ def _difference_map(
     for location in problem.cutset:
         for coordinate in problem.space_variables:
             entries = [0] * len(variables)
-            constant = 0
             if coordinate == ONE_COORDINATE:
                 rows.append(Vector(entries))
                 continue

@@ -22,7 +22,6 @@ from typing import List, Sequence
 
 from repro.core.problem import TerminationProblem
 from repro.core.ranking import LexicographicRankingFunction
-from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
 from repro.linexpr.formula import Formula, conjunction, disjunction
 from repro.linexpr.transform import prime_suffix

@@ -13,13 +13,11 @@ validate the implementation against Propositions 1–4:
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import List, Sequence
 
 from repro.linalg.vector import Vector
 from repro.linexpr.expr import LinExpr
-from repro.lp.problem import Sense
-from repro.lp.simplex import check_feasibility, solve_lp
+from repro.lp.simplex import check_feasibility
 
 
 def in_constraint_cone(candidate: Vector, generators: Sequence[Vector]) -> bool:

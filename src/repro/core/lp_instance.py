@@ -16,30 +16,52 @@ yields a quasi ranking function of maximal termination power
 The instance grows by **one row per counterexample** — this is the number
 reported as "lines" in Table 1 of the paper, and the reason the lazy
 approach beats the eager Farkas constructions by orders of magnitude.
+
+Because the instance only ever *grows*, the default solving mode keeps a
+persistent :class:`~repro.lp.simplex.SimplexState` alive across the
+counterexample loop: each new generator appends one row (plus its δ
+column) to the already-solved tableau and re-solves with a handful of
+dual/primal pivots instead of a cold two-phase solve.  Three modes exist:
+
+* ``"incremental"`` (default) — warm-started persistent LP;
+* ``"cold"`` — rebuild and re-solve from scratch every iteration (the
+  seed behaviour, kept for the warm-vs-cold ablation);
+* ``"audit"`` — warm-start *and* shadow-solve cold, asserting that both
+  reach the same optimum; the measured pivot difference feeds the
+  ``pivots_saved`` counter.  This is the mode the regression tests run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.problem import TerminationProblem
 from repro.core.ranking import AffineRankingFunction
 from repro.linalg.vector import Vector
 from repro.linexpr.expr import LinExpr
-from repro.lp.problem import LinearProgram, LpStatus, Sense
+from repro.lp.problem import LinearProgram, LpResult, LpStatus, Sense
+from repro.lp.simplex import SimplexState
+
+#: Valid values for the ``mode`` argument of :class:`RankingLp` (and the
+#: ``lp_mode`` argument threaded down from the provers).
+LP_MODES = ("incremental", "cold", "audit")
 
 
 @dataclass
 class LpStatistics:
-    """Sizes of the LP instances solved during one synthesis run."""
+    """Sizes and solve costs of the LP instances of one synthesis run."""
 
     instances: int = 0
     total_rows: int = 0
     total_cols: int = 0
     max_rows: int = 0
     max_cols: int = 0
+    pivots: int = 0
+    warm_solves: int = 0
+    cold_solves: int = 0
+    pivots_saved: int = 0
 
     def record(self, rows: int, cols: int) -> None:
         self.instances += 1
@@ -47,6 +69,14 @@ class LpStatistics:
         self.total_cols += cols
         self.max_rows = max(self.max_rows, rows)
         self.max_cols = max(self.max_cols, cols)
+
+    def record_solve(self, pivots: int, warm: bool) -> None:
+        """Account one simplex solve (its pivots, and warm vs cold)."""
+        self.pivots += pivots
+        if warm:
+            self.warm_solves += 1
+        else:
+            self.cold_solves += 1
 
     @property
     def average_rows(self) -> float:
@@ -62,6 +92,10 @@ class LpStatistics:
         self.total_cols += other.total_cols
         self.max_rows = max(self.max_rows, other.max_rows)
         self.max_cols = max(self.max_cols, other.max_cols)
+        self.pivots += other.pivots
+        self.warm_solves += other.warm_solves
+        self.cold_solves += other.cold_solves
+        self.pivots_saved += other.pivots_saved
 
 
 @dataclass
@@ -82,12 +116,25 @@ class RankingLpSolution:
 class RankingLp:
     """Builder/solver for the incremental constraint system of Algorithm 1."""
 
-    def __init__(self, problem: TerminationProblem, statistics: Optional[LpStatistics] = None):
+    def __init__(
+        self,
+        problem: TerminationProblem,
+        statistics: Optional[LpStatistics] = None,
+        mode: str = "incremental",
+    ):
+        if mode not in LP_MODES:
+            raise ValueError(
+                "unknown LP mode %r (available: %s)" % (mode, ", ".join(LP_MODES))
+            )
         self.problem = problem
+        self.mode = mode
         self.rows = problem.invariant_rows()
         self.stacked_rows = [problem.stacked_row(row) for row in self.rows]
         self.counterexamples: List[Vector] = []
         self.statistics = statistics if statistics is not None else LpStatistics()
+        self._state: Optional[SimplexState] = None
+        self._synced = 0  # counterexamples already pushed into the state
+        self._objective = LinExpr()
 
     # -- construction ----------------------------------------------------------------
 
@@ -106,41 +153,32 @@ class RankingLp:
     def _delta_name(self, index: int) -> str:
         return "delta_%d" % index
 
+    def _generator_row(self, j: int) -> LinExpr:
+        """``Σ_i γ_i (v_j · stacked_i) − δ_j`` (constrained ``≥ 0``)."""
+        generator = self.counterexamples[j]
+        combination = LinExpr()
+        for i, stacked in enumerate(self.stacked_rows):
+            coefficient = generator.dot(stacked)
+            if coefficient != 0:
+                combination = combination + LinExpr(
+                    {self._gamma_name(i): coefficient}
+                )
+        return combination - LinExpr.variable(self._delta_name(j))
+
     def solve(self) -> RankingLpSolution:
         """Solve the current instance (it is always feasible, Proposition 5)."""
-        program = LinearProgram(Sense.MAXIMIZE)
-        objective = LinExpr()
-        for j in range(len(self.counterexamples)):
-            objective = objective + LinExpr.variable(self._delta_name(j))
-        program.objective = objective
-
-        for i in range(len(self.rows)):
-            program.declare(self._gamma_name(i))
-            program.add_constraint(LinExpr.variable(self._gamma_name(i)) >= 0)
-        for j in range(len(self.counterexamples)):
-            program.declare(self._delta_name(j))
-            program.add_constraint(LinExpr.variable(self._delta_name(j)) >= 0)
-            program.add_constraint(LinExpr.variable(self._delta_name(j)) <= 1)
-
-        for j, generator in enumerate(self.counterexamples):
-            combination = LinExpr()
-            for i, stacked in enumerate(self.stacked_rows):
-                coefficient = generator.dot(stacked)
-                if coefficient != 0:
-                    combination = combination + LinExpr(
-                        {self._gamma_name(i): coefficient}
-                    )
-            program.add_constraint(
-                combination - LinExpr.variable(self._delta_name(j)) >= 0
-            )
-
         # Table-1 statistics: one row per counterexample, one column block
         # for the γ's plus one δ per counterexample.
         rows = len(self.counterexamples)
         cols = len(self.rows) + len(self.counterexamples)
         self.statistics.record(rows, cols)
 
-        outcome = program.solve()
+        if self.mode == "cold":
+            outcome = self._solve_cold()
+        else:
+            outcome = self._solve_incremental()
+            if self.mode == "audit":
+                self._audit_against_cold(outcome)
         if outcome.status is not LpStatus.OPTIMAL:
             raise RuntimeError(
                 "LP(V, Constraints(I)) must be feasible and bounded, got %s"
@@ -165,6 +203,86 @@ class RankingLp:
             rows=rows,
             cols=cols,
         )
+
+    # -- the three solving strategies -------------------------------------------------
+
+    def _solve_incremental(self) -> LpResult:
+        """Push new counterexamples into the persistent LP and re-solve.
+
+        γ's and δ's are declared nonnegative (single standard-form columns)
+        so the explicit ``γ ≥ 0`` / ``δ ≥ 0`` rows of the textbook
+        formulation disappear into the column bounds; each counterexample
+        contributes its ``δ_j ≤ 1`` bound and its generator row.
+        """
+        if self._state is None:
+            self._state = SimplexState(Sense.MAXIMIZE)
+            for i in range(len(self.rows)):
+                self._state.declare(self._gamma_name(i), nonnegative=True)
+        state = self._state
+        for j in range(self._synced, len(self.counterexamples)):
+            delta = self._delta_name(j)
+            state.declare(delta, nonnegative=True)
+            state.add_constraint(LinExpr.variable(delta) <= 1)
+            state.add_constraint(self._generator_row(j) >= 0)
+            self._objective = self._objective + LinExpr.variable(delta)
+        self._synced = len(self.counterexamples)
+        state.set_objective(self._objective)
+        outcome = state.solve()
+        self.statistics.record_solve(outcome.pivots, warm=state.last_solve_warm)
+        return outcome
+
+    def _build_cold_program(self) -> LinearProgram:
+        """The textbook formulation rebuilt from scratch (seed behaviour)."""
+        program = LinearProgram(Sense.MAXIMIZE)
+        objective = LinExpr()
+        for j in range(len(self.counterexamples)):
+            objective = objective + LinExpr.variable(self._delta_name(j))
+        program.objective = objective
+
+        for i in range(len(self.rows)):
+            program.declare(self._gamma_name(i))
+            program.add_constraint(LinExpr.variable(self._gamma_name(i)) >= 0)
+        for j in range(len(self.counterexamples)):
+            program.declare(self._delta_name(j))
+            program.add_constraint(LinExpr.variable(self._delta_name(j)) >= 0)
+            program.add_constraint(LinExpr.variable(self._delta_name(j)) <= 1)
+        for j in range(len(self.counterexamples)):
+            program.add_constraint(self._generator_row(j) >= 0)
+        return program
+
+    def _solve_cold(self) -> LpResult:
+        outcome = self._build_cold_program().solve()
+        self.statistics.record_solve(outcome.pivots, warm=False)
+        return outcome
+
+    def _audit_against_cold(self, warm_outcome: LpResult) -> None:
+        """Shadow-solve from scratch and check the warm optimum against it.
+
+        Both formulations describe the same polytope, so the *optimal
+        value* must agree exactly (Fraction equality, no tolerance); the
+        warm assignment must also be a feasible point of the cold program
+        achieving that value.  The measured pivot difference is the saving
+        the warm start bought on this instance.
+        """
+        program = self._build_cold_program()
+        cold_outcome = program.solve()
+        if cold_outcome.status is not warm_outcome.status:
+            raise RuntimeError(
+                "warm/cold status mismatch: %s vs %s"
+                % (warm_outcome.status, cold_outcome.status)
+            )
+        if warm_outcome.status is LpStatus.OPTIMAL:
+            if cold_outcome.objective != warm_outcome.objective:
+                raise RuntimeError(
+                    "warm/cold optimum mismatch: %s vs %s"
+                    % (warm_outcome.objective, cold_outcome.objective)
+                )
+            for constraint in program.constraints:
+                if not constraint.satisfied_by(warm_outcome.assignment):
+                    raise RuntimeError(
+                        "warm optimum violates cold constraint %s" % constraint
+                    )
+        self.statistics.pivots_saved += cold_outcome.pivots - warm_outcome.pivots
 
     def _ranking_from_gammas(self, gammas: Sequence[Fraction]) -> AffineRankingFunction:
         """``λ_k = Σ_i γ_{k,i} a_i^k`` over the homogenised space.

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.lp_instance import LpStatistics, RankingLp
 from repro.core.problem import TerminationProblem
@@ -37,12 +37,18 @@ from repro.smt.optimize import OptimizingSmtSolver, SearchMode
 
 @dataclass
 class MonodimStatistics:
-    """Counters for one run of the mono-dimensional loop."""
+    """Counters for one run of the mono-dimensional loop.
+
+    ``lp`` carries this component's own LP solve costs (pivots, warm vs
+    cold solves) so the evaluation harness can report how much of the
+    counterexample loop the warm-started incremental LP saved.
+    """
 
     iterations: int = 0
     counterexamples: int = 0
     rays: int = 0
     flat_directions: int = 0
+    lp: LpStatistics = field(default_factory=LpStatistics)
 
 
 @dataclass
@@ -75,6 +81,7 @@ def synthesize_monodim(
     integer_mode: bool = False,
     max_iterations: int = 200,
     lp_statistics: Optional[LpStatistics] = None,
+    lp_mode: str = "incremental",
 ) -> MonodimResult:
     """Run Algorithm 1 (single cut point) / Algorithm 3 (general case).
 
@@ -83,15 +90,62 @@ def synthesize_monodim(
     lexicographic components here.  With ``integer_mode`` the SMT queries
     treat the program variables as integers (more precise, slower);
     otherwise the rational relaxation is used, which is always sound.
+    ``lp_mode`` selects how ``LP(V, Constraints(I))`` is re-solved as
+    counterexamples accumulate (see :data:`repro.core.lp_instance.LP_MODES`);
+    the default keeps one warm-started LP alive for the whole loop.
     """
     statistics = MonodimStatistics()
-    ranking_lp = RankingLp(problem, lp_statistics)
+    ranking_lp = RankingLp(problem, statistics.lp, mode=lp_mode)
     transition_formula = problem.transition_formula()
-    difference_names = problem.difference_variables()
-    dimension = problem.stacked_dimension
-
     flat_basis: List[Vector] = []
-    current = problem.zero_ranking()
+
+    try:
+        current, deltas = _counterexample_loop(
+            problem,
+            ranking_lp,
+            statistics,
+            transition_formula,
+            extra_constraints,
+            flat_basis,
+            problem.zero_ranking(),
+            integer_mode,
+            smt_mode,
+            max_iterations,
+        )
+    finally:
+        # Merge even when the iteration budget blows: the caller's shared
+        # statistics must reflect the LP work actually performed.
+        if lp_statistics is not None:
+            lp_statistics.merge(statistics.lp)
+
+    strict = bool(deltas) and all(value == 1 for value in deltas)
+    if strict:
+        strict = not _has_stuttering_step(
+            problem, transition_formula, extra_constraints, integer_mode
+        )
+    current.strict = strict
+    return MonodimResult(
+        ranking=current,
+        strict=strict,
+        flat_basis=flat_basis,
+        statistics=statistics,
+    )
+
+
+def _counterexample_loop(
+    problem: TerminationProblem,
+    ranking_lp: RankingLp,
+    statistics: MonodimStatistics,
+    transition_formula: Formula,
+    extra_constraints: Sequence[Constraint],
+    flat_basis: List[Vector],
+    current,
+    integer_mode: bool,
+    smt_mode: str | SearchMode,
+    max_iterations: int,
+):
+    """The alternation of Algorithm 1: SMT counterexample, then LP."""
+    difference_names = problem.difference_variables()
     deltas: List[Fraction] = []
     finished = False
 
@@ -146,18 +200,7 @@ def synthesize_monodim(
                 flat_basis.append(witness)
                 statistics.flat_directions += 1
 
-    strict = bool(deltas) and all(value == 1 for value in deltas)
-    if strict:
-        strict = not _has_stuttering_step(
-            problem, transition_formula, extra_constraints, integer_mode
-        )
-    current.strict = strict
-    return MonodimResult(
-        ranking=current,
-        strict=strict,
-        flat_basis=flat_basis,
-        statistics=statistics,
-    )
+    return current, deltas
 
 
 # ---------------------------------------------------------------------------

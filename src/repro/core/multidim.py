@@ -12,7 +12,7 @@ function exists relative to the invariant — Theorem 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.lp_instance import LpStatistics
 from repro.core.monodim import MonodimResult, synthesize_monodim
@@ -21,7 +21,6 @@ from repro.core.ranking import LexicographicRankingFunction
 from repro.linalg.matrix import in_span
 from repro.linalg.vector import Vector
 from repro.linexpr.constraint import Constraint, Relation
-from repro.linexpr.expr import LinExpr
 from repro.smt.optimize import SearchMode
 
 
@@ -45,12 +44,15 @@ def synthesize_multidim(
     max_dimension: Optional[int] = None,
     max_iterations: int = 200,
     lp_statistics: Optional[LpStatistics] = None,
+    lp_mode: str = "incremental",
 ) -> MultidimResult:
     """Run Algorithm 2 on *problem*.
 
     Returns a strict lexicographic linear ranking function iff one exists
     relative to the given invariants (Theorem 1); the returned function has
-    minimal dimension.
+    minimal dimension.  Each dimension owns one persistent incremental LP
+    (``lp_mode``, see :data:`repro.core.lp_instance.LP_MODES`) that grows
+    row by row as its counterexample loop runs.
     """
     if max_dimension is None:
         max_dimension = problem.stacked_dimension
@@ -68,6 +70,7 @@ def synthesize_multidim(
             integer_mode=integer_mode,
             max_iterations=max_iterations,
             lp_statistics=lp_statistics,
+            lp_mode=lp_mode,
         )
         components.append(result)
         vector = result.ranking.stacked_vector(problem.cutset)

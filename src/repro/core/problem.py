@@ -27,7 +27,6 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.core.ranking import AffineRankingFunction
 from repro.invariants.invariant_map import InvariantMap
 from repro.linalg.vector import Vector
-from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
 from repro.linexpr.formula import Formula, conjunction, disjunction
 from repro.linexpr.transform import prime_suffix

@@ -23,7 +23,7 @@ steps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import List, Sequence, Set
 
 from repro.invariants.invariant_map import InvariantMap
 from repro.linexpr.constraint import Constraint

@@ -16,11 +16,10 @@ additional guard.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.linexpr.constraint import Constraint
 from repro.linexpr.formula import Formula, conjunction
-from repro.linexpr.transform import rename_formula
 from repro.program.automaton import ControlFlowAutomaton
 from repro.program.transition import Transition
 

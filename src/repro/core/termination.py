@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.certificate import check_certificate
 from repro.core.lp_instance import LpStatistics
 from repro.core.monodim import MaxIterationsExceeded
-from repro.core.multidim import MultidimResult, synthesize_multidim
+from repro.core.multidim import synthesize_multidim
 from repro.core.problem import TerminationProblem
 from repro.core.ranking import LexicographicRankingFunction
 from repro.core.relevance import restrict_to_guarded_states
@@ -77,6 +77,7 @@ class TerminationProver:
         check_certificates: bool = True,
         restrict_to_guarded: bool = True,
         max_iterations: int = 200,
+        lp_mode: str = "incremental",
     ):
         self.automaton = automaton
         self.smt_mode = smt_mode
@@ -84,6 +85,7 @@ class TerminationProver:
         self.check_certificates = check_certificates
         self.restrict_to_guarded = restrict_to_guarded
         self.max_iterations = max_iterations
+        self.lp_mode = lp_mode
         self._domain = domain
         self._given_invariants = invariants
         self._given_cutset = list(cutset) if cutset is not None else None
@@ -137,6 +139,7 @@ class TerminationProver:
                 integer_mode=self.integer_mode,
                 max_iterations=self.max_iterations,
                 lp_statistics=lp_statistics,
+                lp_mode=self.lp_mode,
             )
         except MaxIterationsExceeded as error:
             elapsed = time.perf_counter() - start

@@ -16,10 +16,8 @@ from repro.frontend.ast import (
     Assign,
     Assume,
     Block,
-    Condition,
     Havoc,
     IfThenElse,
-    NONDET_CONDITION,
     Program,
     Skip,
     Statement,

@@ -8,7 +8,7 @@ return new abstract values, never mutate.
 from __future__ import annotations
 
 import abc
-from typing import Generic, List, Optional, Sequence, TypeVar
+from typing import Generic, Sequence, TypeVar
 
 from repro.linexpr.constraint import Constraint
 from repro.linexpr.expr import LinExpr

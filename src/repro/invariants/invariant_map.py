@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Sequence
+from typing import Dict, Iterator, Mapping, Sequence
 
 from repro.linexpr.constraint import Constraint
 from repro.linexpr.formula import Formula, conjunction

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.invariants.domain import AbstractDomain
-from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.constraint import Constraint
 from repro.linexpr.expr import LinExpr
 from repro.polyhedra.polyhedron import Polyhedron
 

@@ -15,7 +15,7 @@ from repro.lp.problem import (
     LpStatus,
     Sense,
 )
-from repro.lp.simplex import solve_lp
+from repro.lp.simplex import SimplexState, solve_lp
 from repro.lp.branch_bound import solve_ilp
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "LpResult",
     "LpStatus",
     "Sense",
+    "SimplexState",
     "solve_lp",
     "solve_ilp",
 ]

@@ -15,7 +15,7 @@ transition systems in the benchmark suites stay far below it).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from repro.linexpr.constraint import Constraint
 from repro.linexpr.expr import LinExpr

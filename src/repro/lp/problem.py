@@ -40,12 +40,15 @@ class LpResult:
     ``assignment`` is a total map over the program's variables when the
     status is OPTIMAL (and a feasible starting point when UNBOUNDED);
     ``ray`` is a direction of unbounded improvement when UNBOUNDED.
+    ``pivots`` counts the simplex pivots the solve performed — the cost
+    metric the warm-start machinery of :mod:`repro.lp.simplex` reduces.
     """
 
     status: LpStatus
     assignment: Dict[str, Fraction] = field(default_factory=dict)
     objective: Optional[Fraction] = None
     ray: Dict[str, Fraction] = field(default_factory=dict)
+    pivots: int = 0
 
     @property
     def is_optimal(self) -> bool:

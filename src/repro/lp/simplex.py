@@ -1,4 +1,4 @@
-"""Two-phase primal simplex over exact rationals.
+"""Two-phase primal simplex over exact rationals, with warm restarts.
 
 The implementation favours clarity and exactness over raw speed: every
 pivot is performed with :class:`fractions.Fraction`, Bland's anti-cycling
@@ -8,25 +8,74 @@ with certificates (a feasible point and an improving ray respectively).
 The LPs produced by the ranking-function synthesiser are tiny (the whole
 point of the paper is that the lazy construction keeps them at a handful of
 rows and columns), so a dense tableau is entirely adequate.
+
+Two entry points are provided:
+
+* :func:`solve_lp` — the one-shot solver (build, two-phase, extract);
+* :class:`SimplexState` — a *persistent* LP that keeps the tableau and the
+  optimal basis alive between solves.  Adding a constraint re-solves with
+  dual-simplex pivots from the previous optimal basis, and changing the
+  objective re-prices and re-optimises with primal pivots; both are far
+  cheaper than a cold two-phase solve.  This is the engine behind the
+  incremental ``LP(V, Constraints(I))`` of the counterexample loop, where
+  every iteration appends one generator row to an already-solved instance.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
 from repro.lp.problem import LpResult, LpStatus, Sense
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def _spread_terms(
+    terms: Dict[str, Fraction],
+    plus_index: Dict[str, int],
+    minus_index: Dict[str, int],
+    target: List[Fraction],
+) -> None:
+    """Add a LinExpr's coefficients into standard-form columns.
+
+    The single place that knows the column convention: every variable has
+    a ``+`` column, and free (split) variables additionally have a ``-``
+    column carrying the negated coefficient.  Both the cold
+    (:class:`_StandardForm`) and warm (:class:`SimplexState`) paths build
+    rows and cost vectors through this helper so they cannot diverge.
+    """
+    for name, value in terms.items():
+        target[plus_index[name]] += value
+        if name in minus_index:
+            target[minus_index[name]] -= value
+
+
+def _column_value(
+    name: str,
+    plus_index: Dict[str, int],
+    minus_index: Dict[str, int],
+    values: Sequence[Fraction],
+) -> Fraction:
+    """Recover an original variable's value from its column(s)."""
+    value = values[plus_index[name]]
+    if name in minus_index:
+        value -= values[minus_index[name]]
+    return value
 
 
 class _StandardForm:
     """The LP rewritten as ``min c·y  s.t.  A y = b, y ≥ 0, b ≥ 0``.
 
     Free original variables are split into a positive and a negative part;
-    slack variables turn inequalities into equations.  The mapping back to
-    the original variables is kept so that solutions and rays can be
-    reported in user terms.
+    variables listed in *nonnegative* are known to satisfy ``x ≥ 0`` and get
+    a single column (this keeps the incremental ranking LPs at one column
+    per γ/δ instead of two).  Slack variables turn inequalities into
+    equations.  The mapping back to the original variables is kept so that
+    solutions and rays can be reported in user terms.
     """
 
     def __init__(
@@ -34,17 +83,21 @@ class _StandardForm:
         objective: LinExpr,
         constraints: Sequence[Constraint],
         variables: Sequence[str],
+        nonnegative: FrozenSet[str] = frozenset(),
     ):
         self.original_variables = list(variables)
-        # Column layout: for every original variable two columns (x+, x-),
-        # then one slack column per inequality row.
+        # Column layout: for every original variable two columns (x+, x-)
+        # — or a single column when it is known nonnegative — then one
+        # slack column per inequality row.
         self.plus_index: Dict[str, int] = {}
         self.minus_index: Dict[str, int] = {}
         column = 0
         for name in self.original_variables:
             self.plus_index[name] = column
-            self.minus_index[name] = column + 1
-            column += 2
+            column += 1
+            if name not in nonnegative:
+                self.minus_index[name] = column
+                column += 1
         self.num_structural = column
 
         rows: List[List[Fraction]] = []
@@ -53,14 +106,14 @@ class _StandardForm:
         for constraint in constraints:
             if constraint.relation is Relation.LT:
                 raise ValueError("strict inequalities are not LP constraints")
-            coefficients = [Fraction(0)] * self.num_structural
-            for name, value in constraint.expr.terms.items():
+            terms = constraint.expr.terms
+            for name in terms:
                 if name not in self.plus_index:
                     raise ValueError(
                         "constraint mentions undeclared variable %r" % name
                     )
-                coefficients[self.plus_index[name]] += value
-                coefficients[self.minus_index[name]] -= value
+            coefficients = [_ZERO] * self.num_structural
+            _spread_terms(terms, self.plus_index, self.minus_index, coefficients)
             bound = -constraint.expr.constant_term
             rows.append(coefficients)
             rhs.append(bound)
@@ -79,11 +132,11 @@ class _StandardForm:
         self.rhs: List[Fraction] = []
         self.basis_candidate: List[Optional[int]] = []
         for constraint, row, bound in zip(constraints, rows, rhs):
-            full_row = row + [Fraction(0)] * slack_count
+            full_row = row + [_ZERO] * slack_count
             slack_column = None
             if constraint.relation is Relation.LE:
                 slack_column = self.num_structural + slack_position
-                full_row[slack_column] = Fraction(1)
+                full_row[slack_column] = _ONE
                 slack_position += 1
             if bound < 0:
                 full_row = [-value for value in full_row]
@@ -94,26 +147,21 @@ class _StandardForm:
             self.basis_candidate.append(slack_column)
 
         # Objective over the standard columns (constant handled separately).
-        self.cost = [Fraction(0)] * self.num_columns
-        for name, value in objective.terms.items():
+        for name in objective.terms:
             if name not in self.plus_index:
-                # A variable that only appears in the objective is free and
-                # unconstrained; give it columns on the fly.
                 raise ValueError(
                     "objective mentions undeclared variable %r" % name
                 )
-            self.cost[self.plus_index[name]] += value
-            self.cost[self.minus_index[name]] -= value
+        self.cost = [_ZERO] * self.num_columns
+        _spread_terms(objective.terms, self.plus_index, self.minus_index, self.cost)
         self.objective_constant = objective.constant_term
 
     def to_original(self, values: Sequence[Fraction]) -> Dict[str, Fraction]:
         """Map standard-form column values back to the original variables."""
-        result: Dict[str, Fraction] = {}
-        for name in self.original_variables:
-            result[name] = (
-                values[self.plus_index[name]] - values[self.minus_index[name]]
-            )
-        return result
+        return {
+            name: _column_value(name, self.plus_index, self.minus_index, values)
+            for name in self.original_variables
+        }
 
 
 class _Tableau:
@@ -137,13 +185,14 @@ class _Tableau:
         self.num_cols = len(cost)
         self.basis: List[int] = []
         self._cost_row: List[Fraction] = list(cost)
-        self._cost_rhs = Fraction(0)  # equals minus the current objective
+        self._cost_rhs = _ZERO  # equals minus the current objective
+        self.pivot_count = 0
 
     def install_cost(self, cost: List[Fraction]) -> None:
         """Install a new objective and price it out against the basis."""
         self.cost = list(cost)
         self._cost_row = list(cost)
-        self._cost_rhs = Fraction(0)
+        self._cost_rhs = _ZERO
         for row_index, basic_col in enumerate(self.basis):
             factor = self._cost_row[basic_col]
             if factor == 0:
@@ -155,6 +204,52 @@ class _Tableau:
             ]
             self._cost_rhs -= factor * self.rhs[row_index]
 
+    # -- incremental growth ----------------------------------------------------
+
+    def append_column(self, cost: Fraction = _ZERO) -> int:
+        """Append an all-zero column (a variable absent from every row).
+
+        Because the column is zero in every existing row, its reduced cost
+        under the current basis is simply its objective coefficient, so the
+        cost row extends without any re-pricing.
+        """
+        for row in self.matrix:
+            row.append(_ZERO)
+        self.cost.append(cost)
+        self._cost_row.append(cost)
+        self.num_cols += 1
+        return self.num_cols - 1
+
+    def append_row(
+        self, row: List[Fraction], rhs: Fraction, basic_column: int
+    ) -> None:
+        """Append a row whose *basic_column* entry is 1 (after elimination)."""
+        self.matrix.append(list(row))
+        self.rhs.append(rhs)
+        self.basis.append(basic_column)
+        self.num_rows += 1
+
+    def eliminate_against_basis(
+        self, row: List[Fraction], rhs: Fraction
+    ) -> Tuple[List[Fraction], Fraction]:
+        """Express a fresh row in terms of the current basis.
+
+        Each basic column has identity structure (1 in its own row, 0 in
+        every other row and in every other basic column), so one pass over
+        the basis suffices.
+        """
+        row = list(row)
+        for row_index, basic_col in enumerate(self.basis):
+            factor = row[basic_col]
+            if factor == 0:
+                continue
+            pivot_row = self.matrix[row_index]
+            row = [
+                value - factor * entry for value, entry in zip(row, pivot_row)
+            ]
+            rhs -= factor * self.rhs[row_index]
+        return row, rhs
+
     # -- pivoting ------------------------------------------------------------
 
     def pivot(self, row: int, col: int) -> None:
@@ -162,7 +257,7 @@ class _Tableau:
         pivot_value = self.matrix[row][col]
         if pivot_value == 0:
             raise ValueError("pivot on a zero element")
-        inverse = Fraction(1) / pivot_value
+        inverse = _ONE / pivot_value
         self.matrix[row] = [value * inverse for value in self.matrix[row]]
         self.rhs[row] *= inverse
         pivot_row = self.matrix[row]
@@ -185,6 +280,7 @@ class _Tableau:
             ]
             self._cost_rhs -= factor * self.rhs[row]
         self.basis[row] = col
+        self.pivot_count += 1
 
     def reduced_costs(self) -> List[Fraction]:
         """Reduced cost of every column for the current basis."""
@@ -194,12 +290,12 @@ class _Tableau:
         return -self._cost_rhs
 
     def column_values(self) -> List[Fraction]:
-        values = [Fraction(0)] * self.num_cols
+        values = [_ZERO] * self.num_cols
         for row, col in enumerate(self.basis):
             values[col] = self.rhs[row]
         return values
 
-    # -- the simplex loop ------------------------------------------------------
+    # -- the simplex loops -----------------------------------------------------
 
     def optimize(self, allowed_columns: Optional[set] = None) -> Tuple[str, Optional[int]]:
         """Run the primal simplex to optimality.
@@ -239,41 +335,61 @@ class _Tableau:
                 return ("unbounded", entering)
             self.pivot(leaving, entering)
 
+    def dual_optimize(self, allowed_columns: Optional[set] = None) -> str:
+        """Run the dual simplex until the basis is primal feasible.
+
+        Requires the current basis to be *dual* feasible (all reduced costs
+        of allowed columns nonnegative) — which is exactly the state left
+        behind by a previous optimal solve after new rows are appended.
+        Returns ``"optimal"`` or ``"infeasible"`` (dual unbounded).  Bland's
+        dual rule (smallest basic index leaves, smallest-index minimal
+        ratio enters) rules out cycling.
+        """
+        while True:
+            leaving = None
+            for row in range(self.num_rows):
+                if self.rhs[row] < 0 and (
+                    leaving is None or self.basis[row] < self.basis[leaving]
+                ):
+                    leaving = row
+            if leaving is None:
+                return "optimal"
+            reduced = self.reduced_costs()
+            pivot_row = self.matrix[leaving]
+            entering = None
+            best_ratio: Optional[Fraction] = None
+            for col in range(self.num_cols):
+                if allowed_columns is not None and col not in allowed_columns:
+                    continue
+                coefficient = pivot_row[col]
+                if coefficient < 0:
+                    ratio = reduced[col] / (-coefficient)
+                    if best_ratio is None or ratio < best_ratio:
+                        best_ratio = ratio
+                        entering = col
+            if entering is None:
+                return "infeasible"
+            self.pivot(leaving, entering)
+
     def ray_direction(self, entering: int) -> List[Fraction]:
         """The improving ray associated with an unbounded entering column."""
-        direction = [Fraction(0)] * self.num_cols
-        direction[entering] = Fraction(1)
+        direction = [_ZERO] * self.num_cols
+        direction[entering] = _ONE
         for row, basic_col in enumerate(self.basis):
             direction[basic_col] = -self.matrix[row][entering]
         return direction
 
 
-def solve_lp(
-    objective: LinExpr,
-    constraints: Sequence[Constraint],
-    sense: Sense = Sense.MINIMIZE,
-    variables: Optional[Sequence[str]] = None,
-) -> LpResult:
-    """Solve ``optimise objective subject to constraints`` exactly.
+def _two_phase(standard: _StandardForm) -> Tuple[bool, _Tableau, int]:
+    """Phase 1: find a basic feasible solution for *standard*.
 
-    ``variables`` fixes the set (and order) of variables appearing in the
-    result; when omitted it is inferred from the constraints and objective.
+    Returns ``(feasible, tableau, artificial_start)``; on success the
+    tableau's basis is primal feasible and every artificial column is
+    either out of the basis or stuck at zero in a redundant row.
     """
-    if variables is None:
-        names = set(objective.variables())
-        for constraint in constraints:
-            names |= set(constraint.variables())
-        variables = sorted(names)
-
-    minimize_objective = (
-        objective if sense is Sense.MINIMIZE else -objective
-    )
-    standard = _StandardForm(minimize_objective, constraints, variables)
-
     num_rows = len(standard.matrix)
     num_cols = standard.num_columns
 
-    # ---- Phase 1: find a basic feasible solution --------------------------
     # Rows whose slack can serve as the initial basic variable need no
     # artificial column; only the remaining rows get one.
     artificial_start = num_cols
@@ -289,11 +405,11 @@ def solve_lp(
     num_artificials = len(needy_rows)
     phase1_matrix = []
     for row_index, row in enumerate(standard.matrix):
-        extension = [Fraction(0)] * num_artificials
+        extension = [_ZERO] * num_artificials
         if row_index in artificial_of_row:
-            extension[artificial_of_row[row_index] - artificial_start] = Fraction(1)
+            extension[artificial_of_row[row_index] - artificial_start] = _ONE
         phase1_matrix.append(row + extension)
-    phase1_cost = [Fraction(0)] * num_cols + [Fraction(1)] * num_artificials
+    phase1_cost = [_ZERO] * num_cols + [_ONE] * num_artificials
     tableau = _Tableau(phase1_matrix, standard.rhs, phase1_cost)
     tableau.basis = [
         artificial_of_row.get(row_index, standard.basis_candidate[row_index])
@@ -304,7 +420,7 @@ def solve_lp(
         status, _ = tableau.optimize()
         assert status == "optimal", "phase 1 is always bounded below by zero"
         if tableau.objective_value() > 0:
-            return LpResult(status=LpStatus.INFEASIBLE)
+            return (False, tableau, artificial_start)
 
     # Drive any leftover artificial variables out of the basis.
     for row in range(num_rows):
@@ -320,8 +436,44 @@ def solve_lp(
             # the artificial stays basic at value zero, which is harmless
             # as long as it can never re-enter with a non-zero value.
 
+    return (True, tableau, artificial_start)
+
+
+def solve_lp(
+    objective: LinExpr,
+    constraints: Sequence[Constraint],
+    sense: Sense = Sense.MINIMIZE,
+    variables: Optional[Sequence[str]] = None,
+    nonnegative: FrozenSet[str] = frozenset(),
+) -> LpResult:
+    """Solve ``optimise objective subject to constraints`` exactly.
+
+    ``variables`` fixes the set (and order) of variables appearing in the
+    result; when omitted it is inferred from the constraints and objective.
+    Variables in ``nonnegative`` are treated as implicitly ``≥ 0`` (single
+    standard-form column instead of a split pair).
+    """
+    if variables is None:
+        names = set(objective.variables())
+        for constraint in constraints:
+            names |= set(constraint.variables())
+        variables = sorted(names)
+
+    minimize_objective = (
+        objective if sense is Sense.MINIMIZE else -objective
+    )
+    standard = _StandardForm(
+        minimize_objective, constraints, variables, nonnegative
+    )
+
+    num_cols = standard.num_columns
+    feasible, tableau, artificial_start = _two_phase(standard)
+    if not feasible:
+        return LpResult(status=LpStatus.INFEASIBLE, pivots=tableau.pivot_count)
+
     # ---- Phase 2: optimise the real objective -----------------------------
-    tableau.install_cost(list(standard.cost) + [Fraction(0)] * num_artificials)
+    num_artificials = tableau.num_cols - num_cols
+    tableau.install_cost(list(standard.cost) + [_ZERO] * num_artificials)
     allowed = set(range(num_cols))
     status, entering = tableau.optimize(allowed_columns=allowed)
 
@@ -335,6 +487,7 @@ def solve_lp(
             status=LpStatus.UNBOUNDED,
             assignment=assignment,
             ray=ray,
+            pivots=tableau.pivot_count,
         )
 
     objective_value = tableau.objective_value() + standard.objective_constant
@@ -344,7 +497,279 @@ def solve_lp(
         status=LpStatus.OPTIMAL,
         assignment=assignment,
         objective=objective_value,
+        pivots=tableau.pivot_count,
     )
+
+
+class SimplexState:
+    """A persistent LP whose optimal basis is reused across solves.
+
+    The supported mutations between solves are exactly the ones the lazy
+    synthesis loop needs:
+
+    * :meth:`declare` a new variable — new variables may only appear in
+      constraints added afterwards, which is how the δ of a fresh
+      counterexample behaves (their columns are all-zero in the solved
+      rows, so the basis stays valid);
+    * :meth:`add_constraint` — appended as slack-form rows; after a solved
+      instance this triggers dual-simplex pivots from the previous optimal
+      basis instead of a cold two-phase solve;
+    * :meth:`set_objective` — re-priced against the current basis and
+      re-optimised with primal pivots.
+
+    The first :meth:`solve` (and any solve after an UNBOUNDED outcome,
+    where no optimal basis exists to restart from) is a cold two-phase
+    solve; every other solve is warm.  ``cold_solves`` / ``warm_solves`` /
+    ``total_pivots`` / ``last_solve_pivots`` expose the counters the
+    evaluation harness aggregates into
+    :class:`~repro.core.lp_instance.LpStatistics`.
+    """
+
+    def __init__(self, sense: Sense = Sense.MINIMIZE):
+        self.sense = sense
+        self._objective = LinExpr()
+        self._declared: Dict[str, bool] = {}  # name -> nonnegative, in order
+        self._constraints: List[Constraint] = []
+        self._pending_variables: List[str] = []
+        self._pending_constraints: List[Constraint] = []
+        self._tableau: Optional[_Tableau] = None
+        self._plus: Dict[str, int] = {}
+        self._minus: Dict[str, int] = {}
+        self._allowed: Set[int] = set()
+        self._priced_objective: Optional[LinExpr] = None
+        self._warm_ready = False
+        self._infeasible = False
+        self._last_result: Optional[LpResult] = None
+        self.cold_solves = 0
+        self.warm_solves = 0
+        self.total_pivots = 0
+        self.last_solve_pivots = 0
+        self.last_solve_warm = False
+
+    # -- construction ----------------------------------------------------------
+
+    def declare(self, *names: str, nonnegative: bool = False) -> None:
+        """Declare variables (optionally known nonnegative).
+
+        Re-declaring with the same bound is a no-op; changing the bound
+        in either direction raises (tightening would invalidate solved
+        rows, loosening would silently ignore the caller's request).
+        """
+        for name in names:
+            if name in self._declared:
+                if nonnegative != self._declared[name]:
+                    raise ValueError(
+                        "variable %r is already declared %s and cannot be "
+                        "re-declared %s"
+                        % (
+                            name,
+                            "nonnegative" if self._declared[name] else "free",
+                            "nonnegative" if nonnegative else "free",
+                        )
+                    )
+                continue
+            self._declared[name] = nonnegative
+            self._pending_variables.append(name)
+            self._last_result = None
+
+    def _auto_declare(self, names) -> None:
+        for name in sorted(names):
+            if name not in self._declared:
+                self.declare(name)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Queue a constraint; it joins the tableau at the next solve."""
+        if constraint.relation is Relation.LT:
+            raise ValueError("strict inequalities are not LP constraints")
+        self._auto_declare(constraint.variables())
+        self._pending_constraints.append(constraint)
+        self._last_result = None
+
+    def add_constraints(self, constraints: Sequence[Constraint]) -> None:
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    def set_objective(self, objective: LinExpr) -> None:
+        self._auto_declare(objective.variables())
+        if objective != self._objective:
+            self._objective = objective
+            self._last_result = None
+
+    # -- solving ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._constraints) + len(self._pending_constraints)
+
+    def _minimized_objective(self) -> LinExpr:
+        return (
+            self._objective
+            if self.sense is Sense.MINIMIZE
+            else -self._objective
+        )
+
+    def _cost_vector(self, length: int) -> List[Fraction]:
+        cost = [_ZERO] * length
+        _spread_terms(
+            self._minimized_objective().terms, self._plus, self._minus, cost
+        )
+        return cost
+
+    def solve(self) -> LpResult:
+        """Solve the current instance, warm-starting whenever possible."""
+        if self._infeasible:
+            # Constraints only ever accumulate, so infeasibility is final.
+            return LpResult(status=LpStatus.INFEASIBLE)
+        if self._last_result is not None:
+            return self._last_result
+        if self._tableau is None or not self._warm_ready:
+            result = self._solve_cold()
+        else:
+            result = self._solve_warm()
+        self._last_result = result
+        return result
+
+    def _commit_pending(self) -> None:
+        self._constraints.extend(self._pending_constraints)
+        self._pending_constraints = []
+        self._pending_variables = []
+
+    def _solve_cold(self) -> LpResult:
+        self._commit_pending()
+        variables = list(self._declared)
+        nonnegative = frozenset(
+            name for name, flag in self._declared.items() if flag
+        )
+        standard = _StandardForm(
+            self._minimized_objective(),
+            self._constraints,
+            variables,
+            nonnegative,
+        )
+        num_cols = standard.num_columns
+        feasible, tableau, _ = _two_phase(standard)
+        if not feasible:
+            self._record(tableau.pivot_count, warm=False)
+            self._infeasible = True
+            return LpResult(
+                status=LpStatus.INFEASIBLE, pivots=tableau.pivot_count
+            )
+        num_artificials = tableau.num_cols - num_cols
+        tableau.install_cost(list(standard.cost) + [_ZERO] * num_artificials)
+        allowed = set(range(num_cols))
+        status, entering = tableau.optimize(allowed_columns=allowed)
+
+        self._tableau = tableau
+        self._plus = dict(standard.plus_index)
+        self._minus = dict(standard.minus_index)
+        self._allowed = allowed
+        self._priced_objective = self._objective
+        self._warm_ready = status == "optimal"
+        self._record(tableau.pivot_count, warm=False)
+        return self._extract(status, entering, tableau.pivot_count)
+
+    def _solve_warm(self) -> LpResult:
+        tableau = self._tableau
+        assert tableau is not None
+        start_pivots = tableau.pivot_count
+
+        # 1. New variables become fresh columns.  They are absent from every
+        # committed row (they were declared afterwards), so the columns are
+        # all-zero and the basis stays optimal for the priced objective.
+        for name in self._pending_variables:
+            self._plus[name] = tableau.append_column()
+            self._allowed.add(self._plus[name])
+            if not self._declared[name]:
+                self._minus[name] = tableau.append_column()
+                self._allowed.add(self._minus[name])
+
+        # 2. New constraints become slack-form rows (an equality contributes
+        # one ≤ row per direction), eliminated against the current basis;
+        # a negative right-hand side is precisely what the dual simplex
+        # repairs next.
+        changed = bool(self._pending_constraints) or bool(
+            self._pending_variables
+        )
+        for constraint in self._pending_constraints:
+            expressions = [constraint.expr]
+            if constraint.relation is Relation.EQ:
+                expressions.append(-constraint.expr)
+            for expr in expressions:
+                slack = tableau.append_column()
+                self._allowed.add(slack)
+                row = [_ZERO] * tableau.num_cols
+                _spread_terms(expr.terms, self._plus, self._minus, row)
+                row[slack] = _ONE
+                rhs = -expr.constant_term
+                row, rhs = tableau.eliminate_against_basis(row, rhs)
+                tableau.append_row(row, rhs, slack)
+        self._commit_pending()
+
+        # 3. Restore primal feasibility under the previously-priced
+        # objective (for which the basis is dual feasible).
+        status = tableau.dual_optimize(self._allowed)
+        if status == "infeasible":
+            self._record(tableau.pivot_count - start_pivots, warm=True)
+            self._infeasible = True
+            return LpResult(
+                status=LpStatus.INFEASIBLE,
+                pivots=tableau.pivot_count - start_pivots,
+            )
+
+        # 4. Price the current objective and re-optimise with primal pivots.
+        if changed or self._objective != self._priced_objective:
+            tableau.install_cost(self._cost_vector(tableau.num_cols))
+        status, entering = tableau.optimize(allowed_columns=self._allowed)
+        self._priced_objective = self._objective
+        self._warm_ready = status == "optimal"
+        pivots = tableau.pivot_count - start_pivots
+        self._record(pivots, warm=True)
+        return self._extract(status, entering, pivots)
+
+    def _record(self, pivots: int, warm: bool) -> None:
+        self.total_pivots += pivots
+        self.last_solve_pivots = pivots
+        self.last_solve_warm = warm
+        if warm:
+            self.warm_solves += 1
+        else:
+            self.cold_solves += 1
+
+    def _to_original(self, values: Sequence[Fraction]) -> Dict[str, Fraction]:
+        result: Dict[str, Fraction] = {}
+        for name in self._declared:
+            if name not in self._plus:
+                result[name] = _ZERO  # declared after the last solve
+                continue
+            result[name] = _column_value(name, self._plus, self._minus, values)
+        return result
+
+    def _extract(
+        self, status: str, entering: Optional[int], pivots: int
+    ) -> LpResult:
+        tableau = self._tableau
+        assert tableau is not None
+        assignment = self._to_original(tableau.column_values())
+        if status == "unbounded":
+            ray = self._to_original(tableau.ray_direction(entering))
+            return LpResult(
+                status=LpStatus.UNBOUNDED,
+                assignment=assignment,
+                ray=ray,
+                pivots=pivots,
+            )
+        objective_value = (
+            tableau.objective_value()
+            + self._minimized_objective().constant_term
+        )
+        if self.sense is Sense.MAXIMIZE:
+            objective_value = -objective_value
+        return LpResult(
+            status=LpStatus.OPTIMAL,
+            assignment=assignment,
+            objective=objective_value,
+            pivots=pivots,
+        )
 
 
 def check_feasibility(

@@ -10,7 +10,7 @@ equalities over a fixed tuple of variables.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr

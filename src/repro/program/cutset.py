@@ -14,7 +14,7 @@ cut; the result is still a valid (if not always minimum) cut-set.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Set
 
 from repro.program.automaton import ControlFlowAutomaton
 

@@ -1,0 +1,200 @@
+"""A crash-isolated parallel task engine with per-task wall-clock timeouts.
+
+The benchmark harness needs three guarantees that a plain
+``concurrent.futures`` pool does not give:
+
+* **hard timeouts** — a prover stuck in an SMT loop must be killed, not
+  merely abandoned (a pool worker would stay busy forever);
+* **crash isolation** — a segfault, ``os._exit`` or unpicklable exception
+  in one benchmark must surface as a failed result, not take the whole
+  table down;
+* **deterministic ordering** — results come back in submission order
+  regardless of completion order, so two runs of the same table are
+  diffable.
+
+Each task therefore runs in its own (fork-started, daemonic) process that
+reports back over a pipe; the parent multiplexes the pipes with
+:func:`multiprocessing.connection.wait` and enforces deadlines.  With
+``jobs <= 1`` and no timeout the tasks run inline — same semantics, no
+process overhead — which keeps the unit-test path cheap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, List, Optional, Sequence
+
+#: How long (seconds) a terminated worker gets to exit before SIGKILL.
+_TERMINATE_GRACE = 2.0
+
+
+@dataclass
+class TaskResult:
+    """Envelope for one task: exactly one of the kinds below.
+
+    ``kind`` is ``"ok"`` (``value`` holds the task's return value),
+    ``"error"`` (``message`` holds the formatted exception), ``"timeout"``
+    (the deadline passed and the worker was killed) or ``"crash"`` (the
+    worker died without reporting — segfault, ``os._exit``, OOM kill).
+    """
+
+    kind: str
+    value: Any = None
+    message: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+
+def _run_thunk(thunk: Callable[[], Any]) -> TaskResult:
+    """Run a task inline.  Ordinary exceptions become error results;
+    KeyboardInterrupt/SystemExit propagate so Ctrl-C still aborts an
+    inline sweep (the worker-process path catches them separately)."""
+    start = time.perf_counter()
+    try:
+        value = thunk()
+    except Exception as error:  # isolate the harness from task bugs
+        return TaskResult(
+            kind="error",
+            message="%s: %s" % (type(error).__name__, error),
+            elapsed=time.perf_counter() - start,
+        )
+    return TaskResult(kind="ok", value=value, elapsed=time.perf_counter() - start)
+
+
+def _worker(connection, thunk: Callable[[], Any]) -> None:
+    start = time.perf_counter()
+    try:
+        result = _run_thunk(thunk)
+    except BaseException as error:  # the process is disposable: report, don't die
+        result = TaskResult(
+            kind="error",
+            message="%s: %s" % (type(error).__name__, error),
+            elapsed=time.perf_counter() - start,
+        )
+    try:
+        connection.send(result)
+    except Exception as error:  # e.g. the task's return value is unpicklable
+        connection.send(
+            TaskResult(
+                kind="error",
+                message="result not transferable: %s" % error,
+                elapsed=result.elapsed,
+            )
+        )
+    finally:
+        connection.close()
+
+
+class _ActiveTask:
+    __slots__ = ("index", "process", "connection", "started", "deadline")
+
+    def __init__(self, index, process, connection, started, deadline):
+        self.index = index
+        self.process = process
+        self.connection = connection
+        self.started = started
+        self.deadline = deadline
+
+
+def _reap(task: _ActiveTask) -> TaskResult:
+    """Collect the result of a task whose pipe became readable."""
+    try:
+        result = task.connection.recv()
+    except EOFError:
+        exit_code = task.process.exitcode
+        result = TaskResult(
+            kind="crash",
+            message="worker exited without reporting (exit code %s)" % exit_code,
+            elapsed=time.monotonic() - task.started,
+        )
+    task.process.join()
+    task.connection.close()
+    return result
+
+
+def _kill(task: _ActiveTask) -> None:
+    task.process.terminate()
+    task.process.join(_TERMINATE_GRACE)
+    if task.process.is_alive():
+        task.process.kill()
+        task.process.join()
+    task.connection.close()
+
+
+def run_tasks(
+    thunks: Sequence[Callable[[], Any]],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> List[TaskResult]:
+    """Run *thunks* with up to *jobs* concurrent worker processes.
+
+    Returns one :class:`TaskResult` per thunk, **in submission order**.
+    ``timeout`` is a per-task wall-clock budget in seconds; a task that
+    exceeds it is killed and reported as ``kind="timeout"``.  With
+    ``jobs <= 1`` and no timeout everything runs inline in this process.
+    """
+    jobs = max(1, int(jobs))
+    if jobs == 1 and timeout is None:
+        return [_run_thunk(thunk) for thunk in thunks]
+
+    start_methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in start_methods else "spawn"
+    )
+
+    results: List[Optional[TaskResult]] = [None] * len(thunks)
+    queue = list(enumerate(thunks))
+    next_task = 0
+    active: List[_ActiveTask] = []
+
+    while next_task < len(queue) or active:
+        while next_task < len(queue) and len(active) < jobs:
+            index, thunk = queue[next_task]
+            next_task += 1
+            parent_end, child_end = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker, args=(child_end, thunk), daemon=True
+            )
+            process.start()
+            child_end.close()
+            now = time.monotonic()
+            active.append(
+                _ActiveTask(
+                    index,
+                    process,
+                    parent_end,
+                    now,
+                    now + timeout if timeout is not None else None,
+                )
+            )
+
+        now = time.monotonic()
+        wait_budget: Optional[float] = None
+        if timeout is not None:
+            nearest = min(task.deadline for task in active)
+            wait_budget = max(0.0, nearest - now)
+        ready = _wait_connections(
+            [task.connection for task in active], timeout=wait_budget
+        )
+
+        still_active: List[_ActiveTask] = []
+        now = time.monotonic()
+        for task in active:
+            if task.connection in ready:
+                results[task.index] = _reap(task)
+            elif task.deadline is not None and now >= task.deadline:
+                _kill(task)
+                results[task.index] = TaskResult(
+                    kind="timeout", elapsed=now - task.started
+                )
+            else:
+                still_active.append(task)
+        active = still_active
+
+    return [result for result in results if result is not None]

@@ -1,7 +1,16 @@
-"""Run the provers over benchmark suites and aggregate Table-1 statistics."""
+"""Run the provers over benchmark suites and aggregate Table-1 statistics.
+
+The engine behind ``benchmarks/table1.py`` and the CI benchmark smoke job:
+every (suite, tool, program) cell becomes one task for the crash-isolated
+parallel engine of :mod:`repro.reporting.parallel`, with a per-program
+wall-clock timeout and deterministic result ordering.  A prover crash or
+timeout records a failed :class:`ProgramOutcome` instead of aborting the
+table, and the whole run serialises to machine-readable JSON for CI.
+"""
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -15,10 +24,15 @@ from repro.baselines import (
 from repro.benchsuite.program import BenchmarkProgram
 from repro.core.lp_instance import LpStatistics
 from repro.core.termination import TerminationProver
+from repro.reporting.parallel import TaskResult, run_tasks
 
 
-def _run_termite(program: BenchmarkProgram) -> "ProgramOutcome":
-    prover = TerminationProver(program.build(), check_certificates=False)
+def _run_termite(
+    program: BenchmarkProgram, lp_mode: str = "incremental"
+) -> "ProgramOutcome":
+    prover = TerminationProver(
+        program.build(), check_certificates=False, lp_mode=lp_mode
+    )
     result = prover.prove()
     return ProgramOutcome(
         program=program.name,
@@ -28,7 +42,9 @@ def _run_termite(program: BenchmarkProgram) -> "ProgramOutcome":
     )
 
 
-def _run_baseline(builder: Callable, program: BenchmarkProgram) -> "ProgramOutcome":
+def _run_baseline(
+    builder: Callable, program: BenchmarkProgram, lp_mode: str = "incremental"
+) -> "ProgramOutcome":
     prover = TerminationProver(program.build(), check_certificates=False)
     problem = prover.build_problem()
     start = time.perf_counter()
@@ -43,17 +59,16 @@ def _run_baseline(builder: Callable, program: BenchmarkProgram) -> "ProgramOutco
 
 
 #: The tool column of Table 1 mapped onto the reproduction's provers.
-TOOLS: Dict[str, Callable[[BenchmarkProgram], "ProgramOutcome"]] = {
+#: Every entry accepts ``(program, lp_mode)``; only termite uses the mode.
+TOOLS: Dict[str, Callable[..., "ProgramOutcome"]] = {
     "termite": _run_termite,
-    "heuristic": lambda program: _run_baseline(heuristic_prover, program),
-    "eager-farkas": lambda program: _run_baseline(
-        eager_farkas_lexicographic, program
+    "heuristic": functools.partial(_run_baseline, heuristic_prover),
+    "eager-farkas": functools.partial(_run_baseline, eager_farkas_lexicographic),
+    "eager-generators": functools.partial(
+        _run_baseline, eager_generator_synthesis
     ),
-    "eager-generators": lambda program: _run_baseline(
-        eager_generator_synthesis, program
-    ),
-    "podelski-rybalchenko": lambda program: _run_baseline(
-        podelski_rybalchenko, program
+    "podelski-rybalchenko": functools.partial(
+        _run_baseline, podelski_rybalchenko
     ),
 }
 
@@ -67,6 +82,26 @@ class ProgramOutcome:
     time_seconds: float
     lp_statistics: LpStatistics = field(default_factory=LpStatistics)
     error: Optional[str] = None
+    timed_out: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "proved": self.proved,
+            "time_ms": round(self.time_seconds * 1000.0, 3),
+            "error": self.error,
+            "timed_out": self.timed_out,
+            "lp": {
+                "instances": self.lp_statistics.instances,
+                "average_rows": self.lp_statistics.average_rows,
+                "average_cols": self.lp_statistics.average_cols,
+                "max_rows": self.lp_statistics.max_rows,
+                "max_cols": self.lp_statistics.max_cols,
+                "pivots": self.lp_statistics.pivots,
+                "warm_solves": self.lp_statistics.warm_solves,
+                "cold_solves": self.lp_statistics.cold_solves,
+            },
+        }
 
 
 @dataclass
@@ -85,6 +120,14 @@ class SuiteReport:
     @property
     def successes(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.proved)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.error is not None)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.timed_out)
 
     @property
     def average_time_ms(self) -> float:
@@ -110,35 +153,202 @@ class SuiteReport:
         ]
         return sum(sizes) / len(sizes) if sizes else 0.0
 
+    @property
+    def total_pivots(self) -> int:
+        return sum(o.lp_statistics.pivots for o in self.outcomes)
+
+    @property
+    def warm_solves(self) -> int:
+        return sum(o.lp_statistics.warm_solves for o in self.outcomes)
+
+    @property
+    def cold_solves(self) -> int:
+        return sum(o.lp_statistics.cold_solves for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "tool": self.tool,
+            "total": self.total,
+            "successes": self.successes,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "unsound": list(self.unsound),
+            "average_time_ms": round(self.average_time_ms, 3),
+            "average_lp_rows": round(self.average_lp_rows, 3),
+            "average_lp_cols": round(self.average_lp_cols, 3),
+            "total_pivots": self.total_pivots,
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _execute_program(
+    tool: str, program: BenchmarkProgram, lp_mode: str
+) -> ProgramOutcome:
+    """Run one (tool, program) cell; never raises."""
+    try:
+        return TOOLS[tool](program, lp_mode=lp_mode)
+    except Exception as error:  # a prover crash counts as "not proved"
+        return ProgramOutcome(
+            program=program.name,
+            proved=False,
+            time_seconds=0.0,
+            error="%s: %s" % (type(error).__name__, error),
+        )
+
+
+def _outcome_from_result(
+    result: TaskResult, program: BenchmarkProgram, timeout: Optional[float]
+) -> ProgramOutcome:
+    """Unwrap a parallel-engine envelope into a ProgramOutcome."""
+    if result.ok:
+        return result.value
+    if result.kind == "timeout":
+        return ProgramOutcome(
+            program=program.name,
+            proved=False,
+            time_seconds=result.elapsed,
+            error="timeout after %.1fs" % (timeout or result.elapsed),
+            timed_out=True,
+        )
+    return ProgramOutcome(
+        program=program.name,
+        proved=False,
+        time_seconds=result.elapsed,
+        error=result.message or result.kind,
+    )
+
+
+def select_programs(
+    programs: Sequence[BenchmarkProgram],
+    limit: Optional[int] = None,
+    name_filter: Optional[str] = None,
+) -> List[BenchmarkProgram]:
+    """Apply the harness' program filters (substring match, then limit)."""
+    selected = list(programs)
+    if name_filter:
+        selected = [p for p in selected if name_filter in p.name]
+    if limit is not None:
+        selected = selected[: max(0, limit)]
+    return selected
+
+
+def _collate(
+    cells: List[tuple],
+    results: List[TaskResult],
+    timeout: Optional[float],
+) -> List[SuiteReport]:
+    """Group flat (cell, result) pairs back into per-(suite, tool) reports."""
+    reports: List[SuiteReport] = []
+    by_key: Dict[tuple, SuiteReport] = {}
+    for (suite, tool, program), result in zip(cells, results):
+        key = (suite, tool)
+        report = by_key.get(key)
+        if report is None:
+            report = SuiteReport(suite=suite, tool=tool)
+            by_key[key] = report
+            reports.append(report)
+        outcome = _outcome_from_result(result, program, timeout)
+        report.outcomes.append(outcome)
+        if outcome.proved and not program.terminating:
+            report.unsound.append(program.name)
+    return reports
+
 
 def run_suite(
     suite: str,
     programs: Sequence[BenchmarkProgram],
     tool: str = "termite",
     limit: Optional[int] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    lp_mode: str = "incremental",
 ) -> SuiteReport:
     """Run *tool* over *programs* and aggregate the Table-1 statistics.
 
-    ``limit`` restricts the run to the first *limit* programs (used by the
-    pytest-benchmark harness to keep wall-clock time reasonable; the full
-    sweep is available through ``benchmarks/table1.py``).
+    ``limit`` restricts the run to the first *limit* programs; ``jobs``
+    runs that many programs concurrently in crash-isolated processes;
+    ``timeout`` kills any single program after that many wall-clock
+    seconds and records a failed outcome in its place.  An empty (or
+    fully filtered) suite yields an empty report, not an error.
     """
     if tool not in TOOLS:
         raise KeyError("unknown tool %r (available: %s)" % (tool, ", ".join(TOOLS)))
-    runner = TOOLS[tool]
-    selected = list(programs if limit is None else programs[:limit])
-    report = SuiteReport(suite=suite, tool=tool)
-    for program in selected:
-        try:
-            outcome = runner(program)
-        except Exception as error:  # a prover crash counts as "not proved"
-            outcome = ProgramOutcome(
-                program=program.name,
-                proved=False,
-                time_seconds=0.0,
-                error=str(error),
+    selected = select_programs(programs, limit)
+    cells = [(suite, tool, program) for program in selected]
+    thunks = [
+        functools.partial(_execute_program, tool, program, lp_mode)
+        for program in selected
+    ]
+    results = run_tasks(thunks, jobs=jobs, timeout=timeout)
+    reports = _collate(cells, results, timeout)
+    return reports[0] if reports else SuiteReport(suite=suite, tool=tool)
+
+
+def run_table1(
+    suites: Dict[str, Sequence[BenchmarkProgram]],
+    tools: Sequence[str],
+    limit: Optional[int] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    lp_mode: str = "incremental",
+    name_filter: Optional[str] = None,
+) -> List[SuiteReport]:
+    """Run every (suite, tool) cell of Table 1 through one shared task pool.
+
+    All programs of all cells are flattened into a single task list so the
+    worker pool stays saturated across suite boundaries; the reports come
+    back grouped and ordered by (suite, tool) submission order.
+    """
+    for tool in tools:
+        if tool not in TOOLS:
+            raise KeyError(
+                "unknown tool %r (available: %s)" % (tool, ", ".join(TOOLS))
             )
-        report.outcomes.append(outcome)
-        if outcome.proved and not program.terminating:
-            report.unsound.append(program.name)
-    return report
+    cells: List[tuple] = []
+    thunks: List[Callable[[], ProgramOutcome]] = []
+    ordered_keys: List[tuple] = []
+    for suite, programs in suites.items():
+        selected = select_programs(programs, limit, name_filter)
+        for tool in tools:
+            ordered_keys.append((suite, tool))
+            for program in selected:
+                cells.append((suite, tool, program))
+                thunks.append(
+                    functools.partial(_execute_program, tool, program, lp_mode)
+                )
+    results = run_tasks(thunks, jobs=jobs, timeout=timeout)
+    reports = _collate(cells, results, timeout)
+    # Cells whose selection came up empty still deserve an (empty) row.
+    present = {(report.suite, report.tool) for report in reports}
+    for suite, tool in ordered_keys:
+        if (suite, tool) not in present:
+            reports.append(SuiteReport(suite=suite, tool=tool))
+    reports.sort(key=lambda r: ordered_keys.index((r.suite, r.tool)))
+    return reports
+
+
+def reports_to_json_dict(
+    reports: Sequence[SuiteReport], meta: Optional[dict] = None
+) -> dict:
+    """The machine-readable run summary consumed by CI and the dashboards."""
+    document = {
+        "schema_version": 1,
+        "generator": "repro.reporting.runner",
+        "suites": [report.to_dict() for report in reports],
+        "totals": {
+            "programs": sum(report.total for report in reports),
+            "successes": sum(report.successes for report in reports),
+            "failures": sum(report.failures for report in reports),
+            "timeouts": sum(report.timeouts for report in reports),
+            "unsound": sum(len(report.unsound) for report in reports),
+            "total_pivots": sum(report.total_pivots for report in reports),
+            "warm_solves": sum(report.warm_solves for report in reports),
+            "cold_solves": sum(report.cold_solves for report in reports),
+        },
+    }
+    if meta:
+        document["meta"] = dict(meta)
+    return document

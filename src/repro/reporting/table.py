@@ -22,14 +22,24 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 
 
 def format_table1_row(report: SuiteReport) -> List[object]:
-    """One row in the shape of the paper's Table 1."""
+    """One row in the shape of the paper's Table 1.
+
+    The pivot column shows total simplex pivots plus the warm/cold solve
+    split — the quantity the incremental LP of the counterexample loop
+    drives down; ``#failed`` counts crashes and timeouts (a failed program
+    is recorded, never aborts the table).
+    """
+    failed = report.failures
     return [
         report.suite,
         report.tool,
         report.total,
         report.successes,
+        failed if failed else "-",
         "%.0f" % report.average_time_ms,
         "(%.1f, %.1f)" % (report.average_lp_rows, report.average_lp_cols),
+        "%d (%d/%d)"
+        % (report.total_pivots, report.warm_solves, report.cold_solves),
         "; ".join(report.unsound) if report.unsound else "-",
     ]
 
@@ -39,7 +49,9 @@ TABLE1_HEADERS = [
     "tool",
     "#benchmarks",
     "#success",
+    "#failed",
     "avg time (ms)",
     "avg LP (rows, cols)",
+    "pivots (warm/cold)",
     "soundness violations",
 ]

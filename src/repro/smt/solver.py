@@ -26,7 +26,6 @@ from repro.linexpr.formula import (
     Exists,
     FALSE,
     Formula,
-    Not,
     Or,
     TRUE,
     atom,
@@ -34,7 +33,7 @@ from repro.linexpr.formula import (
 from repro.linexpr.transform import formula_variables, to_nnf
 from repro.smt.cnf import CnfEncoder
 from repro.smt.sat import SatSolver
-from repro.smt.theory import TheoryResult, check_conjunction
+from repro.smt.theory import check_conjunction
 
 
 class SmtStatus(enum.Enum):

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.core.certificate import check_certificate
 from repro.core.ranking import (

@@ -1,6 +1,5 @@
 """Tests for Algorithms 1–3 at the API level (below the prover driver)."""
 
-from fractions import Fraction
 
 import pytest
 

@@ -1,9 +1,7 @@
 """End-to-end reproduction of the paper's worked examples."""
 
-import pytest
 
 from repro.core import TerminationProver, check_certificate, prove_termination
-from repro.core.monodim import MaxIterationsExceeded
 
 
 class TestExample1:

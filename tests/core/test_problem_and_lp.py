@@ -8,7 +8,6 @@ from repro.core.lp_instance import LpStatistics, RankingLp
 from repro.core.problem import ONE_COORDINATE, TerminationProblem
 from repro.core.termination import TerminationProver
 from repro.linalg.vector import Vector
-from repro.linexpr.expr import var
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """End-to-end tests going through the mini-language front-end."""
 
-import pytest
 
 from repro import compile_program, prove_termination
 from repro.core import TerminationProver

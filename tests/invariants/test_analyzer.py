@@ -1,6 +1,5 @@
 """Tests for the abstract-interpretation engine."""
 
-import pytest
 
 from repro.invariants.analyzer import compute_invariants
 from repro.invariants.intervals import IntervalDomain

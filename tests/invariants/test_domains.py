@@ -1,8 +1,6 @@
 """Tests for the interval and polyhedra abstract domains."""
 
-from fractions import Fraction
 
-import pytest
 
 from repro.invariants.intervals import IntervalDomain
 from repro.invariants.polyhedra_domain import PolyhedraDomain

@@ -1,6 +1,5 @@
 """Tests for exact matrices and subspace helpers."""
 
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings, strategies as st

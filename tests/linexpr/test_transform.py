@@ -4,7 +4,6 @@ import pytest
 
 from repro.linexpr.expr import var
 from repro.linexpr.formula import (
-    And,
     Exists,
     FALSE,
     Not,

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.linexpr.expr import var
 from repro.lp.branch_bound import find_integer_point, solve_ilp

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.linexpr.expr import LinExpr, var
-from repro.lp.problem import LinearProgram, LpStatus, Sense
+from repro.lp.problem import LinearProgram, Sense
 from repro.lp.simplex import check_feasibility, solve_lp
 
 x, y, z = var("x"), var("y"), var("z")

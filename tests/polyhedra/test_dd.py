@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.linalg.vector import Vector
 from repro.linexpr.expr import var
@@ -32,7 +31,7 @@ class TestConeDoubleDescription:
 
     def test_equality_gives_line_in_plane(self):
         lines, rays = cone_double_description([(Vector([1, 1]), True)], 2)
-        directions = [tuple(l) for l in lines] + [tuple(r) for r in rays]
+        directions = [tuple(line) for line in lines] + [tuple(r) for r in rays]
         assert all(a + b == 0 for a, b in directions)
 
     def test_point_cone(self):
@@ -67,7 +66,7 @@ class TestPolyhedronConversions:
 
     def test_line_generator(self):
         system = constraints_to_generators([x >= 0], ["x", "y"])
-        assert any(tuple(l)[0] == 0 for l in system.lines)
+        assert any(tuple(line)[0] == 0 for line in system.lines)
 
     def test_round_trip_square(self):
         original = Polyhedron(["x", "y"], [x >= 0, x <= 2, y >= 0, y <= 1])

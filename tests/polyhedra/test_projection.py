@@ -1,6 +1,5 @@
 """Tests for Fourier–Motzkin elimination and entailment."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.linexpr.expr import var

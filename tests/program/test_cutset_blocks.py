@@ -1,6 +1,5 @@
 """Tests for cut-set computation and the large-block encoding."""
 
-import pytest
 
 from repro.linexpr.expr import var
 from repro.linexpr.transform import prime_suffix

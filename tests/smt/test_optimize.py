@@ -1,13 +1,10 @@
 """Tests for the optimisation-modulo-theory layer."""
 
-from fractions import Fraction
 
-import pytest
 
 from repro.linexpr.expr import var
 from repro.linexpr.formula import And, Or
 from repro.smt.optimize import OptimizingSmtSolver, SearchMode
-from repro.smt.solver import SmtStatus
 
 x, y = var("x"), var("y")
 

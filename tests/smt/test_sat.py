@@ -1,7 +1,6 @@
 """Tests for the CDCL SAT solver."""
 
 import itertools
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -12,7 +11,7 @@ from repro.smt.sat import SatSolver
 def brute_force(num_vars, clauses):
     for bits in itertools.product([False, True], repeat=num_vars):
         if all(
-            any(bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1] for l in clause)
+            any(bits[abs(lit) - 1] if lit > 0 else not bits[abs(lit) - 1] for lit in clause)
             for clause in clauses
         ):
             return True
@@ -70,7 +69,7 @@ class TestBasics:
         model = solver.solve()
         assert model is not None
         for clause in clauses:
-            assert any(model[abs(l)] == (l > 0) for l in clause)
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
 
     def test_assumptions_conflict(self):
         solver, _ = make_solver(2, [[1, 2]])
@@ -111,4 +110,4 @@ class TestAgainstBruteForce:
         assert (model is not None) == expected
         if model is not None:
             for clause in clauses:
-                assert any(model[abs(l)] == (l > 0) for l in clause)
+                assert any(model[abs(lit)] == (lit > 0) for lit in clause)

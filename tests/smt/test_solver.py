@@ -1,10 +1,9 @@
 """Tests for the lazy DPLL(T) solver."""
 
-import pytest
 
 from repro.linexpr.expr import var
 from repro.linexpr.formula import And, Exists, Or
-from repro.smt.solver import SmtSolver, SmtStatus
+from repro.smt.solver import SmtSolver
 
 x, y, z = var("x"), var("y"), var("z")
 

@@ -1,8 +1,6 @@
 """Tests for the linear-arithmetic theory solver."""
 
-from fractions import Fraction
 
-import pytest
 
 from repro.linexpr.expr import var
 from repro.smt.theory import check_conjunction
