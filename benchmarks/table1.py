@@ -1,186 +1,32 @@
 #!/usr/bin/env python3
-"""Regenerate the paper's Table 1.
+"""Regenerate the paper's Table 1 (delegates to ``repro table1``).
 
 Runs every prover over every suite (or a subset via command-line options)
-and prints a table with, per (suite, tool) pair: the number of benchmarks,
-the number proved terminating, the average analysis time, the average LP
-size and the total simplex pivot count (with its warm/cold solve split) —
-the paper's columns plus the cost metric the incremental LP drives down.
+through the crash-isolated parallel engine, resolving tool names via the
+prover registry of :mod:`repro.api`.  The implementation lives in
+:func:`repro.cli.table1_main` so the same harness is reachable three ways:
 
-Programs run through the parallel benchmark engine: ``--jobs N`` runs N
-programs concurrently in crash-isolated worker processes, ``--timeout S``
-kills any single program after S wall-clock seconds (recording a failed
-outcome instead of hanging the table), and ``--json OUT`` writes the
-machine-readable run summary consumed by CI.  Result ordering is
-deterministic regardless of --jobs.
+    python benchmarks/table1.py --quick
+    python -m repro table1 --quick
+    repro table1 --quick                  # after `pip install -e .`
 
 Examples::
 
     python benchmarks/table1.py --quick               # fast subset
     python benchmarks/table1.py --suite wtc            # one full suite
-    python benchmarks/table1.py --tool termite --tool heuristic
+    python benchmarks/table1.py --tool termite --tool heuristic --tool dnf
     python benchmarks/table1.py --jobs 4 --timeout 60 --json table1.json
     python benchmarks/table1.py --filter sort          # name substring
     python benchmarks/table1.py --lp-mode cold         # warm-start ablation
 """
 
-from __future__ import annotations
-
-import argparse
-import json
 import sys
-import time
 
-from repro.benchsuite import get_suite, suite_names
-from repro.core.lp_instance import LP_MODES
-from repro.reporting import (
-    TOOLS,
-    format_table,
-    reports_to_json_dict,
-    run_table1,
-)
-from repro.reporting.table import TABLE1_HEADERS, format_table1_row
-
-
-def parse_arguments(argv=None) -> argparse.Namespace:
-    parser = argparse.ArgumentParser(
-        description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    parser.add_argument(
-        "--suite",
-        action="append",
-        choices=suite_names(),
-        help="suite(s) to run (default: all four)",
-    )
-    parser.add_argument(
-        "--tool",
-        action="append",
-        choices=list(TOOLS),
-        help="tool(s) to run (default: termite and heuristic)",
-    )
-    parser.add_argument(
-        "--limit",
-        type=int,
-        default=None,
-        help="only run the first N programs of each suite",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="shorthand for --limit 5",
-    )
-    parser.add_argument(
-        "--filter",
-        dest="name_filter",
-        default=None,
-        metavar="SUBSTRING",
-        help="only run programs whose name contains SUBSTRING "
-        "(an empty selection produces an empty table row, not an error)",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run N programs concurrently in crash-isolated worker "
-        "processes (default: 1, inline)",
-    )
-    parser.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-program wall-clock budget; a program over budget is "
-        "killed and recorded as failed (default: no timeout)",
-    )
-    parser.add_argument(
-        "--json",
-        dest="json_path",
-        default=None,
-        metavar="OUT",
-        help="also write the machine-readable run summary to OUT "
-        "(schema_version 1; consumed by the CI benchmark smoke job)",
-    )
-    parser.add_argument(
-        "--lp-mode",
-        choices=list(LP_MODES),
-        default="incremental",
-        help="how termite re-solves LP(V, Constraints(I)) across "
-        "counterexample iterations: 'incremental' warm-starts from the "
-        "previous optimal basis, 'cold' rebuilds from scratch (the "
-        "ablation baseline), 'audit' does both and cross-checks the "
-        "optima (default: incremental)",
-    )
-    return parser.parse_args(argv)
+from repro.cli import table1_main
 
 
 def main(argv=None) -> int:
-    arguments = parse_arguments(argv)
-
-    suites = arguments.suite or suite_names()
-    tools = arguments.tool or ["termite", "heuristic"]
-    limit = 5 if arguments.quick and arguments.limit is None else arguments.limit
-
-    started = time.perf_counter()
-    reports = run_table1(
-        {suite: get_suite(suite) for suite in suites},
-        tools,
-        limit=limit,
-        jobs=arguments.jobs,
-        timeout=arguments.timeout,
-        lp_mode=arguments.lp_mode,
-        name_filter=arguments.name_filter,
-    )
-    elapsed = time.perf_counter() - started
-
-    rows = [format_table1_row(report) for report in reports]
-    print(format_table(TABLE1_HEADERS, rows))
-    print()
-    print(
-        "%d programs, %d proved, %d failed (%d timeouts), %d unsound | "
-        "%d simplex pivots (%d warm / %d cold solves) | "
-        "lp-mode=%s jobs=%d wall=%.1fs"
-        % (
-            sum(report.total for report in reports),
-            sum(report.successes for report in reports),
-            sum(report.failures for report in reports),
-            sum(report.timeouts for report in reports),
-            sum(len(report.unsound) for report in reports),
-            sum(report.total_pivots for report in reports),
-            sum(report.warm_solves for report in reports),
-            sum(report.cold_solves for report in reports),
-            arguments.lp_mode,
-            arguments.jobs,
-            elapsed,
-        )
-    )
-
-    if arguments.json_path:
-        document = reports_to_json_dict(
-            reports,
-            meta={
-                "suites": list(suites),
-                "tools": list(tools),
-                "limit": limit,
-                "filter": arguments.name_filter,
-                "jobs": arguments.jobs,
-                "timeout": arguments.timeout,
-                "lp_mode": arguments.lp_mode,
-                "wall_seconds": round(elapsed, 3),
-            },
-        )
-        try:
-            with open(arguments.json_path, "w") as handle:
-                json.dump(document, handle, indent=2)
-                handle.write("\n")
-        except OSError as error:
-            print("error: cannot write %s: %s" % (arguments.json_path, error))
-            return 2
-        print("wrote %s" % arguments.json_path)
-
-    unsound = sum(len(report.unsound) for report in reports)
-    return 1 if unsound else 0
+    return table1_main(argv)
 
 
 if __name__ == "__main__":

@@ -8,11 +8,13 @@ body as a single large-block transition — without ever enumerating the
 paths — is exactly what the cut-set + large-block encoding achieves, and
 the single cut point then admits the obvious ranking function ``x``.
 
+The example drives the staged :class:`repro.Analysis` pipeline by hand to
+show the intermediate artifacts, with an observer hook tracing the stages.
+
 Run with ``python examples/multipath_loop.py``.
 """
 
-from repro import compile_program, prove_termination
-from repro.program import compute_cutset, large_block_encoding
+from repro import Analysis
 
 LISTING1 = """
 var x, c;
@@ -26,19 +28,23 @@ while (x >= 0) {
 """
 
 
+def trace(event: str, stage: str, seconds) -> None:
+    if event == "end":
+        print("  [stage] %-12s %.1f ms" % (stage, seconds * 1000.0))
+
+
 def main() -> None:
-    automaton = compile_program(LISTING1, name="listing1")
-    cutset = compute_cutset(automaton)
-    blocks = large_block_encoding(automaton, cutset)
-    print("cut-set                :", cutset)
+    analysis = Analysis(LISTING1, name="listing1", observers=[trace])
+    problem = analysis.problem()          # the cached front half
+    print("cut-set                :", list(problem.cutset))
     print("large-block transitions:")
-    for block in blocks:
+    for block in problem.blocks:
         print(
             "    %s -> %s summarising %d paths"
             % (block.source, block.target, block.path_count)
         )
-    result = prove_termination(automaton)
-    print("status                 :", result.status)
+    result = analysis.run("termite")      # the prover half, via the registry
+    print("status                 :", result.status.value)
     print("ranking function       :", result.ranking.pretty() if result.ranking else None)
     print("certificate valid      :", result.certificate_checked)
 

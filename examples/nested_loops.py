@@ -6,12 +6,15 @@ Algorithm 3: a single stacked vector ``λ`` holds one affine function per
 cut point, and extremal counterexamples are drawn from the large-block
 transitions between the cut points.
 
+The comparison against the baselines goes through the **prover registry**:
+one :class:`repro.Analysis` object builds the termination problem once,
+then every tool runs on the shared, cached problem — the same mechanism
+the Table-1 harness uses.
+
 Run with ``python examples/nested_loops.py``.
 """
 
-from repro import compile_program, prove_termination
-from repro.baselines import eager_farkas_lexicographic, heuristic_prover
-from repro.core import TerminationProver
+from repro import Analysis, AnalysisConfig, available_provers, get_prover
 
 NESTED = """
 var i, j, n;
@@ -28,29 +31,31 @@ while (i < n) {
 
 
 def main() -> None:
-    automaton = compile_program(NESTED, name="nested_loops")
-    result = prove_termination(automaton)
-    print("— Termite (lazy, counterexample-guided) —")
-    print("status            :", result.status)
-    print("dimension         :", result.dimension)
-    print("ranking function  :", result.ranking.pretty() if result.ranking else None)
-    print(
-        "LP size (avg rows, cols) : (%.1f, %.1f)"
-        % (result.lp_statistics.average_rows, result.lp_statistics.average_cols)
+    analysis = Analysis(
+        NESTED,
+        config=AnalysisConfig(check_certificates=False),
+        name="nested_loops",
     )
-
-    problem = TerminationProver(automaton, check_certificates=False).build_problem()
-    eager = eager_farkas_lexicographic(problem)
-    print("\n— eager Farkas baseline (Rank-style) —")
-    print("status            :", eager.status)
-    print(
-        "LP size (avg rows, cols) : (%.1f, %.1f)"
-        % (eager.lp_statistics.average_rows, eager.lp_statistics.average_cols)
-    )
-
-    quick = heuristic_prover(problem)
-    print("\n— syntactic heuristic (Loopus-style) —")
-    print("status            :", quick.status)
+    for tool in available_provers():
+        result = analysis.run(tool)   # the problem is built once, then shared
+        print("— %s —" % get_prover(tool).summary)
+        print("  status            :", result.status.value)
+        print("  dimension         :", result.dimension)
+        print(
+            "  LP (instances, avg rows, avg cols) : (%d, %.1f, %.1f)"
+            % (
+                result.lp_statistics.instances,
+                result.lp_statistics.average_rows,
+                result.lp_statistics.average_cols,
+            )
+        )
+        print(
+            "  synthesis time    : %.1f ms (shared build: %.1f ms)"
+            % (
+                result.stage_seconds("synthesis") * 1000.0,
+                analysis.build_seconds() * 1000.0,
+            )
+        )
 
 
 if __name__ == "__main__":

@@ -3,14 +3,15 @@
 
 A single control point with two guarded transitions; the paper derives the
 ranking function ``ρ(x, y) = y + 1`` from the invariant polyhedron drawn in
-Figure 1.  The script builds the automaton through the builder API, lets
-the polyhedral analysis compute the invariant, and prints the extremal
+Figure 1.  The script builds the automaton through the builder API (the
+:class:`repro.Analysis` pipeline accepts automata as well as source text),
+lets the polyhedral analysis compute the invariant, and prints the extremal
 counterexamples' LP statistics alongside the synthesised witness.
 
 Run with ``python examples/paper_example1.py``.
 """
 
-from repro.core import TerminationProver
+from repro import Analysis
 from repro.linexpr import var
 from repro.program import AutomatonBuilder
 
@@ -37,15 +38,14 @@ def build_example1():
 
 
 def main() -> None:
-    automaton = build_example1()
-    prover = TerminationProver(automaton)
-    problem = prover.build_problem()
+    analysis = Analysis(build_example1(), name="example1")
+    problem = analysis.problem()
     print("cut-set           :", list(problem.cutset))
     print("invariant at k0   :")
     for constraint in problem.invariant("k0").constraints:
         print("   ", constraint)
-    result = prover.prove()
-    print("status            :", result.status)
+    result = analysis.run("termite")
+    print("status            :", result.status.value)
     print("ranking function  :", result.ranking.pretty() if result.ranking else None)
     print("certificate valid :", result.certificate_checked)
     print("SMT/LP iterations :", result.iterations)
@@ -53,6 +53,9 @@ def main() -> None:
         "LP size (avg rows, cols) : (%.1f, %.1f)"
         % (result.lp_statistics.average_rows, result.lp_statistics.average_cols)
     )
+    print("stage breakdown   :")
+    for stage in result.stages:
+        print("    %-12s %.1f ms" % (stage.name, stage.seconds * 1000.0))
 
 
 if __name__ == "__main__":

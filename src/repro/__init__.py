@@ -7,20 +7,42 @@ polyhedra, abstract-interpretation-based invariant generation, a small
 imperative front-end — plus the eager and heuristic baselines the paper
 compares against and the benchmark suites of its evaluation.
 
+The public surface is the unified analysis API of :mod:`repro.api`: a
+typed :class:`AnalysisConfig`, a prover registry (:func:`get_prover` /
+:func:`available_provers`), one JSON-serializable :class:`AnalysisResult`
+for every tool, and the staged :class:`Analysis` pipeline behind
+:func:`analyze` / :func:`analyze_many`.  A ``repro`` command line
+(``python -m repro``) sits on top.
+
 Quickstart::
 
-    from repro import compile_program, prove_termination
+    from repro import AnalysisConfig, analyze
 
-    automaton = compile_program('''
+    result = analyze('''
         var x, y;
         assume(y >= 1);
         while (x > 0) { x = x - y; }
-    ''')
-    result = prove_termination(automaton)
+    ''', tool="termite", config=AnalysisConfig())
     assert result.proved
     print(result.ranking.pretty())
+
+The historical entry points (:func:`prove_termination`,
+:class:`TerminationProver`) remain available as thin wrappers; see
+``docs/MIGRATION.md``.
 """
 
+from repro.api import (
+    Analysis,
+    AnalysisConfig,
+    AnalysisResult,
+    AnalysisStatus,
+    ConfigError,
+    analyze,
+    analyze_many,
+    available_provers,
+    get_prover,
+    register_prover,
+)
 from repro.core import (
     LexicographicRankingFunction,
     TerminationProver,
@@ -30,13 +52,26 @@ from repro.core import (
 from repro.frontend import compile_program, parse_program
 from repro.program import AutomatonBuilder, ControlFlowAutomaton, simple_loop
 
-__version__ = "1.0.0"
+__version__ = "0.3.0"  # keep in sync with pyproject.toml
 
 __all__ = [
+    # unified analysis API
+    "Analysis",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "AnalysisStatus",
+    "ConfigError",
+    "analyze",
+    "analyze_many",
+    "available_provers",
+    "get_prover",
+    "register_prover",
+    # historical entry points (thin wrappers)
     "prove_termination",
     "TerminationProver",
     "TerminationResult",
     "LexicographicRankingFunction",
+    # front-end and automata
     "compile_program",
     "parse_program",
     "AutomatonBuilder",

@@ -1,0 +1,161 @@
+"""The typed, serializable analysis configuration.
+
+:class:`AnalysisConfig` is the single place every knob of the analysis
+pipeline lives.  It is
+
+* **frozen** — a config is a value, safe to share between threads, cache
+  keys, and worker processes;
+* **validated** — every field is checked at construction time, so a typo
+  like ``lp_mode="warm"`` fails immediately with a :class:`ConfigError`
+  instead of deep inside the synthesis loop;
+* **exactly JSON round-trippable** — ``from_dict(json.loads(json.dumps(
+  cfg.to_dict()))) == cfg`` holds field for field, which is what lets a
+  config travel through the crash-isolated parallel engine, CI artifacts,
+  and the ``repro`` command line unchanged.
+
+Non-serializable inputs (a prepared :class:`~repro.invariants.domain.
+AbstractDomain` instance, externally supplied invariants or cut-sets) are
+deliberately *not* part of the config; they are advanced overrides passed
+directly to :class:`repro.api.pipeline.Analysis`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.lp_instance import LP_MODES
+from repro.smt.optimize import SearchMode
+
+#: Valid values of :attr:`AnalysisConfig.smt_mode`.
+SMT_MODES = tuple(mode.value for mode in SearchMode)
+
+#: Valid values of :attr:`AnalysisConfig.domain`.
+DOMAINS = ("polyhedra", "intervals")
+
+
+class ConfigError(ValueError):
+    """An :class:`AnalysisConfig` field failed validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Every knob of the termination analysis, as one immutable value.
+
+    The fields correspond one-to-one to the keyword arguments the old
+    ``TerminationProver`` constructor used to take (see
+    ``docs/MIGRATION.md`` for the mapping).
+    """
+
+    #: Counterexample search strategy of the optimising SMT oracle:
+    #: ``"local"`` (per-disjunct optimisation) or ``"global"``.
+    smt_mode: str = SearchMode.LOCAL.value
+    #: How ``LP(V, Constraints(I))`` is re-solved across counterexample
+    #: iterations: ``"incremental"`` (warm-started persistent tableau),
+    #: ``"cold"`` (rebuild from scratch) or ``"audit"`` (both + cross-check).
+    lp_mode: str = "incremental"
+    #: Tighten strict inequalities over integer-valued variables.
+    integer_mode: bool = False
+    #: Iteration budget of one monodimensional synthesis loop.
+    max_iterations: int = 200
+    #: Cap on the lexicographic dimension (``None``: the stacked dimension).
+    max_dimension: Optional[int] = None
+    #: Independently re-check the synthesised ranking function.
+    check_certificates: bool = True
+    #: Restrict invariants to the states that can still reach a cycle.
+    restrict_to_guarded: bool = True
+    #: Abstract domain of the invariant generator: ``"polyhedra"`` or
+    #: ``"intervals"``.
+    domain: str = "polyhedra"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.smt_mode in SMT_MODES,
+            "smt_mode must be one of %s, got %r" % (", ".join(SMT_MODES), self.smt_mode),
+        )
+        _require(
+            self.lp_mode in LP_MODES,
+            "lp_mode must be one of %s, got %r" % (", ".join(LP_MODES), self.lp_mode),
+        )
+        _require(
+            isinstance(self.integer_mode, bool),
+            "integer_mode must be a bool, got %r" % (self.integer_mode,),
+        )
+        _require(
+            isinstance(self.max_iterations, int)
+            and not isinstance(self.max_iterations, bool)
+            and self.max_iterations >= 1,
+            "max_iterations must be a positive int, got %r" % (self.max_iterations,),
+        )
+        _require(
+            self.max_dimension is None
+            or (
+                isinstance(self.max_dimension, int)
+                and not isinstance(self.max_dimension, bool)
+                and self.max_dimension >= 1
+            ),
+            "max_dimension must be None or a positive int, got %r"
+            % (self.max_dimension,),
+        )
+        _require(
+            isinstance(self.check_certificates, bool),
+            "check_certificates must be a bool, got %r" % (self.check_certificates,),
+        )
+        _require(
+            isinstance(self.restrict_to_guarded, bool),
+            "restrict_to_guarded must be a bool, got %r" % (self.restrict_to_guarded,),
+        )
+        _require(
+            self.domain in DOMAINS,
+            "domain must be one of %s, got %r" % (", ".join(DOMAINS), self.domain),
+        )
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def search_mode(self) -> SearchMode:
+        """The :attr:`smt_mode` as the solver's :class:`SearchMode` enum."""
+        return SearchMode(self.smt_mode)
+
+    def replace(self, **changes) -> "AnalysisConfig":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-JSON dictionary; inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a config written by a newer version
+        must not be silently misread), missing keys take their defaults.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError("config must be a dict, got %r" % type(data).__name__)
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError("unknown config keys: %s" % ", ".join(unknown))
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigError("invalid config JSON: %s" % error) from None
+        return cls.from_dict(data)

@@ -1,0 +1,203 @@
+"""The built-in provers, registered under their stable names.
+
+Importing this module (which :mod:`repro.api` does) populates the
+registry with the six tools of the evaluation:
+
+========================  =====================================================
+``termite``               the paper's lazy counterexample-guided synthesis
+``eager_farkas``          Rank/ADFG-style global eager Farkas synthesis
+``eager_generators``      Ben-Amram & Genaim-style generator enumeration
+``podelski_rybalchenko``  complete monodimensional synthesis (VMCAI 2004)
+``heuristic``             Loopus-style syntactic candidate guessing
+``dnf``                   per-disjunct greedy lexicographic elimination
+========================  =====================================================
+
+Hyphenated spellings (``eager-farkas``, …) are accepted by every lookup
+(:func:`repro.api.canonical_name` normalises them) for backwards
+compatibility with the historical Table-1 command lines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.api.config import AnalysisConfig
+from repro.api.registry import Prover, register_prover
+from repro.api.result import AnalysisResult, AnalysisStatus
+from repro.baselines import (
+    dnf_prover,
+    eager_farkas_lexicographic,
+    eager_generator_synthesis,
+    heuristic_prover,
+    podelski_rybalchenko,
+)
+from repro.baselines.result import BaselineResult
+from repro.core.certificate import check_certificate
+from repro.core.lp_instance import LpStatistics
+from repro.core.monodim import MaxIterationsExceeded
+from repro.core.multidim import synthesize_multidim
+from repro.core.problem import TerminationProblem
+from repro.core.ranking import LexicographicRankingFunction
+
+
+class TermiteProver(Prover):
+    """The paper's contribution: lazy, counterexample-guided synthesis."""
+
+    name = "termite"
+    supports_certificates = True
+    summary = (
+        "lazy multidimensional synthesis from extremal counterexamples "
+        "(Gonnord, Monniaux & Radanne, PLDI 2015)"
+    )
+
+    def prove(
+        self, problem: TerminationProblem, config: AnalysisConfig
+    ) -> AnalysisResult:
+        start = time.perf_counter()
+        lp_statistics = LpStatistics()
+        if not problem.blocks:
+            return AnalysisResult(
+                tool=self.name,
+                status=AnalysisStatus.TERMINATING,
+                ranking=LexicographicRankingFunction(),
+                time_seconds=time.perf_counter() - start,
+                dimension=0,
+                lp_statistics=lp_statistics,
+                message="no cycle through the cut-set",
+            )
+        try:
+            outcome = synthesize_multidim(
+                problem,
+                smt_mode=config.search_mode,
+                integer_mode=config.integer_mode,
+                max_dimension=config.max_dimension,
+                max_iterations=config.max_iterations,
+                lp_statistics=lp_statistics,
+                lp_mode=config.lp_mode,
+            )
+        except MaxIterationsExceeded as error:
+            return AnalysisResult(
+                tool=self.name,
+                status=AnalysisStatus.UNKNOWN,
+                time_seconds=time.perf_counter() - start,
+                lp_statistics=lp_statistics,
+                message=str(error),
+            )
+        elapsed = time.perf_counter() - start
+        iterations = sum(
+            component.statistics.iterations for component in outcome.components
+        )
+        if not outcome.success:
+            return AnalysisResult(
+                tool=self.name,
+                status=AnalysisStatus.UNKNOWN,
+                time_seconds=elapsed,
+                iterations=iterations,
+                lp_statistics=lp_statistics,
+                message="no lexicographic linear ranking function "
+                "relative to the computed invariant",
+            )
+        return AnalysisResult(
+            tool=self.name,
+            status=AnalysisStatus.TERMINATING,
+            ranking=outcome.ranking,
+            time_seconds=elapsed,
+            iterations=iterations,
+            dimension=outcome.dimension,
+            lp_statistics=lp_statistics,
+        )
+
+    def certify(
+        self,
+        problem: TerminationProblem,
+        result: AnalysisResult,
+        config: AnalysisConfig,
+    ) -> bool:
+        if result.ranking is None:
+            return False
+        return check_certificate(
+            problem, result.ranking, integer_mode=config.integer_mode
+        )
+
+
+class BaselineProver(Prover):
+    """Adapter putting one baseline function behind the prover interface.
+
+    The baselines are fixed published methods reproduced as-is; the only
+    config knob they honour is ``max_dimension`` (where the method is
+    lexicographic at all — Podelski–Rybalchenko is inherently
+    monodimensional).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        function: Callable[..., BaselineResult],
+        accepts_max_dimension: bool = True,
+    ):
+        self.name = name
+        self.summary = summary
+        self._function = function
+        self._accepts_max_dimension = accepts_max_dimension
+
+    def prove(
+        self, problem: TerminationProblem, config: AnalysisConfig
+    ) -> AnalysisResult:
+        kwargs = {}
+        if self._accepts_max_dimension and config.max_dimension is not None:
+            kwargs["max_dimension"] = config.max_dimension
+        outcome = self._function(problem, **kwargs)
+        return AnalysisResult(
+            tool=self.name,
+            status=AnalysisStatus.TERMINATING
+            if outcome.proved
+            else AnalysisStatus.UNKNOWN,
+            ranking=outcome.ranking,
+            time_seconds=outcome.time_seconds,
+            dimension=outcome.ranking.dimension if outcome.ranking else 0,
+            lp_statistics=outcome.lp_statistics,
+            details=dict(outcome.details),
+        )
+
+
+register_prover(TermiteProver())
+register_prover(
+    BaselineProver(
+        "eager_farkas",
+        "eager global Farkas synthesis over the DNF expansion "
+        "(Rank / Alias-Darte-Feautrier-Gonnord style)",
+        eager_farkas_lexicographic,
+    )
+)
+register_prover(
+    BaselineProver(
+        "eager_generators",
+        "eager vertex/ray enumeration via double description "
+        "(Ben-Amram & Genaim style)",
+        eager_generator_synthesis,
+    )
+)
+register_prover(
+    BaselineProver(
+        "podelski_rybalchenko",
+        "complete monodimensional linear ranking synthesis (VMCAI 2004)",
+        podelski_rybalchenko,
+        accepts_max_dimension=False,
+    )
+)
+register_prover(
+    BaselineProver(
+        "heuristic",
+        "Loopus-style syntactic candidate guessing over loop guards",
+        heuristic_prover,
+    )
+)
+register_prover(
+    BaselineProver(
+        "dnf",
+        "greedy per-disjunct lexicographic elimination over the eager DNF",
+        dnf_prover,
+    )
+)

@@ -1,0 +1,108 @@
+"""The prover registry: every termination tool behind one interface.
+
+A :class:`Prover` turns a prepared
+:class:`~repro.core.problem.TerminationProblem` plus an
+:class:`~repro.api.config.AnalysisConfig` into an
+:class:`~repro.api.result.AnalysisResult`.  Tools register under stable
+names (``termite``, ``eager_farkas``, ``eager_generators``,
+``podelski_rybalchenko``, ``heuristic``, ``dnf``) and are looked up with
+:func:`get_prover`; hyphenated spellings (``eager-farkas``) are accepted
+as aliases so historical command lines keep working.
+
+The registry is what lets the batch runner, the Table-1 harness and the
+``repro`` CLI schedule heterogeneous solvers uniformly — no tool-specific
+invocation glue anywhere above this module.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.config import AnalysisConfig
+    from repro.api.result import AnalysisResult
+    from repro.core.problem import TerminationProblem
+
+
+class Prover(abc.ABC):
+    """One termination prover behind the uniform analysis interface."""
+
+    #: Stable registry name (also the ``tool`` field of results).
+    name: str = ""
+    #: One-line description shown by ``repro list-provers``.
+    summary: str = ""
+    #: Whether :meth:`certify` performs a real check (gates the pipeline's
+    #: ``certificate`` stage; a no-op certifier is simply skipped).
+    supports_certificates: bool = False
+
+    @abc.abstractmethod
+    def prove(
+        self, problem: "TerminationProblem", config: "AnalysisConfig"
+    ) -> "AnalysisResult":
+        """Attempt a termination proof of *problem* under *config*."""
+
+    def certify(
+        self,
+        problem: "TerminationProblem",
+        result: "AnalysisResult",
+        config: "AnalysisConfig",
+    ) -> bool:
+        """Independently re-check *result*'s ranking function.
+
+        Runs as the pipeline's ``certificate`` stage.  The default is a
+        no-op (not every prover's witness format supports the exact
+        checker); provers that do support it override this.
+        """
+        return False
+
+    def __repr__(self) -> str:
+        return "<Prover %s>" % (self.name or type(self).__name__)
+
+
+_REGISTRY: Dict[str, Prover] = {}
+
+
+def register_prover(prover: Prover) -> Prover:
+    """Register *prover* under its :attr:`~Prover.name`.
+
+    Re-registering a name replaces the previous prover (kept simple so
+    tests can install stubs).
+    """
+    if not prover.name:
+        raise ValueError("prover %r has no name" % (prover,))
+    _REGISTRY[prover.name] = prover
+    return prover
+
+
+def canonical_name(name: str) -> str:
+    """Resolve *name* to the registry key.
+
+    Hyphenated spellings (``eager-farkas``) normalise onto the canonical
+    underscore names, so historical Table-1 command lines keep working.
+    Raises :class:`KeyError` with the list of available provers when the
+    name is unknown.
+    """
+    if name in _REGISTRY:
+        return name
+    normalised = name.replace("-", "_")
+    if normalised in _REGISTRY:
+        return normalised
+    raise KeyError(
+        "unknown tool %r (available: %s)" % (name, ", ".join(available_provers()))
+    )
+
+
+def get_prover(name: str) -> Prover:
+    """Look up a registered prover by name or alias."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def available_provers() -> List[str]:
+    """Canonical prover names, in registration order."""
+    return list(_REGISTRY)
+
+
+def prover_summaries() -> Dict[str, str]:
+    """``{name: one-line summary}`` for every registered prover."""
+    return {name: prover.summary for name, prover in _REGISTRY.items()}

@@ -21,8 +21,11 @@ competitors on identical inputs:
   ``LP(V, Constraints(I))`` instance is solved.
 * :mod:`repro.baselines.heuristic` — a Loopus-style syntactic prover that
   guesses candidate ranking expressions from the guards and checks them.
+* :mod:`repro.baselines.dnf_prover` — greedy per-disjunct lexicographic
+  elimination over the eager DNF expansion (Bradley–Manna–Sipma-style
+  one-by-one synthesis): many small Farkas LPs instead of one global one.
 
-All four consume the same :class:`~repro.core.problem.TerminationProblem`
+All five consume the same :class:`~repro.core.problem.TerminationProblem`
 (or a control-flow automaton) and report results in the same shape as the
 main prover, including LP-size statistics.
 """
@@ -32,6 +35,7 @@ from repro.baselines.podelski_rybalchenko import podelski_rybalchenko
 from repro.baselines.eager_farkas import eager_farkas_lexicographic
 from repro.baselines.eager_generators import eager_generator_synthesis
 from repro.baselines.heuristic import heuristic_prover
+from repro.baselines.dnf_prover import dnf_prover
 
 __all__ = [
     "BaselineResult",
@@ -39,4 +43,5 @@ __all__ = [
     "eager_farkas_lexicographic",
     "eager_generator_synthesis",
     "heuristic_prover",
+    "dnf_prover",
 ]

@@ -1,0 +1,431 @@
+"""The ``repro`` command line — a reproducible front door to the analysis.
+
+Three subcommands, all built on the unified analysis API:
+
+``repro prove FILE``
+    Run one registered prover on a mini-language program (``-`` reads
+    stdin).  ``--json`` emits the full, exactly round-trippable
+    :class:`~repro.api.result.AnalysisResult` document.  Exit code: 0
+    proved, 2 not proved, 1 error.
+
+``repro list-provers``
+    The prover registry: every stable tool name with its summary.
+
+``repro table1``
+    Regenerate the paper's Table 1 over the bundled benchmark suites
+    through the parallel engine (the same engine CI runs; also reachable
+    as ``python benchmarks/table1.py``).
+
+Installed as a console script (``pip install -e .``) and always available
+as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import (
+    AnalysisConfig,
+    ConfigError,
+    DOMAINS,
+    SMT_MODES,
+    analyze,
+    available_provers,
+    canonical_name,
+    prover_summaries,
+)
+from repro.core.lp_instance import LP_MODES
+
+
+# ---------------------------------------------------------------------------
+# repro prove
+# ---------------------------------------------------------------------------
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags mirroring the :class:`AnalysisConfig` fields, all optional."""
+    group = parser.add_argument_group(
+        "analysis configuration",
+        "defaults come from AnalysisConfig (or --config when given); "
+        "explicit flags win",
+    )
+    group.add_argument(
+        "--config",
+        metavar="FILE",
+        default=None,
+        help="load an AnalysisConfig JSON document (as written by "
+        "AnalysisConfig.to_json) and use it as the baseline",
+    )
+    group.add_argument("--smt-mode", choices=list(SMT_MODES), default=None)
+    group.add_argument("--lp-mode", choices=list(LP_MODES), default=None)
+    group.add_argument("--domain", choices=list(DOMAINS), default=None)
+    group.add_argument("--max-iterations", type=int, metavar="N", default=None)
+    group.add_argument("--max-dimension", type=int, metavar="N", default=None)
+    group.add_argument(
+        "--integer-mode",
+        action="store_true",
+        default=None,
+        help="tighten strict inequalities over integer variables",
+    )
+    group.add_argument(
+        "--no-certificates",
+        action="store_true",
+        help="skip the independent certificate check",
+    )
+    group.add_argument(
+        "--no-guard-restriction",
+        action="store_true",
+        help="do not restrict invariants to guarded states",
+    )
+
+
+def _config_from_arguments(arguments: argparse.Namespace) -> AnalysisConfig:
+    if arguments.config:
+        with open(arguments.config) as handle:
+            config = AnalysisConfig.from_json(handle.read())
+    else:
+        config = AnalysisConfig()
+    overrides = {}
+    for flag, field in [
+        ("smt_mode", "smt_mode"),
+        ("lp_mode", "lp_mode"),
+        ("domain", "domain"),
+        ("max_iterations", "max_iterations"),
+        ("max_dimension", "max_dimension"),
+        ("integer_mode", "integer_mode"),
+    ]:
+        value = getattr(arguments, flag)
+        if value is not None:
+            overrides[field] = value
+    if arguments.no_certificates:
+        overrides["check_certificates"] = False
+    if arguments.no_guard_restriction:
+        overrides["restrict_to_guarded"] = False
+    return config.replace(**overrides)
+
+
+def _read_program(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def command_prove(arguments: argparse.Namespace) -> int:
+    try:
+        tool = canonical_name(arguments.tool)
+    except KeyError as error:
+        print("error: %s" % error.args[0], file=sys.stderr)
+        return 1
+    try:
+        config = _config_from_arguments(arguments)
+    except (ConfigError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    try:
+        source = _read_program(arguments.file)
+    except OSError as error:
+        print("error: cannot read %s: %s" % (arguments.file, error), file=sys.stderr)
+        return 1
+
+    name = arguments.name or (
+        "stdin" if arguments.file == "-" else arguments.file
+    )
+    try:
+        result = analyze(source, tool=tool, config=config, name=name)
+    except Exception as error:  # surface a parse/analysis failure as exit 1
+        print("error: %s: %s" % (type(error).__name__, error), file=sys.stderr)
+        return 1
+
+    if arguments.json:
+        print(result.to_json(indent=2))
+    else:
+        print("program            : %s" % result.program)
+        print("tool               : %s" % result.tool)
+        print("status             : %s" % result.status.value)
+        if result.ranking is not None:
+            print("ranking function   : %s" % result.ranking.pretty())
+            print("dimension          : %d" % result.dimension)
+        if result.certificate_checked:
+            print("certificate        : checked")
+        if result.message:
+            print("note               : %s" % result.message)
+        print("time               : %.1f ms" % (result.time_seconds * 1000.0))
+        for stage in result.stages:
+            print("  %-16s : %.1f ms" % (stage.name, stage.seconds * 1000.0))
+        statistics = result.lp_statistics
+        if statistics.instances:
+            print(
+                "LP                 : %d instances, avg (%.1f, %.1f), "
+                "%d pivots (%d warm / %d cold solves)"
+                % (
+                    statistics.instances,
+                    statistics.average_rows,
+                    statistics.average_cols,
+                    statistics.pivots,
+                    statistics.warm_solves,
+                    statistics.cold_solves,
+                )
+            )
+    if result.status.value == "error":
+        return 1
+    return 0 if result.proved else 2
+
+
+# ---------------------------------------------------------------------------
+# repro list-provers
+# ---------------------------------------------------------------------------
+
+
+def command_list_provers(arguments: argparse.Namespace) -> int:
+    summaries = prover_summaries()
+    if arguments.json:
+        print(json.dumps({"provers": summaries}, indent=2))
+        return 0
+    width = max(len(name) for name in summaries)
+    for name, summary in summaries.items():
+        print("%-*s  %s" % (width, name, summary))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro table1 (also the engine behind benchmarks/table1.py)
+# ---------------------------------------------------------------------------
+
+
+def add_table1_arguments(parser: argparse.ArgumentParser) -> None:
+    # Imported here, not at module level: the suites materialise their
+    # program sources at import time, which `import repro.cli` should not pay.
+    from repro.benchsuite import suite_names
+
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=suite_names(),
+        help="suite(s) to run (default: all four)",
+    )
+    parser.add_argument(
+        "--tool",
+        action="append",
+        metavar="TOOL",
+        help="tool(s) to run, by registry name (default: termite and "
+        "heuristic; see `repro list-provers`)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="only run the first N programs of each suite",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --limit 5",
+    )
+    parser.add_argument(
+        "--filter",
+        dest="name_filter",
+        default=None,
+        metavar="SUBSTRING",
+        help="only run programs whose name contains SUBSTRING "
+        "(an empty selection produces an empty table row, not an error)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N programs concurrently in crash-isolated worker "
+        "processes (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-program wall-clock budget covering all requested tools "
+        "(the problem build is shared across them); a program over budget "
+        "is killed and recorded as failed (default: no timeout)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="OUT",
+        help="also write the machine-readable run summary to OUT "
+        "(schema_version 2; consumed by the CI benchmark smoke job)",
+    )
+    parser.add_argument(
+        "--lp-mode",
+        choices=list(LP_MODES),
+        default="incremental",
+        help="how termite re-solves LP(V, Constraints(I)) across "
+        "counterexample iterations: 'incremental' warm-starts from the "
+        "previous optimal basis, 'cold' rebuilds from scratch (the "
+        "ablation baseline), 'audit' does both and cross-checks the "
+        "optima (default: incremental)",
+    )
+
+
+def command_table1(arguments: argparse.Namespace) -> int:
+    from repro.benchsuite import get_suite, suite_names
+    from repro.reporting import (
+        format_table,
+        reports_to_json_dict,
+        run_table1,
+    )
+    from repro.reporting.table import TABLE1_HEADERS, format_table1_row
+
+    suites = arguments.suite or suite_names()
+    tools = arguments.tool or ["termite", "heuristic"]
+    try:
+        tools = [canonical_name(tool) for tool in tools]
+    except KeyError as error:
+        print("error: %s" % error.args[0], file=sys.stderr)
+        return 2
+    limit = 5 if arguments.quick and arguments.limit is None else arguments.limit
+
+    started = time.perf_counter()
+    reports = run_table1(
+        {suite: get_suite(suite) for suite in suites},
+        tools,
+        limit=limit,
+        jobs=arguments.jobs,
+        timeout=arguments.timeout,
+        lp_mode=arguments.lp_mode,
+        name_filter=arguments.name_filter,
+    )
+    elapsed = time.perf_counter() - started
+
+    rows = [format_table1_row(report) for report in reports]
+    print(format_table(TABLE1_HEADERS, rows))
+    print()
+    document = reports_to_json_dict(
+        reports,
+        meta={
+            "suites": list(suites),
+            "tools": list(tools),
+            "limit": limit,
+            "filter": arguments.name_filter,
+            "jobs": arguments.jobs,
+            "timeout": arguments.timeout,
+            "lp_mode": arguments.lp_mode,
+            "wall_seconds": round(elapsed, 3),
+        },
+    )
+    totals = document["totals"]
+    sharing = totals["problem_sharing"]
+    print(
+        "%d programs, %d proved, %d failed (%d timeouts), %d unsound | "
+        "%d simplex pivots (%d warm / %d cold solves) | "
+        "%.2fs problem-build wall-clock saved (%d rebuilds avoided) | "
+        "lp-mode=%s jobs=%d wall=%.1fs"
+        % (
+            totals["programs"],
+            totals["successes"],
+            totals["failures"],
+            totals["timeouts"],
+            totals["unsound"],
+            totals["total_pivots"],
+            totals["warm_solves"],
+            totals["cold_solves"],
+            sharing["seconds_saved"],
+            sharing["rebuilds_avoided"],
+            arguments.lp_mode,
+            arguments.jobs,
+            elapsed,
+        )
+    )
+
+    if arguments.json_path:
+        try:
+            with open(arguments.json_path, "w") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print("error: cannot write %s: %s" % (arguments.json_path, error))
+            return 2
+        print("wrote %s" % arguments.json_path)
+
+    return 1 if totals["unsound"] else 0
+
+
+def table1_main(argv=None) -> int:
+    """Standalone Table-1 entry point (used by ``benchmarks/table1.py``)."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's Table 1 over the bundled suites.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_table1_arguments(parser)
+    return command_table1(parser.parse_args(argv))
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    prove = subparsers.add_parser(
+        "prove",
+        help="prove termination of one mini-language program",
+        description="Run one registered prover on a program file "
+        "('-' reads stdin).  Exit code: 0 proved, 2 not proved, 1 error.",
+    )
+    prove.add_argument("file", help="program file, or '-' for stdin")
+    prove.add_argument(
+        "--tool",
+        default="termite",
+        metavar="TOOL",
+        help="registry name of the prover (default: termite; "
+        "see `repro list-provers`)",
+    )
+    prove.add_argument(
+        "--name", default=None, help="program name used in the result"
+    )
+    prove.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full AnalysisResult as JSON (exactly round-trippable "
+        "via AnalysisResult.from_json)",
+    )
+    _add_config_arguments(prove)
+    prove.set_defaults(handler=command_prove)
+
+    list_provers = subparsers.add_parser(
+        "list-provers",
+        help="list the registered provers",
+        description="Every stable registry name with its summary.",
+    )
+    list_provers.add_argument("--json", action="store_true")
+    list_provers.set_defaults(handler=command_list_provers)
+
+    table1 = subparsers.add_parser(
+        "table1",
+        help="regenerate the paper's Table 1 over the bundled suites",
+        description="Run every requested (suite, tool) cell through the "
+        "crash-isolated parallel engine.",
+    )
+    add_table1_arguments(table1)
+    table1.set_defaults(handler=command_table1)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

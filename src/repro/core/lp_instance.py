@@ -86,6 +86,42 @@ class LpStatistics:
     def average_cols(self) -> float:
         return self.total_cols / self.instances if self.instances else 0.0
 
+    def to_dict(self) -> dict:
+        """Plain-JSON view: the raw counters plus derived averages.
+
+        The derived ``average_rows``/``average_cols`` keys are included
+        for human readers and dashboards; :meth:`from_dict` ignores them,
+        so the raw counters round-trip exactly.
+        """
+        return {
+            "instances": self.instances,
+            "total_rows": self.total_rows,
+            "total_cols": self.total_cols,
+            "max_rows": self.max_rows,
+            "max_cols": self.max_cols,
+            "pivots": self.pivots,
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "pivots_saved": self.pivots_saved,
+            "average_rows": self.average_rows,
+            "average_cols": self.average_cols,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LpStatistics":
+        """Inverse of :meth:`to_dict` (derived keys are recomputed)."""
+        return cls(
+            instances=data.get("instances", 0),
+            total_rows=data.get("total_rows", 0),
+            total_cols=data.get("total_cols", 0),
+            max_rows=data.get("max_rows", 0),
+            max_cols=data.get("max_cols", 0),
+            pivots=data.get("pivots", 0),
+            warm_solves=data.get("warm_solves", 0),
+            cold_solves=data.get("cold_solves", 0),
+            pivots_saved=data.get("pivots_saved", 0),
+        )
+
     def merge(self, other: "LpStatistics") -> None:
         self.instances += other.instances
         self.total_rows += other.total_rows
@@ -168,16 +204,22 @@ class RankingLp:
     def solve(self) -> RankingLpSolution:
         """Solve the current instance (it is always feasible, Proposition 5)."""
         # Table-1 statistics: one row per counterexample, one column block
-        # for the γ's plus one δ per counterexample.
+        # for the γ's plus one δ per counterexample.  A repeat solve with
+        # no new counterexample returns the persistent state's cached
+        # result: it must not be accounted as another instance/solve, nor
+        # shadow-solved again in audit mode (cold mode has no cache and
+        # genuinely re-solves, so it keeps recording every call).
         rows = len(self.counterexamples)
         cols = len(self.rows) + len(self.counterexamples)
-        self.statistics.record(rows, cols)
+        fresh = self._state is None or self._synced < len(self.counterexamples)
+        if self.mode == "cold" or fresh:
+            self.statistics.record(rows, cols)
 
         if self.mode == "cold":
             outcome = self._solve_cold()
         else:
-            outcome = self._solve_incremental()
-            if self.mode == "audit":
+            outcome = self._solve_incremental(fresh)
+            if self.mode == "audit" and fresh:
                 self._audit_against_cold(outcome)
         if outcome.status is not LpStatus.OPTIMAL:
             raise RuntimeError(
@@ -206,13 +248,15 @@ class RankingLp:
 
     # -- the three solving strategies -------------------------------------------------
 
-    def _solve_incremental(self) -> LpResult:
+    def _solve_incremental(self, fresh: bool) -> LpResult:
         """Push new counterexamples into the persistent LP and re-solve.
 
         γ's and δ's are declared nonnegative (single standard-form columns)
         so the explicit ``γ ≥ 0`` / ``δ ≥ 0`` rows of the textbook
         formulation disappear into the column bounds; each counterexample
-        contributes its ``δ_j ≤ 1`` bound and its generator row.
+        contributes its ``δ_j ≤ 1`` bound and its generator row.  When
+        *fresh* is false the state returns its cached result and no solve
+        is accounted.
         """
         if self._state is None:
             self._state = SimplexState(Sense.MAXIMIZE)
@@ -228,7 +272,10 @@ class RankingLp:
         self._synced = len(self.counterexamples)
         state.set_objective(self._objective)
         outcome = state.solve()
-        self.statistics.record_solve(outcome.pivots, warm=state.last_solve_warm)
+        if fresh:
+            self.statistics.record_solve(
+                outcome.pivots, warm=state.last_solve_warm
+            )
         return outcome
 
     def _build_cold_program(self) -> LinearProgram:

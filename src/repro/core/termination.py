@@ -1,46 +1,46 @@
-"""The end-to-end termination prover (the reproduction's "Termite").
+"""Backward-compatible entry points of the end-to-end prover ("Termite").
 
-:class:`TerminationProver` glues the pipeline of §9 together:
+This module is now a **thin wrapper** over the unified analysis API of
+:mod:`repro.api`: the staged pipeline (:class:`repro.api.pipeline.
+Analysis`) owns invariant generation, cut-set computation, the
+large-block encoding and the problem cache, and the ``termite`` prover of
+the registry owns the synthesis of §9.  :class:`TerminationProver`,
+:class:`TerminationResult` and :func:`prove_termination` keep their
+historical shapes so existing call sites work unchanged; new code should
+prefer::
 
-1. the control-flow automaton (from the front-end or built directly),
-2. invariants from the abstract-interpretation engine
-   (:mod:`repro.invariants`), playing the role of Pagai/Aspic,
-3. the cut-set and the large-block encoding (:mod:`repro.program`),
-4. the multidimensional, multi-control-point synthesis algorithm
-   (:mod:`repro.core.multidim`),
-5. optionally, an independent certificate check of the result.
+    from repro.api import AnalysisConfig, analyze
 
-The :class:`TerminationResult` carries the statistics reported in the
-paper's evaluation: wall-clock time, number of SMT iterations, and the
-average/maximum size of the LP instances (the "(l, c)" columns of
-Table 1).
+    result = analyze(automaton_or_source, tool="termite",
+                     config=AnalysisConfig(lp_mode="incremental"))
+
+See ``docs/MIGRATION.md`` for the full mapping.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
-from repro.core.certificate import check_certificate
 from repro.core.lp_instance import LpStatistics
-from repro.core.monodim import MaxIterationsExceeded
-from repro.core.multidim import synthesize_multidim
 from repro.core.problem import TerminationProblem
 from repro.core.ranking import LexicographicRankingFunction
-from repro.core.relevance import restrict_to_guarded_states
-from repro.invariants.analyzer import compute_invariants
 from repro.invariants.domain import AbstractDomain
 from repro.invariants.invariant_map import InvariantMap
 from repro.program.automaton import ControlFlowAutomaton
-from repro.program.cutset import compute_cutset
-from repro.program.large_block import large_block_encoding
 from repro.smt.optimize import SearchMode
+
+if TYPE_CHECKING:  # pragma: no cover - the api sits above this compat layer
+    from repro.api.result import AnalysisResult
 
 
 @dataclass
 class TerminationResult:
-    """Outcome of a termination proof attempt."""
+    """Outcome of a termination proof attempt (historical result shape).
+
+    New code should use :class:`repro.api.AnalysisResult`, which this is a
+    projection of.
+    """
 
     proved: bool
     ranking: Optional[LexicographicRankingFunction]
@@ -53,6 +53,22 @@ class TerminationResult:
     problem_statistics: Dict[str, int] = field(default_factory=dict)
     message: str = ""
 
+    @classmethod
+    def from_analysis(cls, result: "AnalysisResult") -> "TerminationResult":
+        """Project a unified :class:`AnalysisResult` onto the old shape."""
+        return cls(
+            proved=result.proved,
+            ranking=result.ranking,
+            status=result.status.value,
+            time_seconds=result.time_seconds,
+            iterations=result.iterations,
+            dimension=result.dimension,
+            lp_statistics=result.lp_statistics,
+            certificate_checked=result.certificate_checked,
+            problem_statistics=dict(result.problem_statistics),
+            message=result.message or (result.error or ""),
+        )
+
     def __repr__(self) -> str:
         return "TerminationResult(%s, dim=%d, %.1f ms, LP avg (%.1f, %.1f))" % (
             self.status,
@@ -64,7 +80,12 @@ class TerminationResult:
 
 
 class TerminationProver:
-    """Prove termination of a control-flow automaton."""
+    """Prove termination of a control-flow automaton (compat wrapper).
+
+    The historical keyword arguments are packed into an
+    :class:`~repro.api.config.AnalysisConfig` and the work is delegated to
+    the staged :class:`~repro.api.pipeline.Analysis`.
+    """
 
     def __init__(
         self,
@@ -86,104 +107,66 @@ class TerminationProver:
         self.restrict_to_guarded = restrict_to_guarded
         self.max_iterations = max_iterations
         self.lp_mode = lp_mode
-        self._domain = domain
         self._given_invariants = invariants
         self._given_cutset = list(cutset) if cutset is not None else None
+        self._given_domain = domain
+        self._analysis = None
+        self._analysis_key = None
+
+    @property
+    def config(self):
+        """The public attributes as an :class:`~repro.api.AnalysisConfig`.
+
+        Recomputed on access: the historical contract is that the
+        attributes can be mutated after construction and are honoured at
+        :meth:`prove` time.
+        """
+        # Imported here, not at module level: the api package imports the
+        # core (its config needs LP_MODES), so this compat wrapper
+        # resolves its dependency on the api at call time.
+        from repro.api.config import AnalysisConfig
+
+        return AnalysisConfig(
+            smt_mode=SearchMode(self.smt_mode).value,
+            lp_mode=self.lp_mode,
+            integer_mode=self.integer_mode,
+            max_iterations=self.max_iterations,
+            check_certificates=self.check_certificates,
+            restrict_to_guarded=self.restrict_to_guarded,
+        )
+
+    def _current_analysis(self):
+        """The cached pipeline, refreshed when the attributes changed.
+
+        The cache is keyed on the automaton object *and* the config, so
+        rebinding ``prover.automaton`` (or any config attribute) after a
+        prove is honoured — the historical contract — while repeated
+        proves of an unchanged prover share the built problem.
+        """
+        from repro.api.pipeline import Analysis
+
+        key = (self.automaton, self.config)
+        if self._analysis is None or self._analysis_key != key:
+            self._analysis = Analysis(
+                self.automaton,
+                config=key[1],
+                invariants=self._given_invariants,
+                cutset=self._given_cutset,
+                domain=self._given_domain,
+            )
+            self._analysis_key = key
+        return self._analysis
 
     # -- pipeline ------------------------------------------------------------------
 
     def build_problem(self) -> TerminationProblem:
         """Run the front half of the pipeline: invariants + large blocks."""
-        cutset = self._given_cutset or compute_cutset(self.automaton)
-        if not cutset:
-            # No cycle at all: the program trivially terminates; keep a
-            # placeholder cut point so the problem object stays well-formed.
-            cutset = [self.automaton.initial_location]
-        invariants = self._given_invariants
-        if invariants is None:
-            invariants = compute_invariants(self.automaton, self._domain)
-        if self.restrict_to_guarded:
-            invariants = restrict_to_guarded_states(
-                self.automaton, cutset, invariants
-            )
-        blocks = large_block_encoding(self.automaton, cutset)
-        return TerminationProblem(
-            self.automaton.variables,
-            cutset,
-            invariants,
-            blocks,
-            sorted(self.automaton.integer_variables),
-        )
+        return self._current_analysis().problem()
 
     def prove(self) -> TerminationResult:
         """Attempt to prove termination; never raises on ordinary failures."""
-        start = time.perf_counter()
-        lp_statistics = LpStatistics()
-        try:
-            problem = self.build_problem()
-            if not problem.blocks:
-                elapsed = time.perf_counter() - start
-                return TerminationResult(
-                    proved=True,
-                    ranking=LexicographicRankingFunction(),
-                    status="terminating",
-                    time_seconds=elapsed,
-                    dimension=0,
-                    lp_statistics=lp_statistics,
-                    problem_statistics=problem.statistics(),
-                    message="no cycle through the cut-set",
-                )
-            outcome = synthesize_multidim(
-                problem,
-                smt_mode=self.smt_mode,
-                integer_mode=self.integer_mode,
-                max_iterations=self.max_iterations,
-                lp_statistics=lp_statistics,
-                lp_mode=self.lp_mode,
-            )
-        except MaxIterationsExceeded as error:
-            elapsed = time.perf_counter() - start
-            return TerminationResult(
-                proved=False,
-                ranking=None,
-                status="unknown",
-                time_seconds=elapsed,
-                lp_statistics=lp_statistics,
-                message=str(error),
-            )
-
-        elapsed = time.perf_counter() - start
-        iterations = sum(
-            component.statistics.iterations for component in outcome.components
-        )
-        if not outcome.success:
-            return TerminationResult(
-                proved=False,
-                ranking=None,
-                status="unknown",
-                time_seconds=elapsed,
-                iterations=iterations,
-                lp_statistics=lp_statistics,
-                problem_statistics=problem.statistics(),
-                message="no lexicographic linear ranking function "
-                "relative to the computed invariant",
-            )
-
-        certificate_checked = False
-        if self.check_certificates and outcome.ranking is not None:
-            certificate_checked = check_certificate(
-                problem, outcome.ranking, integer_mode=self.integer_mode
-            )
-        return TerminationResult(
-            proved=True,
-            ranking=outcome.ranking,
-            status="terminating",
-            time_seconds=elapsed,
-            iterations=iterations,
-            dimension=outcome.dimension,
-            lp_statistics=lp_statistics,
-            certificate_checked=certificate_checked,
-            problem_statistics=problem.statistics(),
+        return TerminationResult.from_analysis(
+            self._current_analysis().run("termite")
         )
 
 

@@ -1,107 +1,93 @@
 """Run the provers over benchmark suites and aggregate Table-1 statistics.
 
-The engine behind ``benchmarks/table1.py`` and the CI benchmark smoke job:
-every (suite, tool, program) cell becomes one task for the crash-isolated
-parallel engine of :mod:`repro.reporting.parallel`, with a per-program
-wall-clock timeout and deterministic result ordering.  A prover crash or
-timeout records a failed :class:`ProgramOutcome` instead of aborting the
-table, and the whole run serialises to machine-readable JSON for CI.
+The engine behind ``benchmarks/table1.py``, ``repro table1`` and the CI
+benchmark smoke job, rebuilt on the unified analysis API: tools are
+resolved through the **prover registry** (:func:`repro.api.get_prover` —
+no per-tool dispatch glue here), every outcome is a unified
+:class:`~repro.api.result.AnalysisResult`, and each scheduled task is
+*one program with all requested tools*, so the staged pipeline builds the
+:class:`~repro.core.problem.TerminationProblem` (invariants, cut-set,
+large blocks) **once per program** and shares it across tools — even
+across worker-process boundaries.  The wall-clock that sharing saves is
+reported in the JSON summary (``totals.problem_sharing``).
+
+A prover crash or timeout records a failed outcome instead of aborting
+the table, and the whole run serialises to machine-readable JSON for CI.
 """
 
 from __future__ import annotations
 
 import functools
-import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.baselines import (
-    eager_farkas_lexicographic,
-    eager_generator_synthesis,
-    heuristic_prover,
-    podelski_rybalchenko,
+from repro.api.config import AnalysisConfig
+from repro.api.pipeline import (
+    BUILD_STAGES,
+    results_from_task,
+    run_tools_on_program,
 )
+from repro.api.registry import available_provers, canonical_name, get_prover
+from repro.api.result import AnalysisResult
 from repro.benchsuite.program import BenchmarkProgram
-from repro.core.lp_instance import LpStatistics
-from repro.core.termination import TerminationProver
-from repro.reporting.parallel import TaskResult, run_tasks
+from repro.reporting.parallel import run_tasks
+
+#: Historical alias: the runner's per-program outcome **is** the unified
+#: result type now.  Reading old code keeps working (``proved``,
+#: ``time_seconds``, ``lp_statistics``, ``error``, ``timed_out`` are all
+#: present), but the old constructor shape is gone — ``proved`` is a
+#: derived property of ``status``, not an ``__init__`` argument.  See
+#: ``docs/MIGRATION.md``.
+ProgramOutcome = AnalysisResult
+
+class _ToolsView(Mapping):
+    """A live, read-only view of the prover registry.
+
+    Always consistent with :func:`repro.api.available_provers` — provers
+    registered after import appear immediately.  Note this intentionally
+    differs from the pre-registry shape: keys are canonical underscore
+    names (hyphenated spellings still resolve on lookup) and the values
+    are :class:`~repro.api.registry.Prover` objects, not
+    ``(program, lp_mode)`` callables — see ``docs/MIGRATION.md``.
+    """
+
+    def __getitem__(self, name: str):
+        return get_prover(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(available_provers())
+
+    def __len__(self) -> int:
+        return len(available_provers())
+
+    def __repr__(self) -> str:
+        return "TOOLS(%s)" % ", ".join(available_provers())
 
 
-def _run_termite(
-    program: BenchmarkProgram, lp_mode: str = "incremental"
-) -> "ProgramOutcome":
-    prover = TerminationProver(
-        program.build(), check_certificates=False, lp_mode=lp_mode
-    )
-    result = prover.prove()
-    return ProgramOutcome(
-        program=program.name,
-        proved=result.proved,
-        time_seconds=result.time_seconds,
-        lp_statistics=result.lp_statistics,
-    )
+#: The tool column of Table 1 (registry name → prover object), as a live
+#: registry view.  Scheduling goes through the registry.
+TOOLS: Mapping = _ToolsView()
 
 
-def _run_baseline(
-    builder: Callable, program: BenchmarkProgram, lp_mode: str = "incremental"
-) -> "ProgramOutcome":
-    prover = TerminationProver(program.build(), check_certificates=False)
-    problem = prover.build_problem()
-    start = time.perf_counter()
-    result = builder(problem)
-    elapsed = time.perf_counter() - start
-    return ProgramOutcome(
-        program=program.name,
-        proved=result.proved,
-        time_seconds=elapsed,
-        lp_statistics=result.lp_statistics,
-    )
+def _benchmark_config(
+    lp_mode: str, config: Optional[AnalysisConfig]
+) -> AnalysisConfig:
+    """The effective benchmark config.
 
-
-#: The tool column of Table 1 mapped onto the reproduction's provers.
-#: Every entry accepts ``(program, lp_mode)``; only termite uses the mode.
-TOOLS: Dict[str, Callable[..., "ProgramOutcome"]] = {
-    "termite": _run_termite,
-    "heuristic": functools.partial(_run_baseline, heuristic_prover),
-    "eager-farkas": functools.partial(_run_baseline, eager_farkas_lexicographic),
-    "eager-generators": functools.partial(
-        _run_baseline, eager_generator_synthesis
-    ),
-    "podelski-rybalchenko": functools.partial(
-        _run_baseline, podelski_rybalchenko
-    ),
-}
-
-
-@dataclass
-class ProgramOutcome:
-    """Result of one tool on one benchmark."""
-
-    program: str
-    proved: bool
-    time_seconds: float
-    lp_statistics: LpStatistics = field(default_factory=LpStatistics)
-    error: Optional[str] = None
-    timed_out: bool = False
-
-    def to_dict(self) -> dict:
-        return {
-            "program": self.program,
-            "proved": self.proved,
-            "time_ms": round(self.time_seconds * 1000.0, 3),
-            "error": self.error,
-            "timed_out": self.timed_out,
-            "lp": {
-                "instances": self.lp_statistics.instances,
-                "average_rows": self.lp_statistics.average_rows,
-                "average_cols": self.lp_statistics.average_cols,
-                "max_rows": self.lp_statistics.max_rows,
-                "max_cols": self.lp_statistics.max_cols,
-                "pivots": self.lp_statistics.pivots,
-                "warm_solves": self.lp_statistics.warm_solves,
-                "cold_solves": self.lp_statistics.cold_solves,
-            },
-        }
+    With no explicit *config*, benchmark runs measure synthesis, not the
+    (separately tested) certifier.  A non-default *lp_mode* combined with
+    an explicit *config* is rejected rather than silently dropped — a
+    mislabelled warm-vs-cold ablation is worse than an error.
+    """
+    if config is not None:
+        if lp_mode != "incremental":
+            raise ValueError(
+                "pass lp_mode inside the explicit config (got lp_mode=%r "
+                "alongside config with lp_mode=%r)" % (lp_mode, config.lp_mode)
+            )
+        return config
+    return AnalysisConfig(lp_mode=lp_mode, check_certificates=False)
 
 
 @dataclass
@@ -110,7 +96,7 @@ class SuiteReport:
 
     suite: str
     tool: str
-    outcomes: List[ProgramOutcome] = field(default_factory=list)
+    outcomes: List[AnalysisResult] = field(default_factory=list)
     unsound: List[str] = field(default_factory=list)
 
     @property
@@ -184,43 +170,6 @@ class SuiteReport:
         }
 
 
-def _execute_program(
-    tool: str, program: BenchmarkProgram, lp_mode: str
-) -> ProgramOutcome:
-    """Run one (tool, program) cell; never raises."""
-    try:
-        return TOOLS[tool](program, lp_mode=lp_mode)
-    except Exception as error:  # a prover crash counts as "not proved"
-        return ProgramOutcome(
-            program=program.name,
-            proved=False,
-            time_seconds=0.0,
-            error="%s: %s" % (type(error).__name__, error),
-        )
-
-
-def _outcome_from_result(
-    result: TaskResult, program: BenchmarkProgram, timeout: Optional[float]
-) -> ProgramOutcome:
-    """Unwrap a parallel-engine envelope into a ProgramOutcome."""
-    if result.ok:
-        return result.value
-    if result.kind == "timeout":
-        return ProgramOutcome(
-            program=program.name,
-            proved=False,
-            time_seconds=result.elapsed,
-            error="timeout after %.1fs" % (timeout or result.elapsed),
-            timed_out=True,
-        )
-    return ProgramOutcome(
-        program=program.name,
-        proved=False,
-        time_seconds=result.elapsed,
-        error=result.message or result.kind,
-    )
-
-
 def select_programs(
     programs: Sequence[BenchmarkProgram],
     limit: Optional[int] = None,
@@ -235,25 +184,47 @@ def select_programs(
     return selected
 
 
-def _collate(
+def _run_cells(
     cells: List[tuple],
-    results: List[TaskResult],
+    tools: List[str],
+    config: AnalysisConfig,
+    jobs: int,
     timeout: Optional[float],
+) -> Dict[tuple, List[AnalysisResult]]:
+    """Execute ``(suite, index, program)`` cells; each runs *all* tools
+    sharing one built problem.  Returns per-cell result lists aligned
+    with *tools*, keyed by ``(suite, index)`` (positions, not names — two
+    same-named programs must not collide)."""
+    thunks = [
+        functools.partial(run_tools_on_program, program, tools, config)
+        for _suite, _index, program in cells
+    ]
+    tasks = run_tasks(thunks, jobs=jobs, timeout=timeout)
+    outcomes: Dict[tuple, List[AnalysisResult]] = {}
+    for (suite, index, program), task in zip(cells, tasks):
+        outcomes[(suite, index)] = results_from_task(
+            task, tools, program.name, timeout
+        )
+    return outcomes
+
+
+def _collate(
+    suites_programs: Dict[str, List[BenchmarkProgram]],
+    tools: List[str],
+    cell_outcomes: Dict[tuple, List[AnalysisResult]],
 ) -> List[SuiteReport]:
-    """Group flat (cell, result) pairs back into per-(suite, tool) reports."""
+    """Group per-program result lists into (suite, tool) reports, ordered
+    suite-major then tool, with programs in selection order."""
     reports: List[SuiteReport] = []
-    by_key: Dict[tuple, SuiteReport] = {}
-    for (suite, tool, program), result in zip(cells, results):
-        key = (suite, tool)
-        report = by_key.get(key)
-        if report is None:
+    for suite, programs in suites_programs.items():
+        for position, tool in enumerate(tools):
             report = SuiteReport(suite=suite, tool=tool)
-            by_key[key] = report
+            for index, program in enumerate(programs):
+                outcome = cell_outcomes[(suite, index)][position]
+                report.outcomes.append(outcome)
+                if outcome.proved and not program.terminating:
+                    report.unsound.append(program.name)
             reports.append(report)
-        outcome = _outcome_from_result(result, program, timeout)
-        report.outcomes.append(outcome)
-        if outcome.proved and not program.terminating:
-            report.unsound.append(program.name)
     return reports
 
 
@@ -265,6 +236,7 @@ def run_suite(
     jobs: int = 1,
     timeout: Optional[float] = None,
     lp_mode: str = "incremental",
+    config: Optional[AnalysisConfig] = None,
 ) -> SuiteReport:
     """Run *tool* over *programs* and aggregate the Table-1 statistics.
 
@@ -274,17 +246,14 @@ def run_suite(
     seconds and records a failed outcome in its place.  An empty (or
     fully filtered) suite yields an empty report, not an error.
     """
-    if tool not in TOOLS:
-        raise KeyError("unknown tool %r (available: %s)" % (tool, ", ".join(TOOLS)))
+    tools = [canonical_name(tool)]
     selected = select_programs(programs, limit)
-    cells = [(suite, tool, program) for program in selected]
-    thunks = [
-        functools.partial(_execute_program, tool, program, lp_mode)
-        for program in selected
-    ]
-    results = run_tasks(thunks, jobs=jobs, timeout=timeout)
-    reports = _collate(cells, results, timeout)
-    return reports[0] if reports else SuiteReport(suite=suite, tool=tool)
+    cells = [(suite, index, program) for index, program in enumerate(selected)]
+    cell_outcomes = _run_cells(
+        cells, tools, _benchmark_config(lp_mode, config), jobs, timeout
+    )
+    reports = _collate({suite: selected}, tools, cell_outcomes)
+    return reports[0]
 
 
 def run_table1(
@@ -295,47 +264,81 @@ def run_table1(
     timeout: Optional[float] = None,
     lp_mode: str = "incremental",
     name_filter: Optional[str] = None,
+    config: Optional[AnalysisConfig] = None,
 ) -> List[SuiteReport]:
     """Run every (suite, tool) cell of Table 1 through one shared task pool.
 
-    All programs of all cells are flattened into a single task list so the
-    worker pool stays saturated across suite boundaries; the reports come
-    back grouped and ordered by (suite, tool) submission order.
+    One task per *program* covers **all requested tools**: the termination
+    problem (invariants + large blocks) is built once inside the worker
+    and shared, instead of being rebuilt per tool — the historical
+    behaviour this replaces.  ``timeout`` is therefore the per-program
+    budget across its tools.  Reports come back grouped and ordered by
+    (suite, tool) submission order, programs in selection order,
+    deterministically regardless of ``jobs``.
     """
-    for tool in tools:
-        if tool not in TOOLS:
-            raise KeyError(
-                "unknown tool %r (available: %s)" % (tool, ", ".join(TOOLS))
-            )
-    cells: List[tuple] = []
-    thunks: List[Callable[[], ProgramOutcome]] = []
-    ordered_keys: List[tuple] = []
-    for suite, programs in suites.items():
-        selected = select_programs(programs, limit, name_filter)
-        for tool in tools:
-            ordered_keys.append((suite, tool))
-            for program in selected:
-                cells.append((suite, tool, program))
-                thunks.append(
-                    functools.partial(_execute_program, tool, program, lp_mode)
+    canonical = [canonical_name(tool) for tool in tools]
+    selected_by_suite = {
+        suite: select_programs(programs, limit, name_filter)
+        for suite, programs in suites.items()
+    }
+    cells = [
+        (suite, index, program)
+        for suite, programs in selected_by_suite.items()
+        for index, program in enumerate(programs)
+    ]
+    cell_outcomes = _run_cells(
+        cells, canonical, _benchmark_config(lp_mode, config), jobs, timeout
+    )
+    return _collate(selected_by_suite, canonical, cell_outcomes)
+
+
+def _problem_sharing_totals(reports: Sequence[SuiteReport]) -> dict:
+    """How much wall-clock the shared problem build saved.
+
+    Outcomes of the same (suite, program) across tools carry identical
+    build-stage timings (the build ran once); every tool beyond the first
+    therefore avoided one rebuild worth ``build_seconds``.  Programs are
+    identified by their position within the suite's outcome list (aligned
+    across that suite's tools), not by name — two same-named programs
+    must not be merged.
+    """
+    by_program: Dict[tuple, List[AnalysisResult]] = {}
+    for report in reports:
+        for position, outcome in enumerate(report.outcomes):
+            if outcome.stages:  # failed envelopes carry no stage breakdown
+                by_program.setdefault((report.suite, position), []).append(
+                    outcome
                 )
-    results = run_tasks(thunks, jobs=jobs, timeout=timeout)
-    reports = _collate(cells, results, timeout)
-    # Cells whose selection came up empty still deserve an (empty) row.
-    present = {(report.suite, report.tool) for report in reports}
-    for suite, tool in ordered_keys:
-        if (suite, tool) not in present:
-            reports.append(SuiteReport(suite=suite, tool=tool))
-    reports.sort(key=lambda r: ordered_keys.index((r.suite, r.tool)))
-    return reports
+    builds = 0
+    reuses = 0
+    seconds_saved = 0.0
+    for outcomes in by_program.values():
+        build_seconds = sum(
+            outcomes[0].stage_seconds(stage) for stage in BUILD_STAGES
+        )
+        builds += 1
+        reuses += len(outcomes) - 1
+        seconds_saved += build_seconds * (len(outcomes) - 1)
+    return {
+        "problem_builds": builds,
+        "rebuilds_avoided": reuses,
+        "seconds_saved": round(seconds_saved, 6),
+    }
 
 
 def reports_to_json_dict(
     reports: Sequence[SuiteReport], meta: Optional[dict] = None
 ) -> dict:
-    """The machine-readable run summary consumed by CI and the dashboards."""
+    """The machine-readable run summary consumed by CI and the dashboards.
+
+    ``schema_version`` 2: outcomes are full
+    :meth:`~repro.api.result.AnalysisResult.to_dict` documents (supersets
+    of the v1 shape) and ``totals.problem_sharing`` reports the wall-clock
+    saved by building each program's termination problem once across
+    tools.
+    """
     document = {
-        "schema_version": 1,
+        "schema_version": 2,
         "generator": "repro.reporting.runner",
         "suites": [report.to_dict() for report in reports],
         "totals": {
@@ -347,6 +350,7 @@ def reports_to_json_dict(
             "total_pivots": sum(report.total_pivots for report in reports),
             "warm_solves": sum(report.warm_solves for report in reports),
             "cold_solves": sum(report.cold_solves for report in reports),
+            "problem_sharing": _problem_sharing_totals(reports),
         },
     }
     if meta:

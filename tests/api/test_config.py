@@ -1,0 +1,93 @@
+"""AnalysisConfig: validation, immutability, and exact JSON round-trips."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import AnalysisConfig, ConfigError
+from repro.smt.optimize import SearchMode
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = AnalysisConfig()
+        assert config.smt_mode == "local"
+        assert config.lp_mode == "incremental"
+        assert config.domain == "polyhedra"
+        assert config.check_certificates and config.restrict_to_guarded
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"smt_mode": "sideways"},
+            {"lp_mode": "warm"},
+            {"domain": "octagons"},
+            {"max_iterations": 0},
+            {"max_iterations": -3},
+            {"max_iterations": "many"},
+            {"max_iterations": True},
+            {"max_dimension": 0},
+            {"integer_mode": "yes"},
+            {"check_certificates": 1},
+            {"restrict_to_guarded": None},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AnalysisConfig(**kwargs)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(lp_mode="warm")
+
+    def test_frozen(self):
+        config = AnalysisConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.lp_mode = "cold"
+
+    def test_replace_revalidates(self):
+        config = AnalysisConfig()
+        assert config.replace(lp_mode="audit").lp_mode == "audit"
+        with pytest.raises(ConfigError):
+            config.replace(lp_mode="warm")
+
+    def test_search_mode_view(self):
+        assert AnalysisConfig(smt_mode="global").search_mode is SearchMode.GLOBAL
+
+
+class TestSerialisation:
+    def test_round_trip_is_exact(self):
+        config = AnalysisConfig(
+            smt_mode="global",
+            lp_mode="audit",
+            integer_mode=True,
+            max_iterations=33,
+            max_dimension=2,
+            check_certificates=False,
+            restrict_to_guarded=False,
+            domain="intervals",
+        )
+        assert AnalysisConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+        assert AnalysisConfig.from_json(config.to_json()) == config
+
+    def test_default_round_trip(self):
+        config = AnalysisConfig()
+        assert AnalysisConfig.from_json(config.to_json()) == config
+
+    def test_missing_keys_take_defaults(self):
+        assert AnalysisConfig.from_dict({"lp_mode": "cold"}) == AnalysisConfig(
+            lp_mode="cold"
+        )
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config keys: turbo"):
+            AnalysisConfig.from_dict({"turbo": True})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig.from_json("{not json")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig.from_dict(["lp_mode"])

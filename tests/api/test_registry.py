@@ -1,0 +1,91 @@
+"""The prover registry: completeness, aliases, and soundness of every tool."""
+
+import pytest
+
+from repro.api import (
+    AnalysisConfig,
+    analyze,
+    available_provers,
+    canonical_name,
+    get_prover,
+    prover_summaries,
+)
+
+ALL_TOOLS = [
+    "termite",
+    "eager_farkas",
+    "eager_generators",
+    "podelski_rybalchenko",
+    "heuristic",
+    "dnf",
+]
+
+COUNTDOWN = "var x; while (x > 0) { x = x - 1; }"
+DIVERGING = "var x; assume(x >= 1); while (x > 0) { x = x + 1; }"
+
+
+class TestRegistryCompleteness:
+    def test_all_six_tools_registered(self):
+        assert available_provers() == ALL_TOOLS
+
+    def test_every_prover_has_a_summary(self):
+        summaries = prover_summaries()
+        assert set(summaries) == set(ALL_TOOLS)
+        assert all(summaries.values())
+
+    def test_get_prover_returns_named_prover(self):
+        for name in ALL_TOOLS:
+            assert get_prover(name).name == name
+
+    def test_hyphen_aliases_resolve(self):
+        assert canonical_name("eager-farkas") == "eager_farkas"
+        assert canonical_name("eager-generators") == "eager_generators"
+        assert canonical_name("podelski-rybalchenko") == "podelski_rybalchenko"
+        assert get_prover("eager-farkas") is get_prover("eager_farkas")
+
+    def test_unknown_tool_raises_key_error_listing_available(self):
+        with pytest.raises(KeyError, match="termite"):
+            get_prover("no-such-tool")
+
+
+class TestEveryToolRuns:
+    @pytest.mark.parametrize("tool", ALL_TOOLS)
+    def test_countdown_proved_by_every_tool(self, tool):
+        result = analyze(COUNTDOWN, tool=tool, name="countdown")
+        assert result.tool == tool
+        assert result.proved, "%s failed on the countdown loop" % tool
+
+    @pytest.mark.parametrize("tool", ALL_TOOLS)
+    def test_diverging_program_never_proved(self, tool):
+        result = analyze(DIVERGING, tool=tool, name="diverging")
+        assert not result.proved, "%s is unsound on a diverging loop" % tool
+
+    def test_termite_certificate_checked_by_default(self):
+        result = analyze(COUNTDOWN, tool="termite")
+        assert result.certificate_checked
+
+    def test_certificates_can_be_disabled(self):
+        config = AnalysisConfig(check_certificates=False)
+        result = analyze(COUNTDOWN, tool="termite", config=config)
+        assert result.proved and not result.certificate_checked
+
+
+class TestConfigForwarding:
+    def test_max_dimension_caps_lexicographic_baselines(self):
+        # listing1 needs two components under the per-disjunct dnf prover;
+        # capping the dimension at 1 must make it give up, not overshoot.
+        source = """
+        var x, c;
+        assume(x >= 0);
+        while (x >= 0) {
+            c = nondet();
+            if (c >= 1) { x = x - 1; }
+            if (c <= 0) { x = x - 1; }
+        }
+        """
+        full = analyze(source, tool="dnf")
+        assert full.proved and full.dimension == 2
+        capped = analyze(
+            source, tool="dnf", config=AnalysisConfig(max_dimension=1)
+        )
+        assert not capped.proved

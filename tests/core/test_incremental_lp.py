@@ -154,3 +154,54 @@ class TestStatisticsMergeAndSerialisation:
         assert a.warm_solves == 1
         assert a.cold_solves == 1
         assert a.pivots_saved == 3
+
+
+class TestRepeatSolveAccounting:
+    def test_cached_resolve_not_double_counted(self, example1_automaton):
+        """A repeat solve with no new counterexample reuses the cached
+        optimum and must not inflate the pivot/solve counters."""
+        from fractions import Fraction
+
+        from repro.linalg.vector import Vector
+
+        problem = _problem(example1_automaton)
+        statistics = LpStatistics()
+        lp = RankingLp(problem, statistics, mode="incremental")
+        lp.add_counterexample(
+            Vector(
+                [Fraction(1), Fraction(-1)]
+                + [Fraction(0)] * (problem.stacked_dimension - 2)
+            )
+        )
+        first = lp.solve()
+        pivots = statistics.pivots
+        solves = statistics.warm_solves + statistics.cold_solves
+        instances = statistics.instances
+        second = lp.solve()
+        assert second.gammas == first.gammas and second.deltas == first.deltas
+        assert statistics.pivots == pivots
+        assert statistics.warm_solves + statistics.cold_solves == solves
+        assert statistics.instances == instances
+
+    def test_audit_mode_repeat_solve_does_not_inflate_savings(
+        self, example1_automaton
+    ):
+        from fractions import Fraction
+
+        from repro.linalg.vector import Vector
+
+        problem = _problem(example1_automaton)
+        statistics = LpStatistics()
+        lp = RankingLp(problem, statistics, mode="audit")
+        lp.add_counterexample(
+            Vector(
+                [Fraction(1), Fraction(-1)]
+                + [Fraction(0)] * (problem.stacked_dimension - 2)
+            )
+        )
+        lp.solve()
+        saved = statistics.pivots_saved
+        instances = statistics.instances
+        lp.solve()  # cached: no shadow cold solve, no extra instance
+        assert statistics.pivots_saved == saved
+        assert statistics.instances == instances

@@ -66,3 +66,28 @@ class TestFrontendPrograms:
         cutset = compute_cutset(automaton)
         result = TerminationProver(automaton, cutset=cutset).prove()
         assert result.proved
+
+    def test_attribute_mutation_honoured_at_prove_time(self):
+        # Historical contract: the prover's public attributes may be
+        # mutated after construction and are read when prove() runs.
+        automaton = compile_program("var x; while (x > 0) { x = x - 1; }")
+        prover = TerminationProver(automaton)
+        prover.check_certificates = False
+        prover.lp_mode = "cold"
+        result = prover.prove()
+        assert result.proved
+        assert not result.certificate_checked
+        assert result.lp_statistics.warm_solves == 0
+
+    def test_rebinding_automaton_honoured_at_prove_time(self):
+        # Rebinding the automaton must invalidate the cached pipeline:
+        # proving a diverging program after a terminating one must not
+        # reuse the stale problem (that would be a soundness bug).
+        terminating = compile_program("var x; while (x > 0) { x = x - 1; }")
+        diverging = compile_program(
+            "var x; assume(x >= 1); while (x > 0) { x = x + 1; }"
+        )
+        prover = TerminationProver(terminating)
+        assert prover.prove().proved
+        prover.automaton = diverging
+        assert not prover.prove().proved

@@ -217,11 +217,50 @@ class TestSelectionAndTable1:
         document = reports_to_json_dict(reports, meta={"jobs": 2})
         text = json.dumps(document)
         parsed = json.loads(text)
-        assert parsed["schema_version"] == 1
+        assert parsed["schema_version"] == 2
         assert parsed["meta"]["jobs"] == 2
         assert parsed["totals"]["programs"] == 2
         suite = parsed["suites"][0]
         assert suite["suite"] == "wtc"
         assert len(suite["outcomes"]) == 2
         for outcome in suite["outcomes"]:
-            assert set(outcome) >= {"program", "proved", "time_ms", "lp"}
+            assert set(outcome) >= {"program", "proved", "time_ms", "lp", "stages"}
+
+    def test_problem_sharing_reported_across_tools(self):
+        # Two tools on the same programs: the problem is built once per
+        # program and every additional tool's rebuild is accounted as saved.
+        reports = run_table1(
+            {"wtc": get_suite("wtc")[:2]}, ["heuristic", "dnf"]
+        )
+        document = reports_to_json_dict(reports)
+        sharing = document["totals"]["problem_sharing"]
+        assert sharing["problem_builds"] == 2
+        assert sharing["rebuilds_avoided"] == 2
+        assert sharing["seconds_saved"] > 0.0
+        # The shared build stages appear identically in both tools' outcomes.
+        heuristic, dnf = reports
+        for left, right in zip(heuristic.outcomes, dnf.outcomes):
+            build = [s for s in left.stages if s.name != "synthesis"]
+            other = [s for s in right.stages if s.name != "synthesis"]
+            assert [(s.name, s.seconds) for s in build] == [
+                (s.name, s.seconds) for s in other
+            ]
+
+
+class TestToolsViewAndConfig:
+    def test_tools_is_a_live_registry_view(self):
+        from repro.api import available_provers
+        from repro.reporting import TOOLS
+
+        assert list(TOOLS) == available_provers()
+        assert "termite" in TOOLS and TOOLS["termite"].name == "termite"
+        assert "eager-farkas" in TOOLS  # hyphenated lookups resolve too
+
+    def test_conflicting_lp_mode_and_config_rejected(self):
+        from repro.api import AnalysisConfig
+
+        with pytest.raises(ValueError, match="lp_mode"):
+            run_suite(
+                "wtc", [], tool="termite",
+                lp_mode="cold", config=AnalysisConfig(),
+            )
