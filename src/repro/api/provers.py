@@ -127,8 +127,14 @@ class BaselineProver(Prover):
     The baselines are fixed published methods reproduced as-is; the only
     config knob they honour is ``max_dimension`` (where the method is
     lexicographic at all — Podelski–Rybalchenko is inherently
-    monodimensional).
+    monodimensional).  Their rankings are certified by the independent
+    Farkas checker of :mod:`repro.checking`, whose per-transition
+    Definition-6 obligations accept every sound lexicographic style (the
+    SMT-based check of :mod:`repro.core.certificate` assumes Termite's
+    globally-nonnegative components).
     """
+
+    supports_certificates = True
 
     def __init__(
         self,
@@ -160,6 +166,30 @@ class BaselineProver(Prover):
             lp_statistics=outcome.lp_statistics,
             details=dict(outcome.details),
         )
+
+    def certify(
+        self,
+        problem: TerminationProblem,
+        result: AnalysisResult,
+        config: AnalysisConfig,
+    ) -> bool:
+        # Imported lazily: repro.checking sits above the api layering.
+        from repro.checking.checker import CertificateVerdict, check_ranking
+
+        if result.ranking is None:
+            return False
+        # Budget overruns surface as an "inconclusive" verdict from
+        # check_ranking itself; anything else the checker raises is a
+        # checker bug and must propagate loudly (the pipeline records it
+        # as an error result) — a second opinion that fails silently is
+        # no opinion.  The full verdict lands in the result details so
+        # JSON consumers can tell invalid / inconclusive / unchecked
+        # apart, not just see certificate_checked=False.
+        verdict = check_ranking(
+            problem, result.ranking, integer_mode=config.integer_mode
+        )
+        result.details["certificate_verdict"] = verdict.to_dict()
+        return verdict.status == CertificateVerdict.VALID
 
 
 register_prover(TermiteProver())

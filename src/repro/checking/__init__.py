@@ -1,0 +1,69 @@
+"""Verification-grade test infrastructure: check, generate, cross-examine.
+
+The synthesis pipeline proves termination; this package audits it.  Three
+pillars, deliberately independent of the LP/SMT machinery they audit:
+
+* :mod:`repro.checking.farkas` — a self-contained decision procedure for
+  conjunctions of linear constraints over exact rationals
+  (Gauss + Fourier–Motzkin).  It either *refutes* a system (producing the
+  nonnegative-combination contradiction Farkas' lemma promises) or
+  exhibits a rational witness point.  It shares no code with
+  :mod:`repro.lp` or :mod:`repro.smt`.
+* :mod:`repro.checking.checker` — re-verifies a synthesised lexicographic
+  ranking function against the program's large-block transition relation,
+  obligation by obligation (Definition 6 of the paper).
+* :mod:`repro.checking.generator` / :mod:`repro.checking.differential` —
+  a seeded random program generator (with greedy shrinking) and the
+  harness that runs every registered prover on each generated program,
+  audits every claimed certificate, and flags soundness violations.
+
+Exposed on the ``repro`` CLI as ``repro check`` and ``repro fuzz``.
+"""
+
+from repro.checking.checker import (
+    CertificateVerdict,
+    ObligationFailure,
+    check_ranking,
+)
+from repro.checking.differential import (
+    FuzzReport,
+    SoundnessViolation,
+    audit_generated_program,
+    audit_source,
+    default_fuzz_config,
+    fuzz,
+    run_differential,
+)
+from repro.checking.farkas import (
+    FarkasBudgetExceeded,
+    Refutation,
+    Witness,
+    decide_system,
+)
+from repro.checking.generator import (
+    GeneratedProgram,
+    ProgramGenerator,
+    SHAPES,
+    shrink_program,
+)
+
+__all__ = [
+    "CertificateVerdict",
+    "ObligationFailure",
+    "check_ranking",
+    "FarkasBudgetExceeded",
+    "Refutation",
+    "Witness",
+    "decide_system",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "SHAPES",
+    "shrink_program",
+    "FuzzReport",
+    "SoundnessViolation",
+    "audit_generated_program",
+    "audit_source",
+    "default_fuzz_config",
+    "fuzz",
+    "run_differential",
+]

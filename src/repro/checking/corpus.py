@@ -1,0 +1,91 @@
+"""Reading and writing the checked-in corpus of generated programs.
+
+The corpus (``tests/corpus/*.imp``) freezes interesting generator output
+— one program per file, the generator's provenance header intact — so
+past fuzz coverage replays as fast, deterministic unit tests without
+re-running the generator.  Shrunk reproducers of any future soundness
+violation land here too, turning every found bug into a permanent
+regression test.
+
+Regenerate or extend with::
+
+    PYTHONPATH=src python -m repro.checking.corpus tests/corpus --count 25
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.checking.generator import (
+    GeneratedProgram,
+    ProgramGenerator,
+    UNKNOWN,
+    expected_from_source,
+)
+
+
+@dataclass
+class CorpusProgram:
+    """One corpus entry: a name, its source, and the expected class."""
+
+    name: str
+    source: str
+    expected: str
+
+
+def write_corpus(
+    programs: Sequence[GeneratedProgram], directory: str
+) -> List[str]:
+    """Write *programs* one-per-file into *directory*; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for program in programs:
+        path = os.path.join(directory, "%s.imp" % program.name)
+        with open(path, "w") as handle:
+            handle.write(program.source)
+        paths.append(path)
+    return paths
+
+
+def load_corpus(directory: str) -> List[CorpusProgram]:
+    """Load every ``*.imp`` file of *directory*, sorted by name."""
+    entries: List[CorpusProgram] = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".imp"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            source = handle.read()
+        entries.append(
+            CorpusProgram(
+                name=filename[: -len(".imp")],
+                source=source,
+                expected=expected_from_source(source) or UNKNOWN,
+            )
+        )
+    return entries
+
+
+def main(argv=None) -> int:  # pragma: no cover - maintenance entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=25)
+    parser.add_argument("--start", type=int, default=0)
+    arguments = parser.parse_args(argv)
+    generator = ProgramGenerator(arguments.seed)
+    paths = write_corpus(
+        list(generator.programs(arguments.count, start=arguments.start)),
+        arguments.directory,
+    )
+    for path in paths:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

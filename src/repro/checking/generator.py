@@ -1,0 +1,553 @@
+"""Seeded random generation of well-formed mini-language programs.
+
+The generator emits programs across *shape classes* chosen to exercise
+the whole pipeline: plain countdowns, nested loops, multipath loop
+bodies, phase/race loops, nondeterministic updates, structurally random
+programs, and — crucially for the differential harness — gadgets that
+are **nonterminating by construction** (they admit an infinite run from
+a reachable state), giving the harness ground truth no prover may
+contradict.
+
+Programs are built in a tiny structured IR (not the front-end AST) so
+that failing cases can be *shrunk*: :func:`shrink_program` greedily
+applies semantics-agnostic simplifications (drop a statement, unwrap a
+loop, keep one branch of a conditional, simplify an assignment) while a
+caller-supplied predicate still fails, and re-renders source after each
+step.  Rendering is deterministic, so a ``(seed, index)`` pair printed
+in a fuzz report is a complete reproducer:
+
+    ProgramGenerator(seed).generate(index).source
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+#: Ground-truth classifications attached to generated programs.
+TERMINATING = "terminating"
+NONTERMINATING = "nonterminating"
+UNKNOWN = "unknown"
+
+#: The shape classes, cycled through by program index so every class is
+#: exercised even in short fuzz runs.
+SHAPES = (
+    "countdown",
+    "nested",
+    "multipath",
+    "phase",
+    "nondet",
+    "random",
+    "nonterm",
+)
+
+
+# ---------------------------------------------------------------------------
+# the generator IR and its renderer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GSkip:
+    def render(self) -> str:
+        return "skip;"
+
+
+@dataclass
+class GAssign:
+    target: str
+    terms: List[Tuple[int, str]]  # (coefficient, variable)
+    constant: int = 0
+
+    def render(self) -> str:
+        return "%s = %s;" % (self.target, render_expression(self.terms, self.constant))
+
+
+@dataclass
+class GHavoc:
+    target: str
+
+    def render(self) -> str:
+        return "%s = nondet();" % self.target
+
+
+@dataclass
+class GCond:
+    """A condition: a comparison, ``nondet()``, or a binary and/or."""
+
+    kind: str  # "cmp" | "nondet" | "and" | "or"
+    terms: List[Tuple[int, str]] = field(default_factory=list)
+    op: str = ">"
+    constant: int = 0
+    left: Optional["GCond"] = None
+    right: Optional["GCond"] = None
+
+    def render(self) -> str:
+        if self.kind == "nondet":
+            return "nondet()"
+        if self.kind == "cmp":
+            return "%s %s %d" % (
+                render_expression(self.terms, 0),
+                self.op,
+                self.constant,
+            )
+        return "(%s) %s (%s)" % (self.left.render(), self.kind, self.right.render())
+
+    def variables(self) -> List[str]:
+        if self.kind == "cmp":
+            return [name for _, name in self.terms]
+        if self.kind in ("and", "or"):
+            return self.left.variables() + self.right.variables()
+        return []
+
+
+@dataclass
+class GAssume:
+    condition: GCond
+
+    def render(self) -> str:
+        return "assume(%s);" % self.condition.render()
+
+
+@dataclass
+class GIf:
+    condition: GCond
+    then: List = field(default_factory=list)
+    orelse: Optional[List] = None
+
+
+@dataclass
+class GWhile:
+    condition: GCond
+    body: List = field(default_factory=list)
+
+
+def render_expression(terms: Sequence[Tuple[int, str]], constant: int) -> str:
+    """``2*x - y + 3`` in the mini-language's expression grammar."""
+    pieces: List[str] = []
+    for coefficient, name in terms:
+        if coefficient == 0:
+            continue
+        magnitude = name if abs(coefficient) == 1 else "%d*%s" % (abs(coefficient), name)
+        if not pieces:
+            pieces.append(magnitude if coefficient > 0 else "-%s" % magnitude)
+        else:
+            pieces.append("%s %s" % ("+" if coefficient > 0 else "-", magnitude))
+    if constant or not pieces:
+        if not pieces:
+            pieces.append(str(constant))
+        else:
+            pieces.append("%s %d" % ("+" if constant > 0 else "-", abs(constant)))
+    return " ".join(pieces)
+
+
+def _render_block(statements: Sequence, indent: int, lines: List[str]) -> None:
+    pad = "    " * indent
+    for statement in statements:
+        if isinstance(statement, GIf):
+            lines.append("%sif (%s) {" % (pad, statement.condition.render()))
+            _render_block(statement.then, indent + 1, lines)
+            if statement.orelse is not None:
+                lines.append("%s} else {" % pad)
+                _render_block(statement.orelse, indent + 1, lines)
+            lines.append("%s}" % pad)
+        elif isinstance(statement, GWhile):
+            lines.append("%swhile (%s) {" % (pad, statement.condition.render()))
+            body = statement.body or [GSkip()]
+            _render_block(body, indent + 1, lines)
+            lines.append("%s}" % pad)
+        else:
+            lines.append("%s%s" % (pad, statement.render()))
+
+
+def _collect_variables(statements: Sequence, into: List[str]) -> None:
+    def note(name: str) -> None:
+        if name not in into:
+            into.append(name)
+
+    for statement in statements:
+        if isinstance(statement, (GAssign, GHavoc)):
+            note(statement.target)
+            if isinstance(statement, GAssign):
+                for _, name in statement.terms:
+                    note(name)
+        elif isinstance(statement, GAssume):
+            for name in statement.condition.variables():
+                note(name)
+        elif isinstance(statement, GIf):
+            for name in statement.condition.variables():
+                note(name)
+            _collect_variables(statement.then, into)
+            if statement.orelse is not None:
+                _collect_variables(statement.orelse, into)
+        elif isinstance(statement, GWhile):
+            for name in statement.condition.variables():
+                note(name)
+            _collect_variables(statement.body, into)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program: IR, rendered source, and its ground truth."""
+
+    name: str
+    seed: int
+    index: int
+    shape: str
+    expected: str
+    statements: List = field(default_factory=list)
+
+    @property
+    def source(self) -> str:
+        lines = [
+            "// generated by repro.checking.generator",
+            "// seed=%d index=%d shape=%s expected=%s"
+            % (self.seed, self.index, self.shape, self.expected),
+        ]
+        variables: List[str] = []
+        _collect_variables(self.statements, variables)
+        if variables:
+            lines.append("var %s;" % ", ".join(sorted(variables)))
+        _render_block(self.statements, 0, lines)
+        return "\n".join(lines) + "\n"
+
+    def replaced(self, statements: List) -> "GeneratedProgram":
+        return GeneratedProgram(
+            name=self.name,
+            seed=self.seed,
+            index=self.index,
+            shape=self.shape,
+            expected=self.expected,
+            statements=statements,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "index": self.index,
+            "shape": self.shape,
+            "expected": self.expected,
+            "source": self.source,
+        }
+
+
+def expected_from_source(source: str) -> str:
+    """Recover the ``expected=`` classification from a rendered header."""
+    for line in source.splitlines():
+        if "expected=" in line:
+            return line.split("expected=")[1].split()[0]
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# shape builders
+# ---------------------------------------------------------------------------
+
+
+def _cmp(terms, op, constant=0) -> GCond:
+    return GCond(kind="cmp", terms=list(terms), op=op, constant=constant)
+
+
+def _nondet() -> GCond:
+    return GCond(kind="nondet")
+
+
+class ProgramGenerator:
+    """Deterministic, seed-addressable program generation."""
+
+    def __init__(self, seed: int = 0, shapes: Sequence[str] = SHAPES):
+        self.seed = seed
+        self.shapes = tuple(shapes)
+        for shape in self.shapes:
+            if shape not in SHAPES:
+                raise ValueError(
+                    "unknown shape %r (available: %s)" % (shape, ", ".join(SHAPES))
+                )
+
+    def generate(self, index: int) -> GeneratedProgram:
+        """The *index*-th program of this seed (stable across runs)."""
+        shape = self.shapes[index % len(self.shapes)]
+        # String seeding is stable across Python versions and decouples
+        # every (seed, index) cell from the others.
+        rng = random.Random("repro-fuzz:%d:%d" % (self.seed, index))
+        statements, expected = getattr(self, "_shape_" + shape)(rng)
+        return GeneratedProgram(
+            name="fuzz-%d-%d-%s" % (self.seed, index, shape),
+            seed=self.seed,
+            index=index,
+            shape=shape,
+            expected=expected,
+            statements=statements,
+        )
+
+    def programs(self, count: int, start: int = 0) -> Iterator[GeneratedProgram]:
+        for index in range(start, start + count):
+            yield self.generate(index)
+
+    # -- terminating shapes ------------------------------------------------------
+
+    def _shape_countdown(self, rng: random.Random):
+        step = rng.randint(1, 3)
+        body: List = [GAssign("x", [(1, "x")], -step)]
+        if rng.random() < 0.5:
+            body.append(GAssign("y", [(1, "y")], rng.randint(1, 2)))
+        statements: List = []
+        if rng.random() < 0.5:
+            statements.append(
+                GAssume(_cmp([(1, "x")], "<=", rng.randint(5, 50)))
+            )
+        statements.append(GWhile(_cmp([(1, "x")], ">", 0), body))
+        return statements, TERMINATING
+
+    def _shape_nested(self, rng: random.Random):
+        reset = (
+            GAssign("j", [(1, "i")], rng.randint(0, 3))
+            if rng.random() < 0.5
+            else GAssign("j", [], rng.randint(1, 8))
+        )
+        inner = GWhile(
+            _cmp([(1, "j")], ">", 0),
+            [GAssign("j", [(1, "j")], -rng.randint(1, 2))],
+        )
+        outer_body: List = [GAssign("i", [(1, "i")], -1), reset, inner]
+        rng.shuffle(outer_body)
+        # The decrement must come before or after the inner loop, but the
+        # reset must precede the inner loop for the shape to make sense.
+        outer_body.remove(reset)
+        outer_body.insert(outer_body.index(inner), reset)
+        return [GWhile(_cmp([(1, "i")], ">", 0), outer_body)], TERMINATING
+
+    def _shape_multipath(self, rng: random.Random):
+        a, b = rng.randint(1, 3), rng.randint(1, 3)
+        guard = _cmp([(1, "x"), (1, "y")], ">", 0)
+        branch = GIf(
+            _cmp([(1, "x")], ">", rng.randint(0, 2)),
+            [GAssign("x", [(1, "x")], -a)],
+            [GAssign("y", [(1, "y")], -b)],
+        )
+        body: List = [branch]
+        if rng.random() < 0.4:
+            body.append(GAssign("z", [(1, "x"), (1, "y")], 0))
+        return [GWhile(guard, body)], TERMINATING
+
+    def _shape_phase(self, rng: random.Random):
+        if rng.random() < 0.5:
+            # A race: the gap n - x shrinks whichever branch runs.
+            body = [
+                GIf(
+                    _nondet(),
+                    [GAssign("x", [(1, "x")], rng.randint(1, 2))],
+                    [GAssign("n", [(1, "n")], -rng.randint(1, 2))],
+                )
+            ]
+            return [GWhile(_cmp([(1, "x"), (-1, "n")], "<", 0), body)], TERMINATING
+        # Two sequential loops.
+        first = GWhile(
+            _cmp([(1, "x"), (-1, "n")], "<", 0),
+            [GAssign("x", [(1, "x")], rng.randint(1, 2))],
+        )
+        second = GWhile(
+            _cmp([(1, "n")], ">", 0), [GAssign("n", [(1, "n")], -1)]
+        )
+        return [first, second], TERMINATING
+
+    def _shape_nondet(self, rng: random.Random):
+        if rng.random() < 0.5:
+            # The paper's flagship example: lexicographic ⟨x, y⟩.
+            body = [
+                GIf(
+                    _nondet(),
+                    [GAssign("x", [(1, "x")], -1), GHavoc("y")],
+                    [GAssign("y", [(1, "y")], -1)],
+                )
+            ]
+            guard = GCond(
+                kind="and",
+                left=_cmp([(1, "x")], ">", 0),
+                right=_cmp([(1, "y")], ">", 0),
+            )
+            return [GWhile(guard, body)], TERMINATING
+        body = [GAssign("x", [(1, "x")], -rng.randint(1, 2)), GHavoc("y")]
+        rng.shuffle(body)
+        return [GWhile(_cmp([(1, "x")], ">", 0), body)], TERMINATING
+
+    # -- structurally random (no ground truth) -----------------------------------
+
+    # Structurally random programs are kept deliberately small: a single
+    # extra nesting level multiplies the path count every analysis (and
+    # the checker's DNF) must cover, and the goal here is many cheap,
+    # diverse programs rather than a few enormous ones.
+    _RANDOM_VARIABLES = ("x", "y")
+
+    def _random_expression(self, rng: random.Random) -> Tuple[List[Tuple[int, str]], int]:
+        terms = [
+            (rng.choice([-2, -1, 1, 1, 2]), name)
+            for name in rng.sample(
+                self._RANDOM_VARIABLES, rng.randint(1, 2)
+            )
+        ]
+        return terms, rng.randint(-3, 3)
+
+    def _random_condition(self, rng: random.Random, loop_guard: bool = False) -> GCond:
+        if not loop_guard and rng.random() < 0.15:
+            return _nondet()
+        terms, _ = self._random_expression(rng)
+        # Equality-style guards (and disjunctive `!=`) multiply paths;
+        # keep them for branch conditions only.
+        operators = [">", ">=", "<", "<="] if loop_guard else [
+            ">", ">=", "<", "<=", "==", "!=",
+        ]
+        return _cmp(terms, rng.choice(operators), rng.randint(-2, 4))
+
+    def _random_body(self, rng: random.Random, allow_branch: bool) -> List:
+        statements: List = []
+        for _ in range(rng.randint(1, 2)):
+            roll = rng.random()
+            if roll < 0.7 or not allow_branch:
+                target = rng.choice(self._RANDOM_VARIABLES)
+                if rng.random() < 0.2:
+                    statements.append(GHavoc(target))
+                else:
+                    terms, constant = self._random_expression(rng)
+                    statements.append(GAssign(target, terms, constant))
+            else:
+                statements.append(
+                    GIf(
+                        self._random_condition(rng),
+                        self._random_body(rng, False),
+                        self._random_body(rng, False)
+                        if rng.random() < 0.5
+                        else None,
+                    )
+                )
+        return statements or [GSkip()]
+
+    def _shape_random(self, rng: random.Random):
+        statements: List = []
+        for _ in range(rng.randint(1, 2)):
+            if rng.random() < 0.75:
+                statements.append(
+                    GWhile(
+                        self._random_condition(rng, loop_guard=True),
+                        self._random_body(rng, allow_branch=True),
+                    )
+                )
+            else:
+                statements.extend(self._random_body(rng, allow_branch=True))
+        return statements, UNKNOWN
+
+    # -- nonterminating gadgets ----------------------------------------------------
+
+    def _shape_nonterm(self, rng: random.Random):
+        gadget = rng.randrange(5)
+        if gadget == 0:
+            # Growth: x only moves away from the exit once inside.
+            growth = rng.randint(0, 2)
+            return [
+                GWhile(_cmp([(1, "x")], ">", 0), [GAssign("x", [(1, "x")], growth)])
+            ], NONTERMINATING
+        if gadget == 1:
+            # A preserved gap: x != y is invariant under the joint step.
+            return [
+                GWhile(
+                    _cmp([(1, "x"), (-1, "y")], "!=", 0),
+                    [
+                        GAssign("x", [(1, "x")], 1),
+                        GAssign("y", [(1, "y")], 1),
+                    ],
+                )
+            ], NONTERMINATING
+        if gadget == 2:
+            # Climb by an assumed-positive stride.
+            return [
+                GAssume(_cmp([(1, "k")], ">=", 1)),
+                GWhile(
+                    _cmp([(1, "i")], ">=", 0),
+                    [GAssign("i", [(1, "i"), (1, "k")], 0)],
+                ),
+            ], NONTERMINATING
+        if gadget == 3:
+            # The demon may always choose to stay in the loop.
+            return [
+                GWhile(
+                    _cmp([(1, "x")], ">", 0),
+                    [GHavoc("x"), GAssume(_cmp([(1, "x")], ">=", 1))],
+                )
+            ], NONTERMINATING
+        # Pure spin.
+        return [GWhile(_cmp([(1, "x")], ">", 0), [GSkip()])], NONTERMINATING
+
+
+# ---------------------------------------------------------------------------
+# greedy shrinking
+# ---------------------------------------------------------------------------
+
+
+def _candidate_edits(statements: List) -> Iterator[List]:
+    """Structurally smaller variants of a statement list, one edit each."""
+    for index, statement in enumerate(statements):
+        without = statements[:index] + statements[index + 1 :]
+        yield without
+        if isinstance(statement, GWhile):
+            yield statements[:index] + statement.body + statements[index + 1 :]
+            for body in _candidate_edits(statement.body):
+                if body:
+                    yield statements[:index] + [
+                        GWhile(statement.condition, body)
+                    ] + statements[index + 1 :]
+        elif isinstance(statement, GIf):
+            yield statements[:index] + statement.then + statements[index + 1 :]
+            if statement.orelse is not None:
+                yield statements[:index] + statement.orelse + statements[index + 1 :]
+                yield statements[:index] + [
+                    GIf(statement.condition, statement.then, None)
+                ] + statements[index + 1 :]
+            for then in _candidate_edits(statement.then):
+                yield statements[:index] + [
+                    GIf(statement.condition, then, statement.orelse)
+                ] + statements[index + 1 :]
+        elif isinstance(statement, GAssign):
+            if len(statement.terms) > 1:
+                for drop in range(len(statement.terms)):
+                    terms = statement.terms[:drop] + statement.terms[drop + 1 :]
+                    yield statements[:index] + [
+                        GAssign(statement.target, terms, statement.constant)
+                    ] + statements[index + 1 :]
+            if statement.constant != 0:
+                yield statements[:index] + [
+                    GAssign(statement.target, statement.terms, 0)
+                ] + statements[index + 1 :]
+
+
+def shrink_program(
+    program: GeneratedProgram,
+    still_failing: Callable[[GeneratedProgram], bool],
+    max_checks: int = 150,
+) -> GeneratedProgram:
+    """Greedily shrink *program* while *still_failing* holds.
+
+    Applies the first accepted edit and restarts, so the result is a
+    local minimum: no single candidate edit preserves the failure.  The
+    predicate is invoked at most *max_checks* times; the original program
+    is returned unchanged if it stops failing (flaky predicate) on entry.
+    """
+    if not still_failing(program):
+        return program
+    current = program
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for statements in _candidate_edits(copy.deepcopy(current.statements)):
+            if checks >= max_checks:
+                break
+            checks += 1
+            candidate = current.replaced(statements)
+            if still_failing(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

@@ -1,6 +1,6 @@
 """The ``repro`` command line — a reproducible front door to the analysis.
 
-Three subcommands, all built on the unified analysis API:
+Five subcommands, all built on the unified analysis API:
 
 ``repro prove FILE``
     Run one registered prover on a mini-language program (``-`` reads
@@ -10,6 +10,20 @@ Three subcommands, all built on the unified analysis API:
 
 ``repro list-provers``
     The prover registry: every stable tool name with its summary.
+
+``repro check FILE | repro check --suite NAME``
+    Prove a program (or a whole benchmark suite) and re-verify every
+    claimed ranking function with the independent Farkas certificate
+    checker of :mod:`repro.checking`.  Exit code: 0 every claim
+    validated, 3 a certificate was rejected or missing (soundness!), 4 a
+    check hit its budget (inconclusive), 2 nothing proved (file mode),
+    1 error.
+
+``repro fuzz``
+    Seeded differential campaign: generate random programs, run every
+    requested prover on each, audit every certificate, flag soundness
+    violations (with shrunk reproducers).  Exit code: 0 clean, 1
+    violations or generator failures.
 
 ``repro table1``
     Regenerate the paper's Table 1 over the bundled benchmark suites
@@ -23,6 +37,7 @@ as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 import time
@@ -173,6 +188,290 @@ def command_prove(arguments: argparse.Namespace) -> int:
     if result.status.value == "error":
         return 1
     return 0 if result.proved else 2
+
+
+# ---------------------------------------------------------------------------
+# repro check
+# ---------------------------------------------------------------------------
+
+
+def _check_one_program(program, name, tool, config, disjunct_cap):
+    """Prove + independently audit one program.
+
+    Returns ``(result, verdict, missing)``: *verdict* is the checker's
+    (or ``None`` when there was nothing to check), *missing* flags a
+    ``TERMINATING`` claim on a cyclic program with no ranking attached —
+    an unauditable claim the exit code must not green-light.  *program*
+    is mini-language source, a prepared automaton, or a benchmark
+    description with ``build()``.
+    """
+    from repro.api import Analysis
+    from repro.checking.checker import check_ranking
+
+    if hasattr(program, "build"):
+        program = program.build()
+    analysis = Analysis(program, config=config, name=name)
+    problem = analysis.problem()
+    result = analysis.run(tool)
+    verdict = None
+    missing = False
+    if result.proved and problem.blocks:
+        if result.ranking is None:
+            missing = True
+        else:
+            kwargs = (
+                {} if disjunct_cap is None else {"disjunct_cap": disjunct_cap}
+            )
+            verdict = check_ranking(
+                problem,
+                result.ranking,
+                integer_mode=config.integer_mode,
+                **kwargs,
+            )
+    return result, verdict, missing
+
+
+def _check_row(program, name, tool, config, disjunct_cap) -> dict:
+    """One ``repro check`` row as a plain dict (crosses worker boundaries)."""
+    result, verdict, missing = _check_one_program(
+        program, name, tool, config, disjunct_cap
+    )
+    return {
+        "program": name,
+        "tool": tool,
+        "status": result.status.value,
+        "dimension": result.dimension,
+        "verdict": verdict.to_dict() if verdict is not None else None,
+        "missing_certificate": missing,
+    }
+
+
+def command_check(arguments: argparse.Namespace) -> int:
+    from repro.benchsuite import get_suite, suite_names
+
+    try:
+        tool = canonical_name(arguments.tool)
+        config = _config_from_arguments(arguments)
+    except KeyError as error:
+        print("error: %s" % error.args[0], file=sys.stderr)
+        return 1
+    except (ConfigError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    # The command runs its own independent audit below; the prover-side
+    # certificate stage would re-verify every ranking a second time.
+    config = config.replace(check_certificates=False)
+
+    if arguments.suite and arguments.file:
+        print(
+            "error: give either a FILE or --suite, not both",
+            file=sys.stderr,
+        )
+        return 1
+
+    jobs: list = []  # (name, source-or-benchmark)
+    if arguments.suite:
+        suites = (
+            suite_names()
+            if "all" in arguments.suite
+            else list(dict.fromkeys(arguments.suite))
+        )
+        try:
+            for suite in suites:
+                for program in get_suite(suite):
+                    jobs.append(("%s/%s" % (suite, program.name), program))
+        except KeyError as error:
+            print("error: %s" % error.args[0], file=sys.stderr)
+            return 1
+    elif arguments.file:
+        try:
+            jobs.append((arguments.file, _read_program(arguments.file)))
+        except OSError as error:
+            print(
+                "error: cannot read %s: %s" % (arguments.file, error),
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print("error: give a FILE or at least one --suite", file=sys.stderr)
+        return 1
+
+    # Each program runs through the crash-isolated engine when --jobs or
+    # --timeout ask for it (run_tasks stays inline otherwise), so one
+    # pathological program costs its budget, not the sweep.
+    from repro.reporting.parallel import run_tasks
+
+    thunks = [
+        functools.partial(
+            _check_row, program, name, tool, config, arguments.max_disjuncts
+        )
+        for name, program in jobs
+    ]
+    tasks = run_tasks(thunks, jobs=arguments.jobs, timeout=arguments.timeout)
+
+    rows = []
+    rejected = proved = validated = inconclusive = errors = missing = 0
+    for (name, _), task in zip(jobs, tasks):
+        if task.ok:
+            row = task.value
+        else:
+            status = "timeout" if task.kind == "timeout" else "error"
+            row = {
+                "program": name,
+                "tool": tool,
+                "status": status,
+                "error": task.message
+                or "%s after %.1fs" % (task.kind, task.elapsed),
+                "verdict": None,
+            }
+        rows.append(row)
+        if row["status"] in ("error", "timeout"):
+            errors += 1
+            continue
+        if row["status"] == "terminating":
+            proved += 1
+        if row.get("missing_certificate"):
+            missing += 1
+        verdict = row["verdict"]
+        if verdict is not None:
+            if verdict["status"] == "valid":
+                validated += 1
+            elif verdict["status"] == "invalid":
+                rejected += 1
+            else:
+                inconclusive += 1
+
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "tool": tool,
+                    "programs": rows,
+                    "totals": {
+                        "programs": len(rows),
+                        "proved": proved,
+                        "errors": errors,
+                        "certificates_valid": validated,
+                        "certificates_rejected": rejected,
+                        "certificates_inconclusive": inconclusive,
+                        "missing_certificates": missing,
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for row in rows:
+            verdict = row["verdict"]
+            if row.get("missing_certificate"):
+                note = "TERMINATING claim without a ranking function!"
+            elif verdict is None:
+                note = row.get("error") or "no certificate to check"
+            else:
+                note = "certificate %s (%d/%d obligations refuted)" % (
+                    verdict["status"],
+                    verdict["refuted"],
+                    verdict["obligations"],
+                )
+            print(
+                "%-36s %-12s %s" % (row["program"], row["status"], note)
+            )
+        print(
+            "%d programs: %d proved, %d errors, %d certificates valid, "
+            "%d rejected, %d missing, %d inconclusive"
+            % (
+                len(rows), proved, errors, validated, rejected, missing,
+                inconclusive,
+            )
+        )
+
+    # Exit contract: an unsound or unauditable claim (rejected or
+    # missing certificate) dominates; then analysis errors; then
+    # "checked but could not conclude"; file mode additionally signals
+    # "nothing proved".
+    if rejected or missing:
+        return 3
+    if errors:
+        return 1
+    if inconclusive:
+        return 4
+    if arguments.file and not arguments.suite and not proved:
+        return 2
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro fuzz
+# ---------------------------------------------------------------------------
+
+
+def command_fuzz(arguments: argparse.Namespace) -> int:
+    from repro.checking.differential import default_fuzz_config, fuzz
+
+    tools = None
+    if arguments.tool:
+        try:
+            tools = [canonical_name(tool) for tool in arguments.tool]
+        except KeyError as error:
+            print("error: %s" % error.args[0], file=sys.stderr)
+            return 1
+
+    def verbose_progress(position, audit):
+        print(
+            "[%4d] %-28s %s"
+            % (
+                position,
+                audit.name,
+                " ".join(
+                    "%s=%s" % (r.tool, r.status.value[:4])
+                    for r in audit.results
+                ),
+            ),
+            file=sys.stderr,
+        )
+
+    progress = verbose_progress if arguments.verbose else None
+
+    report = fuzz(
+        seed=arguments.seed,
+        count=arguments.count,
+        tools=tools,
+        config=default_fuzz_config(),
+        shrink=not arguments.no_shrink,
+        jobs=arguments.jobs,
+        timeout=arguments.timeout,
+        progress=progress,
+    )
+
+    print(report.summary())
+    for violation in report.violations:
+        print()
+        print(
+            "VIOLATION %s: %s on %s (reproduce: seed=%s index=%s)"
+            % (
+                violation.kind,
+                violation.tool,
+                violation.program,
+                violation.seed,
+                violation.index,
+            )
+        )
+        print(violation.detail)
+        print(violation.source)
+    for error in report.build_errors:
+        print("BUILD ERROR %s" % error)
+
+    if arguments.json_path:
+        try:
+            with open(arguments.json_path, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print("error: cannot write %s: %s" % (arguments.json_path, error))
+            return 1
+        print("wrote %s" % arguments.json_path)
+
+    return 0 if report.ok else 1
 
 
 # ---------------------------------------------------------------------------
@@ -409,6 +708,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_provers.add_argument("--json", action="store_true")
     list_provers.set_defaults(handler=command_list_provers)
+
+    check = subparsers.add_parser(
+        "check",
+        help="independently re-verify ranking-function certificates",
+        description="Prove a program (or whole benchmark suites with "
+        "--suite) and re-check every claimed ranking function with the "
+        "independent exact-rational Farkas checker.  Exit code: 0 all "
+        "claims validated, 3 a certificate was rejected or a claim had "
+        "none, 4 a check was inconclusive (budget), 2 nothing proved "
+        "(file mode), 1 error.",
+    )
+    check.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="program file, or '-' for stdin (omit when using --suite)",
+    )
+    check.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="check a bundled benchmark suite instead of a file "
+        "(repeatable; 'all' for every suite)",
+    )
+    check.add_argument(
+        "--tool",
+        default="termite",
+        metavar="TOOL",
+        help="registry name of the prover whose certificates to audit "
+        "(default: termite)",
+    )
+    check.add_argument(
+        "--max-disjuncts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on path disjuncts expanded per block before the "
+        "checker reports 'inconclusive' (default: the checker's "
+        "DEFAULT_DISJUNCT_CAP, 4096)",
+    )
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="check N programs concurrently in crash-isolated workers",
+    )
+    check.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-program budget (prove + audit); an over-budget "
+        "program is recorded as a timeout and counts as an error",
+    )
+    check.add_argument("--json", action="store_true")
+    _add_config_arguments(check)
+    check.set_defaults(handler=command_check)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing with independent certificate audit",
+        description="Generate seeded random programs, run every "
+        "requested prover on each, audit every claimed certificate and "
+        "cross-check verdicts against constructed ground truth.  Exit "
+        "code: 0 clean, 1 soundness violations or generator failures.",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N")
+    fuzz.add_argument(
+        "--count",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of programs to generate (default: 100)",
+    )
+    fuzz.add_argument(
+        "--tool",
+        action="append",
+        default=None,
+        metavar="TOOL",
+        help="tool(s) to cross-examine (repeatable; default: every "
+        "registered prover)",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="audit N programs concurrently in crash-isolated workers",
+    )
+    fuzz.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-program budget covering all tools (runs through the "
+        "crash-isolated engine; default: none)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violations without shrinking the reproducer",
+    )
+    fuzz.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="OUT",
+        help="also write the machine-readable fuzz report to OUT",
+    )
+    fuzz.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print one line per program to stderr as the campaign runs",
+    )
+    fuzz.set_defaults(handler=command_fuzz)
 
     table1 = subparsers.add_parser(
         "table1",

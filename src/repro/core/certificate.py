@@ -14,6 +14,14 @@ same large-block encoding:
   by the synthesiser).
 
 Both queries must be UNSAT for the certificate to be accepted.
+
+This check shares the SMT stack with the synthesiser, which makes it
+fast but not independent: a bug in the solver could hide a bug in the
+synthesis.  :mod:`repro.checking.checker` provides the second opinion —
+the same Definition-6 obligations discharged by a self-contained exact
+Gauss/Fourier–Motzkin engine (with witness states on rejection); it is
+what ``repro check``, the differential fuzz harness, and the baselines'
+``certify`` use.
 """
 
 from __future__ import annotations

@@ -28,7 +28,8 @@ from repro.frontend.ast import (
     Skip,
     While,
 )
-from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import LexError, Token, TokenKind, tokenize
 from repro.frontend.parser import ParseError, parse_program
 from repro.frontend.lowering import compile_program, lower_program
 
@@ -44,6 +45,8 @@ __all__ = [
     "Token",
     "TokenKind",
     "tokenize",
+    "FrontendError",
+    "LexError",
     "ParseError",
     "parse_program",
     "lower_program",

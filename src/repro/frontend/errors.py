@@ -1,0 +1,14 @@
+"""Typed front-end errors.
+
+Everything the front end can reject — an unrecognised character, a
+syntax error, a structurally degenerate program — raises a subclass of
+:class:`FrontendError`, so drivers (the ``repro`` CLI, the fuzz harness,
+the batch runner) can distinguish "the input was malformed" from a bug in
+the analysis with one ``except FrontendError`` clause.
+"""
+
+from __future__ import annotations
+
+
+class FrontendError(ValueError):
+    """Base class of every error raised while reading a program."""

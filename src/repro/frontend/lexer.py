@@ -7,6 +7,8 @@ import re
 from dataclasses import dataclass
 from typing import List
 
+from repro.frontend.errors import FrontendError
+
 
 class TokenKind(enum.Enum):
     KEYWORD = "keyword"
@@ -61,7 +63,7 @@ class Token:
         )
 
 
-class LexError(ValueError):
+class LexError(FrontendError):
     """Raised on an unrecognised character."""
 
 

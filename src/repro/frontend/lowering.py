@@ -34,7 +34,7 @@ class _Lowering:
         self.program = program
         self._counter = itertools.count()
         self.automaton = ControlFlowAutomaton(
-            program.variables, self._fresh("entry")
+            program.variables, self._fresh("entry"), name=program.name
         )
 
     def _fresh(self, stem: str) -> str:

@@ -37,12 +37,13 @@ from repro.frontend.ast import (
     Statement,
     While,
 )
+from repro.frontend.errors import FrontendError
 from repro.frontend.lexer import Token, TokenKind, tokenize
 from repro.linexpr.expr import LinExpr
 from repro.linexpr.formula import FALSE, Formula, TRUE, conjunction, disjunction
 
 
-class ParseError(ValueError):
+class ParseError(FrontendError):
     """Raised on a syntax error, with line/column information."""
 
 
@@ -171,11 +172,21 @@ class _Parser:
             if self._accept(TokenKind.KEYWORD, "else"):
                 else_branch = self._parse_block()
             return IfThenElse(condition, then_branch, else_branch)
-        if self._accept(TokenKind.KEYWORD, "while"):
+        if self._check(TokenKind.KEYWORD, "while"):
+            keyword = self._advance()
             self._expect(TokenKind.PUNCT, "(")
             condition = self._parse_condition()
             self._expect(TokenKind.PUNCT, ")")
             body = self._parse_block()
+            if not body.statements:
+                # An empty loop body is always a mistake in this language
+                # (the loop either never runs or spins without progress);
+                # rejecting it here gives a typed error instead of letting
+                # the degenerate automaton confuse the analysis downstream.
+                raise ParseError(
+                    "empty loop body at line %d (write `skip;` if the "
+                    "spin is intentional)" % keyword.line
+                )
             return While(condition, body)
         if self._check(TokenKind.IDENT):
             target = self._advance().text

@@ -23,7 +23,11 @@ class ControlFlowAutomaton:
         initial_location: str,
         initial_condition: Formula = TRUE,
         integer_variables: Optional[Iterable[str]] = None,
+        name: str = "",
     ):
+        #: Human-readable program name (propagated by the front end; used
+        #: by the analysis pipeline and the reporting layers for labelling).
+        self.name = name
         self.variables: List[str] = list(variables)
         self.initial_location = initial_location
         self.initial_condition = atom(initial_condition)

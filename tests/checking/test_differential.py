@@ -1,0 +1,133 @@
+"""The cross-prover differential harness catches planted unsoundness."""
+
+import pytest
+
+from repro.api import AnalysisConfig
+from repro.api.registry import (
+    Prover,
+    _REGISTRY,
+    register_prover,
+)
+from repro.api.result import AnalysisResult, AnalysisStatus
+from repro.checking.differential import (
+    audit_generated_program,
+    audit_source,
+    default_fuzz_config,
+    fuzz,
+    run_differential,
+)
+from repro.checking.generator import ProgramGenerator
+
+
+class BogusProver(Prover):
+    """Deliberately unsound: proves everything with a junk certificate."""
+
+    name = "bogus_test_prover"
+    summary = "test stub: claims TERMINATING with the zero ranking"
+
+    def prove(self, problem, config):
+        ranking_source = problem.zero_ranking()
+        from repro.core.ranking import LexicographicRankingFunction
+
+        return AnalysisResult(
+            tool=self.name,
+            status=AnalysisStatus.TERMINATING,
+            ranking=LexicographicRankingFunction([ranking_source]),
+            dimension=1,
+        )
+
+
+@pytest.fixture
+def bogus_prover():
+    register_prover(BogusProver())
+    try:
+        yield BogusProver.name
+    finally:
+        _REGISTRY.pop(BogusProver.name, None)
+
+
+class TestAuditSource:
+    def test_sound_tools_pass_clean(self):
+        audit = audit_source(
+            "var x; while (x > 0) { x = x - 1; }",
+            tools=["termite", "heuristic"],
+        )
+        assert audit.build_error is None
+        assert not audit.violations
+        assert audit.verdicts["termite"].accepted
+
+    def test_malformed_source_is_a_build_error_not_a_crash(self):
+        audit = audit_source("var x; while (x > 0) {")
+        assert audit.build_error is not None
+        assert not audit.results
+
+    def test_zero_ranking_is_rejected(self, bogus_prover):
+        audit = audit_source(
+            "var x; while (x > 0) { x = x - 1; }", tools=[bogus_prover]
+        )
+        kinds = {violation.kind for violation in audit.violations}
+        assert "certificate_rejected" in kinds
+        violation = audit.violations[0]
+        assert violation.failures, "rejection must carry obligation failures"
+
+    def test_nonterminating_ground_truth(self, bogus_prover):
+        program = ProgramGenerator(0).generate(6)  # a nonterm gadget
+        audit = audit_generated_program(program, tools=[bogus_prover])
+        kinds = {violation.kind for violation in audit.violations}
+        assert "proved_nonterminating" in kinds
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean_and_deterministic(self):
+        report = fuzz(
+            seed=1,
+            count=4,
+            tools=["heuristic", "dnf"],
+            config=default_fuzz_config(),
+        )
+        assert report.ok, report.summary()
+        assert report.programs == 4
+        again = fuzz(
+            seed=1,
+            count=4,
+            tools=["heuristic", "dnf"],
+            config=default_fuzz_config(),
+        )
+        assert report.outcomes == again.outcomes
+
+    def test_violations_are_shrunk(self, bogus_prover):
+        programs = [ProgramGenerator(2).generate(0)]  # a countdown
+        report = run_differential(
+            programs, tools=[bogus_prover], shrink=True, max_shrink_checks=40
+        )
+        assert not report.ok
+        violation = next(
+            v for v in report.violations if v.kind == "certificate_rejected"
+        )
+        assert violation.original_source, "shrinking should have bitten"
+        assert len(violation.source) < len(violation.original_source)
+        assert "while" in violation.source
+
+    def test_report_serialises(self):
+        report = fuzz(seed=1, count=2, tools=["heuristic"])
+        import json
+
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["schema_version"] == 1
+        assert document["programs"] == 2
+        assert document["ok"] is True
+
+    def test_timeout_is_reported_not_fatal(self):
+        report = fuzz(
+            seed=1, count=2, tools=["heuristic"], timeout=0.000001
+        )
+        assert report.programs == 2
+        assert report.timeouts
+        assert report.ok  # timeouts are not soundness violations
+
+
+class TestDefaultConfig:
+    def test_default_fuzz_config_is_lean(self):
+        config = default_fuzz_config()
+        assert config.check_certificates is False
+        assert isinstance(config, AnalysisConfig)

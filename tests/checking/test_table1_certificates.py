@@ -1,0 +1,72 @@
+"""Table-1 certificates survive the independent checker (regression slice).
+
+The full sweep — ``repro check --suite all --tool termite`` — validated
+165/165 of termite's Table-1 ranking functions with zero rejections and
+zero inconclusives (2026-07).  This regression test pins a fast,
+representative slice of that result so a regression in synthesis,
+ranking serialisation, or the checker itself shows up in tier-1; the
+full sweep stays a CI/manual job because polybench- and sort-sized
+programs take seconds each.
+"""
+
+import pytest
+
+from repro.api import Analysis
+from repro.benchsuite.registry import get_program
+from repro.checking.checker import check_ranking
+
+#: (suite, name) pairs chosen to cover both suites' styles while staying
+#: cheap (< ~0.5 s each, measured): plain countdowns, parametric strides,
+#: gap-closing races, multi-variable chases, and one polybench kernel.
+SLICE = [
+    ("wtc", "chase_6"),
+    ("wtc", "strided_3"),
+    ("wtc", "speedup"),
+    ("termcomp", "countdown_step13"),
+    ("termcomp", "shift_pair_5"),
+    ("termcomp", "race_gap4"),
+    ("termcomp", "parametric_step_10"),
+    ("termcomp", "gap_closing_12"),
+    ("termcomp", "terminate_by_wraparound"),
+    ("termcomp", "count_up_to_100000"),
+    ("termcomp", "two_phase_reset6"),
+    ("polybench", "gemm_init"),
+]
+
+
+@pytest.mark.parametrize(
+    "suite,name", SLICE, ids=["%s/%s" % pair for pair in SLICE]
+)
+def test_termite_certificate_validates_independently(suite, name):
+    program = get_program(suite, name)
+    assert program.terminating, "slice programs are all terminating"
+    analysis = Analysis(program.build(), name=name)
+    problem = analysis.problem()
+    result = analysis.run("termite")
+    assert result.proved, "termite regressed on %s/%s" % (suite, name)
+    assert result.ranking is not None
+    verdict = check_ranking(problem, result.ranking)
+    assert verdict.accepted, (
+        "independent checker rejected %s/%s: %s"
+        % (suite, name, [f.to_dict() for f in verdict.failures] or verdict.notes)
+    )
+    assert verdict.refuted == verdict.obligations
+
+
+def test_serialised_ranking_still_validates():
+    """The JSON round-trip of a ranking is certificate-equivalent.
+
+    Guards the fraction-string serialisation: an off-by-one or lossy
+    coefficient would make the deserialised ranking fail the checker
+    even though the in-memory one passes.
+    """
+    from repro.api.result import ranking_from_dict, ranking_to_dict
+
+    program = get_program("wtc", "chase_6")
+    analysis = Analysis(program.build(), name="chase_6")
+    problem = analysis.problem()
+    result = analysis.run("termite")
+    assert result.proved
+    round_tripped = ranking_from_dict(ranking_to_dict(result.ranking))
+    verdict = check_ranking(problem, round_tripped)
+    assert verdict.accepted

@@ -1,0 +1,89 @@
+"""Malformed inputs must raise typed front-end errors, never crash.
+
+Every rejection path of the lexer/parser/lowering raises a subclass of
+:class:`repro.frontend.FrontendError`, so drivers can catch one type.
+"""
+
+import random
+
+import pytest
+
+from repro.frontend import (
+    FrontendError,
+    LexError,
+    ParseError,
+    compile_program,
+    parse_program,
+)
+
+MALFORMED = {
+    "unbalanced-open": "var x; while (x > 0) { x = x - 1;",
+    "unbalanced-close": "var x; x = 1; }",
+    "nested-unbalanced": "var x; if (x > 0) { { x = 1; }",
+    "missing-paren": "var x; while x > 0) { x = x - 1; }",
+    "missing-semicolon": "var x; x = x + 1",
+    "bad-token-at": "var x; x = x @ 1;",
+    "bad-token-dollar": "var $x; x = 1;",
+    "bad-token-quote": 'var x; x = "1";',
+    "empty-assignment": "var x; x = ;",
+    "dangling-operator": "var x; x = x + ;",
+    "undeclared-variable": "var x; y = 1;",
+    "undeclared-in-guard": "var x; while (y > 0) { x = 1; }",
+    "declaration-after-statement": "x = 1; var x;",
+    "empty-loop-body": "var x; while (x > 0) { }",
+    "empty-loop-body-newline": "var x;\nwhile (x > 0) {\n}\n",
+    "keyword-as-variable": "var while; x = 1;",
+    "trailing-garbage": "var x; x = 1; ; ;",
+    "nondet-with-arguments": "var x; x = nondet(x);",
+    "lone-else": "var x; else { x = 1; }",
+    "comparison-as-statement": "var x; x > 1;",
+    "nonlinear-product": "var x, y; x = x * y;",
+}
+
+
+@pytest.mark.parametrize("source", MALFORMED.values(), ids=MALFORMED.keys())
+def test_malformed_input_raises_typed_error(source):
+    with pytest.raises(FrontendError):
+        compile_program(source, "malformed")
+
+
+def test_empty_loop_body_names_the_line():
+    with pytest.raises(ParseError, match="empty loop body at line 2"):
+        parse_program("var x;\nwhile (x > 0) { }\n")
+
+
+def test_skip_makes_an_intentional_spin_legal():
+    compile_program("var x; while (x > 0) { skip; }")
+
+
+def test_lex_error_is_a_frontend_error():
+    assert issubclass(LexError, FrontendError)
+    assert issubclass(ParseError, FrontendError)
+    with pytest.raises(LexError):
+        parse_program("var x; x = `1`;")
+
+
+def test_error_messages_carry_position():
+    with pytest.raises(ParseError, match="line 3"):
+        parse_program("var x;\nx = 1;\nx = ;\n")
+
+
+def test_garbage_soup_never_crashes_lowering():
+    """Random token soup either compiles or raises a FrontendError."""
+    pieces = [
+        "var", "x", "y", ";", "{", "}", "(", ")", "while", "if", "else",
+        "=", "+", "-", "*", "<", ">", "<=", "==", "!=", "&&", "||", "0",
+        "1", "7", "assume", "skip", "nondet", ",", "true", "false",
+    ]
+    rng = random.Random(20260729)
+    compiled = errors = 0
+    for _ in range(300):
+        source = " ".join(rng.choices(pieces, k=rng.randint(1, 25)))
+        try:
+            compile_program(source, "soup")
+            compiled += 1
+        except FrontendError:
+            errors += 1
+        # anything else (IndexError, RecursionError, ...) fails the test
+    assert compiled + errors == 300
+    assert errors > 0
