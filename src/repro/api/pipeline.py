@@ -95,6 +95,7 @@ class Analysis:
         self._given_domain = domain
         self._problem: Optional[TerminationProblem] = None
         self._build_stages: List[StageTiming] = []
+        self._build_lp_saved = 0
 
     # -- observers ---------------------------------------------------------------
 
@@ -142,6 +143,9 @@ class Analysis:
         """The built termination problem (cached across :meth:`run` calls)."""
         if self._problem is not None:
             return self._problem
+        from repro.polyhedra import projection
+
+        build_snapshot = projection.statistics.snapshot()
         automaton = self.automaton()
         if not any(stage.name == "frontend" for stage in self._build_stages):
             # Automaton was given directly: record a zero-cost frontend
@@ -174,6 +178,9 @@ class Analysis:
                 blocks,
                 sorted(automaton.integer_variables),
             )
+        # Like the build-stage timings, projection savings from the
+        # shared problem build reappear in every result of this Analysis.
+        self._build_lp_saved = projection.lp_calls_saved_since(build_snapshot)
         return self._problem
 
     def build_seconds(self) -> float:
@@ -189,11 +196,17 @@ class Analysis:
         build stages are shared — their recorded timings reappear in every
         result of this :class:`Analysis`, they are *not* re-run.
         """
+        from repro.polyhedra import projection
+
         prover = get_prover(tool)
         problem = self.problem()
+        snapshot = projection.statistics.snapshot()
         run_stages: List[StageTiming] = []
         with self._stage("synthesis", run_stages):
             result = prover.prove(problem, self.config)
+        result.lp_statistics.redundancy_lp_saved += (
+            self._build_lp_saved + projection.lp_calls_saved_since(snapshot)
+        )
         if (
             self.config.check_certificates
             and prover.supports_certificates

@@ -1,8 +1,10 @@
 """Exact rational (in)feasibility of linear constraint systems.
 
 This is the trusted core of the certificate checker, so it is written to
-be audited by eye and shares **no code** with the LP solver or the SMT
-stack it cross-examines.  A *system* is a list of
+be audited by eye and shares **no decision logic** with the LP solver or
+the SMT stack it cross-examines (the only shared code is the dumb
+scaled-integer row arithmetic of :mod:`repro.linalg.sparse`, which has
+its own randomised differential tests against dense ``Fraction`` math).  A *system* is a list of
 :class:`~repro.linexpr.constraint.Constraint` objects (``expr ≤ 0``,
 ``expr < 0`` or ``expr = 0`` with :class:`fractions.Fraction`
 coefficients).  :func:`decide_system` decides feasibility over ℚ:
@@ -30,8 +32,12 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.linalg.sparse import SparseRow
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
+
+#: Sentinel row index carrying the affine constant (sorts first).
+_CONST = -1
 
 #: Default cap on the number of live rows during elimination.
 DEFAULT_ROW_BUDGET = 50_000
@@ -175,6 +181,50 @@ def _ceil(value: Fraction) -> int:
     return -((-value.numerator) // value.denominator)
 
 
+def _sparse_of(constraint: Constraint, index_of: Dict[str, int]) -> SparseRow:
+    """A constraint's left-hand side as a primitive-integer sparse row."""
+    pairs: List[Tuple[int, Fraction]] = [
+        (index_of[name], value)
+        for name, value in constraint.expr.terms.items()
+    ]
+    constant = constraint.expr.constant_term
+    if constant:
+        pairs.append((_CONST, constant))
+    # Dropping the (positive) denominator rescales the constraint, which
+    # preserves it as a ≤/</= 0 atom.
+    return SparseRow.from_pairs(pairs).normalized_direction()
+
+
+def _constraint_of(
+    row: SparseRow, strict: bool, names: Sequence[str]
+) -> Constraint:
+    """Materialise a row back into a constraint (messages, self-checks)."""
+    terms: Dict[str, Fraction] = {}
+    constant = Fraction(0)
+    for index, value in row.items():
+        if index == _CONST:
+            constant = value
+        else:
+            terms[names[index]] = value
+    return Constraint(
+        LinExpr(terms, constant), Relation.LT if strict else Relation.LE
+    )
+
+
+def _evaluate_row(row: SparseRow, assignment: Dict[int, Fraction]) -> Fraction:
+    """Evaluate a row (over variable indices) with absent variables zero."""
+    total = Fraction(0)
+    for index, value in row.items():
+        if index == _CONST:
+            total += value
+        else:
+            total += value * assignment.get(index, _FRACTION_ZERO)
+    return total
+
+
+_FRACTION_ZERO = Fraction(0)
+
+
 def decide_system(
     constraints: Sequence[Constraint],
     row_budget: int = DEFAULT_ROW_BUDGET,
@@ -184,22 +234,48 @@ def decide_system(
     Returns a :class:`Refutation` (infeasible) or a :class:`Witness`
     (feasible, with a satisfying point).  Raises
     :class:`FarkasBudgetExceeded` when elimination outgrows *row_budget*.
+
+    The elimination itself runs on GCD-normalised scaled-integer
+    :class:`~repro.linalg.sparse.SparseRow` vectors (the same kernel the
+    LP solver pivots on — but only the *row arithmetic* is shared, the
+    decision logic stays independent): each combination is one fused
+    integer multiply-add, and rows deduplicate structurally.  Fractions
+    reappear only when the witness point is reconstructed.
     """
-    equalities: List[Constraint] = []
-    rows: List[Constraint] = []
+    pending_equalities: List[Constraint] = []
+    pending_rows: List[Constraint] = []
     for constraint in constraints:
         if constraint.is_trivially_true():
             continue
         if constraint.is_trivially_false():
             return Refutation("constant constraint %s is false" % constraint)
         if constraint.is_equality():
-            equalities.append(constraint)
+            pending_equalities.append(constraint)
         else:
-            rows.append(constraint)
+            pending_rows.append(constraint)
+
+    names = sorted(
+        {
+            name
+            for constraint in pending_equalities + pending_rows
+            for name in constraint.expr.terms
+        }
+    )
+    index_of = {name: position for position, name in enumerate(names)}
+    equalities: List[SparseRow] = [
+        _sparse_of(constraint, index_of) for constraint in pending_equalities
+    ]
+    rows: List[Tuple[SparseRow, bool]] = [
+        (_sparse_of(constraint, index_of), constraint.is_strict())
+        for constraint in pending_rows
+    ]
+
+    def is_constant(row: SparseRow) -> bool:
+        return all(index == _CONST for index in row.support())
 
     # A log of eliminations, replayed backwards to build the witness:
-    #   ("gauss", name, expr)          name := expr over later variables
-    #   ("fm", name, lowers, uppers)   bounds as (expr, strict) pairs
+    #   ("gauss", index, row)           x_index := row evaluated
+    #   ("fm", index, lowers, uppers)   bounds as (row, strict) pairs
     log: List[tuple] = []
     eliminated = 0
     combinations = 0
@@ -207,136 +283,160 @@ def decide_system(
     # -- Gaussian substitution of equalities --------------------------------
     while equalities:
         equality = equalities.pop()
-        terms = equality.expr.terms
-        if not terms:
-            if equality.expr.constant_term != 0:
+        if is_constant(equality):
+            if equality.numerator_at(_CONST):
                 return Refutation(
-                    "equality reduced to %s = 0" % equality.expr.constant_term,
+                    "equality reduced to %s = 0" % equality.get(_CONST),
                     eliminated,
                     combinations,
                 )
             continue
-        name = min(terms)
-        coefficient = terms[name]
-        solved = (LinExpr({name: coefficient}) - equality.expr) / coefficient
-        log.append(("gauss", name, solved))
+        index = next(i for i in equality.support() if i != _CONST)
+        coefficient = equality.get(index)
+        # x_index = (coefficient · x_index − equality) / coefficient.
+        solved = SparseRow.from_pairs(
+            [
+                (i, Fraction(-numerator, 1) / coefficient)
+                for i, numerator in equality.iter_scaled()
+                if i != index
+            ]
+        )
+        log.append(("gauss", index, solved))
         eliminated += 1
-        substitution = {name: solved}
 
-        def substitute(pool: List[Constraint]) -> Optional[Refutation]:
-            for index, row in enumerate(pool):
-                if name in row.expr.terms:
-                    pool[index] = row.substitute(substitution)
-            return None
-
-        substitute(equalities)
-        substitute(rows)
-        survivors: List[Constraint] = []
-        for row in rows:
-            if row.is_trivially_true():
-                continue
-            if row.is_trivially_false():
-                return Refutation(
-                    "substituting %s yields %s" % (name, row),
-                    eliminated,
-                    combinations,
-                )
-            survivors.append(row)
+        equalities = [
+            row.eliminate(index, equality).normalized_direction()
+            if row.numerator_at(index)
+            else row
+            for row in equalities
+        ]
+        survivors: List[Tuple[SparseRow, bool]] = []
+        for row, strict in rows:
+            if row.numerator_at(index):
+                row = row.eliminate(index, equality).normalized_direction()
+            if is_constant(row):
+                constant = row.numerator_at(_CONST)
+                if constant > 0 or (strict and constant >= 0):
+                    return Refutation(
+                        "substituting %s yields %s"
+                        % (names[index], _constraint_of(row, strict, names)),
+                        eliminated,
+                        combinations,
+                    )
+                continue  # trivially true
+            survivors.append((row, strict))
         rows = survivors
 
     # -- Fourier–Motzkin on the inequalities --------------------------------
     while True:
-        occurrences: Dict[str, Tuple[int, int]] = {}
-        for row in rows:
-            for name, coefficient in row.expr.terms.items():
-                positive, negative = occurrences.get(name, (0, 0))
-                if coefficient > 0:
-                    occurrences[name] = (positive + 1, negative)
+        occurrences: Dict[int, Tuple[int, int]] = {}
+        for row, _ in rows:
+            for index, numerator in row.iter_scaled():
+                if index == _CONST:
+                    continue
+                positive, negative = occurrences.get(index, (0, 0))
+                if numerator > 0:
+                    occurrences[index] = (positive + 1, negative)
                 else:
-                    occurrences[name] = (positive, negative + 1)
+                    occurrences[index] = (positive, negative + 1)
         if not occurrences:
             break
 
-        def cost(name: str) -> Tuple[int, str]:
-            positive, negative = occurrences[name]
+        def cost(index: int) -> Tuple[int, int]:
+            positive, negative = occurrences[index]
             if positive == 0 or negative == 0:
-                return (-1, name)  # free elimination first
-            return (positive * negative - positive - negative, name)
+                return (-1, index)  # free elimination first
+            return (positive * negative - positive - negative, index)
 
-        name = min(occurrences, key=cost)
-        uppers: List[Constraint] = []  # coefficient > 0: bounds from above
-        lowers: List[Constraint] = []  # coefficient < 0: bounds from below
-        untouched: List[Constraint] = []
-        for row in rows:
-            coefficient = row.expr.coefficient(name)
-            if coefficient > 0:
-                uppers.append(row)
-            elif coefficient < 0:
-                lowers.append(row)
+        index = min(occurrences, key=cost)
+        uppers: List[Tuple[SparseRow, bool]] = []  # coeff > 0: upper bounds
+        lowers: List[Tuple[SparseRow, bool]] = []  # coeff < 0: lower bounds
+        untouched: List[Tuple[SparseRow, bool]] = []
+        for entry in rows:
+            numerator = entry[0].numerator_at(index)
+            if numerator > 0:
+                uppers.append(entry)
+            elif numerator < 0:
+                lowers.append(entry)
             else:
-                untouched.append(row)
+                untouched.append(entry)
 
-        def bound_pairs(pool: List[Constraint]) -> List[Tuple[LinExpr, bool]]:
+        def bound_pairs(
+            pool: List[Tuple[SparseRow, bool]],
+        ) -> List[Tuple[SparseRow, bool]]:
             pairs = []
-            for row in pool:
-                coefficient = row.expr.coefficient(name)
-                rest = row.expr - LinExpr({name: coefficient})
-                pairs.append((rest * (Fraction(-1) / coefficient), row.is_strict()))
+            for row, strict in pool:
+                coefficient = row.get(index)
+                rest = SparseRow.from_pairs(
+                    [
+                        (i, Fraction(-numerator, 1) / coefficient)
+                        for i, numerator in row.iter_scaled()
+                        if i != index
+                    ]
+                )
+                pairs.append((rest, strict))
             return pairs
 
-        log.append(("fm", name, bound_pairs(lowers), bound_pairs(uppers)))
+        log.append(("fm", index, bound_pairs(lowers), bound_pairs(uppers)))
         eliminated += 1
 
         seen: Set[Tuple] = set()
-        fresh: List[Constraint] = list(untouched)
-        for upper in uppers:
-            a = upper.expr.coefficient(name)
-            for lower in lowers:
-                b = lower.expr.coefficient(name)
-                combined_expr = upper.expr * (-b) + lower.expr * a
-                relation = (
-                    Relation.LT
-                    if upper.is_strict() or lower.is_strict()
-                    else Relation.LE
-                )
-                combined = Constraint(combined_expr, relation).normalized()
+        fresh: List[Tuple[SparseRow, bool]] = list(untouched)
+        for upper, upper_strict in uppers:
+            a = upper.numerator_at(index)
+            for lower, lower_strict in lowers:
+                b = lower.numerator_at(index)
+                combined = upper.combine_int(-b, lower, a)
+                combined = combined.normalized_direction()
+                strict = upper_strict or lower_strict
                 combinations += 1
-                if combined.is_trivially_true():
-                    continue
-                if combined.is_trivially_false():
-                    return Refutation(
-                        "eliminating %s combines %s and %s into %s"
-                        % (name, upper, lower, combined),
-                        eliminated,
-                        combinations,
-                    )
-                key = (tuple(sorted(combined.expr.terms.items())),
-                       combined.expr.constant_term,
-                       combined.relation)
+                if is_constant(combined):
+                    constant = combined.numerator_at(_CONST)
+                    if constant > 0 or (strict and constant >= 0):
+                        return Refutation(
+                            "eliminating %s combines %s and %s into %s"
+                            % (
+                                names[index],
+                                _constraint_of(upper, upper_strict, names),
+                                _constraint_of(lower, lower_strict, names),
+                                _constraint_of(combined, strict, names),
+                            ),
+                            eliminated,
+                            combinations,
+                        )
+                    continue  # trivially true
+                key = (combined.indices, combined.numerators, strict)
                 if key in seen:
                     continue
                 seen.add(key)
-                fresh.append(combined)
+                fresh.append((combined, strict))
                 if len(fresh) > row_budget:
                     raise FarkasBudgetExceeded(
                         "row budget %d exceeded while eliminating %r"
-                        % (row_budget, name)
+                        % (row_budget, names[index])
                     )
         rows = fresh
 
     # Feasible: rebuild a witness point by replaying the log backwards.
-    assignment: Dict[str, Fraction] = {}
+    indexed: Dict[int, Fraction] = {}
     for entry in reversed(log):
         if entry[0] == "fm":
-            _, name, lower_pairs, upper_pairs = entry
-            assignment[name] = _pick_value(
-                [(_evaluate(expr, assignment), strict) for expr, strict in lower_pairs],
-                [(_evaluate(expr, assignment), strict) for expr, strict in upper_pairs],
+            _, index, lower_pairs, upper_pairs = entry
+            indexed[index] = _pick_value(
+                [
+                    (_evaluate_row(row, indexed), strict)
+                    for row, strict in lower_pairs
+                ],
+                [
+                    (_evaluate_row(row, indexed), strict)
+                    for row, strict in upper_pairs
+                ],
             )
         else:
-            _, name, solved = entry
-            assignment[name] = _evaluate(solved, assignment)
+            _, index, solved = entry
+            indexed[index] = _evaluate_row(solved, indexed)
 
+    assignment = {names[index]: value for index, value in indexed.items()}
     for constraint in constraints:
         if _violates(constraint, assignment):  # pragma: no cover - self-check
             raise AssertionError(

@@ -1,6 +1,6 @@
 """The ``repro`` command line — a reproducible front door to the analysis.
 
-Five subcommands, all built on the unified analysis API:
+Six subcommands, all built on the unified analysis API:
 
 ``repro prove FILE``
     Run one registered prover on a mini-language program (``-`` reads
@@ -30,6 +30,12 @@ Five subcommands, all built on the unified analysis API:
     through the parallel engine (the same engine CI runs; also reachable
     as ``python benchmarks/table1.py``).
 
+``repro bench``
+    The sparse-kernel performance micro-suite: row-kernel ops vs the
+    dense baseline, a simplex batch, pruned Fourier–Motzkin and a
+    Table-1 WTC slice, written to ``BENCH_kernel.json`` (also reachable
+    as ``python benchmarks/perf_kernel.py``).
+
 Installed as a console script (``pip install -e .``) and always available
 as ``python -m repro``.
 """
@@ -48,7 +54,6 @@ from repro.api import (
     DOMAINS,
     SMT_MODES,
     analyze,
-    available_provers,
     canonical_name,
     prover_summaries,
 )
@@ -475,6 +480,83 @@ def command_fuzz(arguments: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro bench (also the engine behind benchmarks/perf_kernel.py)
+# ---------------------------------------------------------------------------
+
+
+def command_bench(arguments: argparse.Namespace) -> int:
+    from repro.reporting.perf import run_suite
+
+    started = time.perf_counter()
+    document = run_suite(quick=arguments.quick, seed=arguments.seed)
+    elapsed = time.perf_counter() - started
+
+    for suite in document["suites"]:
+        extras = " ".join(
+            "%s=%s" % (key, value)
+            for key, value in suite.items()
+            if key not in ("suite", "wall_seconds")
+        )
+        print("%-12s %8.3fs  %s" % (suite["suite"], suite["wall_seconds"], extras))
+    print(
+        "%d suites, %.3fs measured (%.1fs wall)%s"
+        % (
+            len(document["suites"]),
+            document["total_wall_seconds"],
+            elapsed,
+            " [quick]" if arguments.quick else "",
+        )
+    )
+
+    if arguments.json_path and arguments.json_path != "-":
+        try:
+            with open(arguments.json_path, "w") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(
+                "error: cannot write %s: %s" % (arguments.json_path, error),
+                file=sys.stderr,
+            )
+            return 1
+        print("wrote %s" % arguments.json_path)
+    return 0
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller suite sizes (the CI perf-smoke configuration)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the randomised suites (default: 0)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default="BENCH_kernel.json",
+        metavar="OUT",
+        help="where to write the machine-readable report "
+        "(default: BENCH_kernel.json; '-' prints only)",
+    )
+
+
+def bench_main(argv=None) -> int:
+    """Standalone entry point (used by ``benchmarks/perf_kernel.py``)."""
+    parser = argparse.ArgumentParser(
+        description="Run the sparse-kernel performance micro-suite.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_bench_arguments(parser)
+    return command_bench(parser.parse_args(argv))
+
+
+# ---------------------------------------------------------------------------
 # repro list-provers
 # ---------------------------------------------------------------------------
 
@@ -834,6 +916,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_table1_arguments(table1)
     table1.set_defaults(handler=command_table1)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the sparse-kernel performance micro-suite",
+        description="Measure the scaled-integer row kernel, the simplex "
+        "on top of it, pruned Fourier-Motzkin projection and a Table-1 "
+        "WTC slice; write the trajectory to BENCH_kernel.json.",
+    )
+    add_bench_arguments(bench)
+    bench.set_defaults(handler=command_bench)
 
     return parser
 

@@ -62,6 +62,10 @@ class LpStatistics:
     warm_solves: int = 0
     cold_solves: int = 0
     pivots_saved: int = 0
+    #: LP entailment solves the projection layer's syntactic/Kohler
+    #: pruning made unnecessary during this run (attributed by the
+    #: analysis pipeline from the process-wide projection counters).
+    redundancy_lp_saved: int = 0
 
     def record(self, rows: int, cols: int) -> None:
         self.instances += 1
@@ -103,6 +107,7 @@ class LpStatistics:
             "warm_solves": self.warm_solves,
             "cold_solves": self.cold_solves,
             "pivots_saved": self.pivots_saved,
+            "redundancy_lp_saved": self.redundancy_lp_saved,
             "average_rows": self.average_rows,
             "average_cols": self.average_cols,
         }
@@ -120,6 +125,7 @@ class LpStatistics:
             warm_solves=data.get("warm_solves", 0),
             cold_solves=data.get("cold_solves", 0),
             pivots_saved=data.get("pivots_saved", 0),
+            redundancy_lp_saved=data.get("redundancy_lp_saved", 0),
         )
 
     def merge(self, other: "LpStatistics") -> None:
@@ -132,6 +138,7 @@ class LpStatistics:
         self.warm_solves += other.warm_solves
         self.cold_solves += other.cold_solves
         self.pivots_saved += other.pivots_saved
+        self.redundancy_lp_saved += other.redundancy_lp_saved
 
 
 @dataclass

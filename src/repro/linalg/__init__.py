@@ -13,6 +13,7 @@ from repro.linalg.rational import (
     fraction_lcm,
     integer_normalize,
 )
+from repro.linalg.sparse import SparseRow
 from repro.linalg.vector import Vector
 from repro.linalg.matrix import (
     Matrix,
@@ -28,6 +29,7 @@ __all__ = [
     "fraction_gcd",
     "fraction_lcm",
     "integer_normalize",
+    "SparseRow",
     "Vector",
     "Matrix",
     "complete_basis",

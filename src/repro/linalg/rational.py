@@ -53,12 +53,17 @@ def fraction_gcd(values: Iterable[Fraction]) -> Fraction:
     den_lcm = 1
     seen = False
     for value in values:
-        frac = as_fraction(value)
-        if frac == 0:
+        # Fast path: callers overwhelmingly pass Fraction objects already
+        # (this runs once per entry inside every normalisation), so skip
+        # the isinstance ladder of as_fraction for them.
+        frac = value if type(value) is Fraction else as_fraction(value)
+        numerator = frac.numerator
+        if not numerator:
             continue
         seen = True
-        num_gcd = gcd(num_gcd, abs(frac.numerator))
-        den_lcm = den_lcm * frac.denominator // gcd(den_lcm, frac.denominator)
+        num_gcd = gcd(num_gcd, numerator)
+        denominator = frac.denominator
+        den_lcm = den_lcm * denominator // gcd(den_lcm, denominator)
     if not seen:
         return Fraction(0)
     return Fraction(num_gcd, den_lcm)
@@ -72,7 +77,7 @@ def fraction_lcm(values: Iterable[Fraction]) -> Fraction:
     result = Fraction(1)
     seen = False
     for value in values:
-        frac = as_fraction(value)
+        frac = value if type(value) is Fraction else as_fraction(value)
         if frac == 0:
             continue
         seen = True
@@ -96,7 +101,9 @@ def integer_normalize(coefficients: Sequence[Rat]) -> List[Fraction]:
     >>> integer_normalize([Fraction(1, 2), Fraction(3, 2)])
     [Fraction(1, 1), Fraction(3, 1)]
     """
-    fracs = [as_fraction(c) for c in coefficients]
+    fracs = [
+        c if type(c) is Fraction else as_fraction(c) for c in coefficients
+    ]
     divisor = fraction_gcd(fracs)
     if divisor == 0:
         return fracs

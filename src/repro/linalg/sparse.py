@@ -1,0 +1,397 @@
+"""Sparse scaled-integer constraint rows — the shared exact-arithmetic kernel.
+
+Every hot loop in this library (simplex pivots, Fourier–Motzkin
+combinations, double-description ray arithmetic, the Farkas checker's
+elimination) ultimately performs the same two operations on constraint
+rows: a fused multiply-add of two rows and a dot product.  Doing them
+entry-by-entry on :class:`fractions.Fraction` pays a gcd *per entry per
+operation* (``Fraction.__mul__``/``__sub__`` normalise eagerly) plus one
+object allocation per intermediate.
+
+:class:`SparseRow` stores a row as parallel ``(index, numerator)`` arrays
+over a single positive denominator::
+
+    value(i) = numerator_at(i) / denominator
+
+with all arithmetic performed on machine integers via cross
+multiplication and **one** gcd pass per produced row (:meth:`_make`).
+``Fraction`` objects are materialised only at API boundaries
+(:meth:`get`, :meth:`dot`, :meth:`to_dense`).  Rows are immutable and
+always GCD-normalised (``gcd(*numerators, denominator) == 1``,
+``denominator > 0``, no stored zero entries), so structural equality is
+value equality and sign tests reduce to integer sign tests.
+
+Indices are arbitrary integers sorted increasingly; negative sentinel
+indices are allowed (the simplex tableau fuses the right-hand side into
+its rows at index ``-1`` so one row operation updates matrix and rhs
+together).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.linalg.rational import Rat, as_fraction
+
+_ZERO = Fraction(0)
+
+
+class SparseRow:
+    """An immutable GCD-normalised sparse vector of exact rationals."""
+
+    __slots__ = ("indices", "numerators", "denominator")
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        numerators: Sequence[int],
+        denominator: int = 1,
+    ):
+        """Build from already-sorted parallel arrays (validated, normalised).
+
+        Prefer the :meth:`from_*` constructors; this entry point exists
+        for callers that already hold clean integer data.
+        """
+        if len(indices) != len(numerators):
+            raise ValueError("indices and numerators differ in length")
+        if denominator == 0:
+            raise ZeroDivisionError("SparseRow denominator is zero")
+        if any(indices[i] >= indices[i + 1] for i in range(len(indices) - 1)):
+            raise ValueError("indices must be strictly increasing")
+        if denominator < 0:
+            denominator = -denominator
+            numerators = [-n for n in numerators]
+        idx: List[int] = []
+        num: List[int] = []
+        for i, n in zip(indices, numerators):
+            if n:
+                idx.append(i)
+                num.append(n)
+        divisor = denominator
+        for n in num:
+            divisor = gcd(divisor, n)
+            if divisor == 1:
+                break
+        if divisor > 1:
+            num = [n // divisor for n in num]
+            denominator //= divisor
+        self.indices = tuple(idx)
+        self.numerators = tuple(num)
+        self.denominator = denominator
+
+    # -- raw constructor used by the fused kernels -------------------------
+
+    @classmethod
+    def _make(
+        cls, indices: List[int], numerators: List[int], denominator: int
+    ) -> "SparseRow":
+        """Normalise fused-kernel output without re-validating ordering."""
+        row = object.__new__(cls)
+        if denominator < 0:
+            denominator = -denominator
+            numerators = [-n for n in numerators]
+        divisor = denominator
+        for n in numerators:
+            divisor = gcd(divisor, n)
+            if divisor == 1:
+                break
+        if divisor > 1:
+            numerators = [n // divisor for n in numerators]
+            denominator //= divisor
+        row.indices = tuple(indices)
+        row.numerators = tuple(numerators)
+        row.denominator = denominator
+        return row
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "SparseRow":
+        return cls((), (), 1)
+
+    @classmethod
+    def from_dense(cls, values: Iterable[Rat]) -> "SparseRow":
+        """Build from a dense iterable (index = position)."""
+        return cls.from_pairs(enumerate(values))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, Rat]]) -> "SparseRow":
+        """Build from ``(index, value)`` pairs (any order, no duplicates)."""
+        cleaned: Dict[int, Fraction] = {}
+        for index, value in pairs:
+            frac = value if type(value) is Fraction else as_fraction(value)
+            if frac:
+                cleaned[index] = frac
+        if not cleaned:
+            return cls.zero()
+        den = 1
+        for frac in cleaned.values():
+            d = frac.denominator
+            den = den * d // gcd(den, d)
+        indices = sorted(cleaned)
+        numerators = [
+            cleaned[i].numerator * (den // cleaned[i].denominator)
+            for i in indices
+        ]
+        return cls._make(indices, numerators, den)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[int, Rat]) -> "SparseRow":
+        return cls.from_pairs(mapping.items())
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return len(self.indices)
+
+    def is_zero(self) -> bool:
+        return not self.indices
+
+    def support(self) -> Tuple[int, ...]:
+        return self.indices
+
+    def _position(self, index: int) -> int:
+        """Binary-search position of *index*, or -1 when absent."""
+        lo, hi = 0, len(self.indices)
+        idx = self.indices
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if idx[mid] < index:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(idx) and idx[lo] == index:
+            return lo
+        return -1
+
+    def numerator_at(self, index: int) -> int:
+        """Integer numerator at *index* over :attr:`denominator` (0 if absent).
+
+        Because the denominator is positive, the *sign* of the stored
+        value is the sign of this integer — the cheap test every pivot
+        rule and zero-set computation needs.
+        """
+        pos = self._position(index)
+        return self.numerators[pos] if pos >= 0 else 0
+
+    def get(self, index: int) -> Fraction:
+        """Exact value at *index* as a :class:`Fraction`."""
+        pos = self._position(index)
+        if pos < 0:
+            return _ZERO
+        return Fraction(self.numerators[pos], self.denominator)
+
+    def items(self) -> Iterator[Tuple[int, Fraction]]:
+        """Iterate ``(index, Fraction)`` pairs in index order."""
+        den = self.denominator
+        for index, num in zip(self.indices, self.numerators):
+            yield index, Fraction(num, den)
+
+    def iter_scaled(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(index, integer numerator)`` pairs in index order."""
+        return zip(self.indices, self.numerators)
+
+    def to_dense(self, size: int, offset: int = 0) -> List[Fraction]:
+        """Dense :class:`Fraction` list of the entries in [offset, offset+size)."""
+        values = [_ZERO] * size
+        den = self.denominator
+        for index, num in zip(self.indices, self.numerators):
+            position = index - offset
+            if 0 <= position < size:
+                values[position] = Fraction(num, den)
+        return values
+
+    def to_dict(self) -> Dict[int, Fraction]:
+        return dict(self.items())
+
+    # -- fused row operations ----------------------------------------------
+
+    def dot_numerator(self, other: "SparseRow") -> int:
+        """Integer numerator of ``self · other`` over ``den_a * den_b``.
+
+        The full dot product is this over a *positive* denominator, so
+        sign tests and scale-invariant uses (ray combination) can stay
+        in machine integers.
+        """
+        ai, an = self.indices, self.numerators
+        bi, bn = other.indices, other.numerators
+        la, lb = len(ai), len(bi)
+        a = b = 0
+        total = 0
+        while a < la and b < lb:
+            ia, ib = ai[a], bi[b]
+            if ia == ib:
+                total += an[a] * bn[b]
+                a += 1
+                b += 1
+            elif ia < ib:
+                a += 1
+            else:
+                b += 1
+        return total
+
+    def dot(self, other: "SparseRow") -> Fraction:
+        """Exact inner product ``self · other``."""
+        return Fraction(
+            self.dot_numerator(other), self.denominator * other.denominator
+        )
+
+    def combine(self, ca: Rat, other: "SparseRow", cb: Rat) -> "SparseRow":
+        """The fused multiply-add ``ca * self + cb * other``.
+
+        Rational factors are folded into the shared denominator so the
+        merge itself runs entirely on integers.
+        """
+        ca = ca if type(ca) is Fraction else as_fraction(ca)
+        cb = cb if type(cb) is Fraction else as_fraction(cb)
+        den = self.denominator * ca.denominator
+        den_b = other.denominator * cb.denominator
+        sa = ca.numerator * den_b
+        sb = cb.numerator * den
+        return self._merge(other, sa, sb, den * den_b)
+
+    def combine_int(self, ca: int, other: "SparseRow", cb: int) -> "SparseRow":
+        """``ca * self + cb * other`` with integer factors (FM combinations)."""
+        return self._merge(
+            other,
+            ca * other.denominator,
+            cb * self.denominator,
+            self.denominator * other.denominator,
+        )
+
+    def _merge(
+        self, other: "SparseRow", sa: int, sb: int, den: int
+    ) -> "SparseRow":
+        """Merge ``(sa * self.num + sb * other.num) / den`` entrywise."""
+        ai, an = self.indices, self.numerators
+        bi, bn = other.indices, other.numerators
+        la, lb = len(ai), len(bi)
+        a = b = 0
+        indices: List[int] = []
+        numerators: List[int] = []
+        append_i = indices.append
+        append_n = numerators.append
+        while a < la and b < lb:
+            ia, ib = ai[a], bi[b]
+            if ia == ib:
+                value = sa * an[a] + sb * bn[b]
+                if value:
+                    append_i(ia)
+                    append_n(value)
+                a += 1
+                b += 1
+            elif ia < ib:
+                if sa:
+                    append_i(ia)
+                    append_n(sa * an[a])
+                a += 1
+            else:
+                if sb:
+                    append_i(ib)
+                    append_n(sb * bn[b])
+                b += 1
+        if sa:
+            while a < la:
+                append_i(ai[a])
+                append_n(sa * an[a])
+                a += 1
+        if sb:
+            while b < lb:
+                append_i(bi[b])
+                append_n(sb * bn[b])
+                b += 1
+        return self._make(indices, numerators, den)
+
+    def eliminate(self, index: int, pivot: "SparseRow") -> "SparseRow":
+        """Zero out *index* using *pivot* (``pivot[index] != 0``).
+
+        Computes ``self − (self[index] / pivot[index]) · pivot`` by cross
+        multiplication — the fused pivot-eliminate at the heart of both
+        the simplex tableau and Gaussian substitution.  Returns ``self``
+        unchanged when the entry is already zero.
+        """
+        s_c = self.numerator_at(index)
+        if not s_c:
+            return self
+        p_c = pivot.numerator_at(index)
+        if not p_c:
+            raise ZeroDivisionError("pivot row has a zero at index %d" % index)
+        # (num_k * p_c − s_c * p_num_k) / (den * p_c): the pivot row's own
+        # denominator cancels out of the correction term.
+        return self._merge(pivot, p_c, -s_c, self.denominator * p_c)
+
+    def pivot_normalized(self, index: int) -> "SparseRow":
+        """Scale the row so the value at *index* becomes exactly 1."""
+        p_c = self.numerator_at(index)
+        if not p_c:
+            raise ZeroDivisionError("cannot normalise on a zero entry")
+        # value_k / value_index = num_k / num_index: the denominator cancels.
+        return self._make(list(self.indices), list(self.numerators), p_c)
+
+    def scaled(self, factor: Rat) -> "SparseRow":
+        factor = factor if type(factor) is Fraction else as_fraction(factor)
+        if not factor:
+            return self.zero()
+        return self._make(
+            list(self.indices),
+            [n * factor.numerator for n in self.numerators],
+            self.denominator * factor.denominator,
+        )
+
+    def __neg__(self) -> "SparseRow":
+        return self._make(
+            list(self.indices),
+            [-n for n in self.numerators],
+            self.denominator,
+        )
+
+    def __add__(self, other: "SparseRow") -> "SparseRow":
+        return self.combine_int(1, other, 1)
+
+    def __sub__(self, other: "SparseRow") -> "SparseRow":
+        return self.combine_int(1, other, -1)
+
+    def normalized_direction(self) -> "SparseRow":
+        """The primitive integer row pointing in the same direction.
+
+        Drops the denominator (a positive scaling): the result has
+        ``denominator == 1`` and coprime integer entries — the canonical
+        representative rays, facet normals and normalised constraints use.
+        """
+        if not self.indices:
+            return self
+        divisor = 0
+        for numerator in self.numerators:
+            divisor = gcd(divisor, numerator)
+            if divisor == 1:
+                break
+        if divisor == 1 and self.denominator == 1:
+            return self
+        return self._make(
+            list(self.indices),
+            [numerator // divisor for numerator in self.numerators],
+            1,
+        )
+
+    # -- equality / hashing / printing -------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseRow):
+            return NotImplemented
+        return (
+            self.denominator == other.denominator
+            and self.indices == other.indices
+            and self.numerators == other.numerators
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.indices, self.numerators, self.denominator))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            "%d: %s" % (index, value) for index, value in self.items()
+        )
+        return "SparseRow({%s})" % body

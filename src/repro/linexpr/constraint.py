@@ -9,6 +9,7 @@ three relations.
 from __future__ import annotations
 
 import enum
+import weakref
 from fractions import Fraction
 from typing import Mapping, Tuple
 
@@ -28,15 +29,30 @@ class Relation(enum.Enum):
 
 
 class Constraint:
-    """The atomic constraint ``expr ⋈ 0``."""
+    """The atomic constraint ``expr ⋈ 0``.
 
-    __slots__ = ("_expr", "_relation")
+    :meth:`normalized` returns the *interned* canonical form: one shared
+    instance per (primitive-integer expression, relation) pair, cached
+    per object.  The same constraint reaching the pipeline through
+    different routes (frontend guards, invariant rows, FM combinations,
+    checker obligations) therefore normalises to the identical object,
+    making post-normalisation hashing and equality effectively O(1)
+    (identity plus a cached hash) instead of a structural walk.
+    """
+
+    __slots__ = ("_expr", "_relation", "_canonical", "_hash", "__weakref__")
+
+    #: Interning table for canonical forms; weak values keep it from
+    #: pinning constraints that nothing references any more.
+    _interned: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
     def __init__(self, expr: LinExpr, relation: Relation):
         if not isinstance(expr, LinExpr):
             raise TypeError("Constraint expects a LinExpr")
         self._expr = expr
         self._relation = relation
+        self._canonical = None
+        self._hash = None
 
     # -- accessors ----------------------------------------------------------
 
@@ -115,15 +131,27 @@ class Constraint:
         return Constraint(self._expr + 1, Relation.LE)
 
     def normalized(self) -> "Constraint":
-        """Scale coefficients to primitive integers (direction preserved)."""
+        """The interned canonical form: primitive integer coefficients,
+        direction preserved, one shared instance per distinct constraint."""
+        canonical = self._canonical
+        if canonical is not None:
+            return canonical
         names = sorted(self._expr.variables())
         coefficients = [self._expr.coefficient(name) for name in names]
         coefficients.append(self._expr.constant_term)
         scaled = integer_normalize(coefficients)
-        expr = LinExpr(
-            dict(zip(names, scaled[:-1])), scaled[-1]
-        )
-        return Constraint(expr, self._relation)
+        expr = LinExpr(dict(zip(names, scaled[:-1])), scaled[-1])
+        key = (expr._terms, expr._constant, self._relation)
+        canonical = Constraint._interned.get(key)
+        if canonical is None:
+            if expr == self._expr:
+                canonical = self  # already canonical: intern this instance
+            else:
+                canonical = Constraint(expr, self._relation)
+            canonical._canonical = canonical
+            Constraint._interned[key] = canonical
+        self._canonical = canonical
+        return canonical
 
     # -- evaluation ----------------------------------------------------------
 
@@ -165,12 +193,17 @@ class Constraint:
         )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Constraint):
             return NotImplemented
         return self._expr == other._expr and self._relation == other._relation
 
     def __hash__(self) -> int:
-        return hash((self._expr, self._relation))
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash((self._expr, self._relation))
+        return cached
 
     def __repr__(self) -> str:
         return "Constraint(%s %s 0)" % (self._expr, self._relation.value)

@@ -20,7 +20,7 @@ class LinExpr:
         guard = (x <= 10) & (y >= 0)
     """
 
-    __slots__ = ("_terms", "_constant")
+    __slots__ = ("_terms", "_constant", "_hash")
 
     def __init__(
         self,
@@ -29,13 +29,20 @@ class LinExpr:
     ):
         cleaned: Dict[str, Fraction] = {}
         for name, coefficient in (terms or {}).items():
-            value = as_fraction(coefficient)
+            value = (
+                coefficient
+                if type(coefficient) is Fraction
+                else as_fraction(coefficient)
+            )
             if value != 0:
                 cleaned[name] = value
         self._terms: Tuple[Tuple[str, Fraction], ...] = tuple(
             sorted(cleaned.items())
         )
-        self._constant = as_fraction(constant)
+        self._constant = (
+            constant if type(constant) is Fraction else as_fraction(constant)
+        )
+        self._hash = None
 
     # -- constructors ------------------------------------------------------
 
@@ -206,7 +213,10 @@ class LinExpr:
         return self._terms == other._terms and self._constant == other._constant
 
     def __hash__(self) -> int:
-        return hash((self._terms, self._constant))
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash((self._terms, self._constant))
+        return cached
 
     def __repr__(self) -> str:
         return "LinExpr(%s)" % str(self)

@@ -26,12 +26,19 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.linalg.sparse import SparseRow
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
 from repro.lp.problem import LpResult, LpStatus, Sense
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
+
+#: Sentinel column fusing the right-hand side into each tableau row (and
+#: minus the current objective into the cost row).  It sorts before every
+#: real column, and a single fused row operation updates coefficients and
+#: rhs together.
+_RHS = -1
 
 
 def _spread_terms(
@@ -52,6 +59,26 @@ def _spread_terms(
         target[plus_index[name]] += value
         if name in minus_index:
             target[minus_index[name]] -= value
+
+
+def _sparse_terms(
+    terms: Dict[str, Fraction],
+    plus_index: Dict[str, int],
+    minus_index: Dict[str, int],
+) -> Dict[int, Fraction]:
+    """A LinExpr's coefficients as a standard-form column → value mapping.
+
+    The sparse counterpart of :func:`_spread_terms`, for rows that go
+    straight into the sparse tableau.
+    """
+    entries: Dict[int, Fraction] = {}
+    for name, value in terms.items():
+        column = plus_index[name]
+        entries[column] = entries.get(column, _ZERO) + value
+        if name in minus_index:
+            column = minus_index[name]
+            entries[column] = entries.get(column, _ZERO) - value
+    return entries
 
 
 def _column_value(
@@ -165,134 +192,97 @@ class _StandardForm:
 
 
 class _Tableau:
-    """A dense simplex tableau with an explicit basis.
+    """A simplex tableau over sparse scaled-integer rows.
 
-    The reduced-cost row is maintained incrementally across pivots (it is
-    eliminated against the basic columns exactly like an ordinary row),
-    which keeps each pivot at ``O(rows × cols)`` work.
+    Every row is a :class:`~repro.linalg.sparse.SparseRow` with the
+    right-hand side fused in at the :data:`_RHS` sentinel column, so one
+    fused row operation updates coefficients and rhs together and the
+    whole pivot stays in machine integers (one gcd pass per produced
+    row instead of one per entry).  The reduced-cost row is maintained
+    incrementally across pivots exactly like an ordinary row, with minus
+    the current objective living in its fused :data:`_RHS` slot.
+
+    Basic columns keep exact identity structure (value 1 in their own
+    row, 0 elsewhere), and all pivot decisions (Bland's rule, ratio
+    tests) compare exact values, so the pivot *sequence* — and therefore
+    every pivot counter the warm-start machinery reports — is identical
+    to the dense-``Fraction`` tableau this replaces.
     """
 
-    def __init__(
-        self,
-        matrix: List[List[Fraction]],
-        rhs: List[Fraction],
-        cost: List[Fraction],
-    ):
-        self.matrix = [list(row) for row in matrix]
-        self.rhs = list(rhs)
-        self.cost = list(cost)
-        self.num_rows = len(matrix)
-        self.num_cols = len(cost)
+    def __init__(self, rows: List[SparseRow], num_cols: int, cost: SparseRow):
+        self.rows = rows
+        self.num_rows = len(rows)
+        self.num_cols = num_cols
         self.basis: List[int] = []
-        self._cost_row: List[Fraction] = list(cost)
-        self._cost_rhs = _ZERO  # equals minus the current objective
+        self._cost = cost  # fused: value at _RHS is minus the objective
         self.pivot_count = 0
 
     def install_cost(self, cost: List[Fraction]) -> None:
         """Install a new objective and price it out against the basis."""
-        self.cost = list(cost)
-        self._cost_row = list(cost)
-        self._cost_rhs = _ZERO
+        priced = SparseRow.from_pairs(enumerate(cost))
         for row_index, basic_col in enumerate(self.basis):
-            factor = self._cost_row[basic_col]
-            if factor == 0:
-                continue
-            row = self.matrix[row_index]
-            self._cost_row = [
-                value - factor * entry
-                for value, entry in zip(self._cost_row, row)
-            ]
-            self._cost_rhs -= factor * self.rhs[row_index]
+            if priced.numerator_at(basic_col):
+                priced = priced.eliminate(basic_col, self.rows[row_index])
+        self._cost = priced
 
     # -- incremental growth ----------------------------------------------------
 
     def append_column(self, cost: Fraction = _ZERO) -> int:
         """Append an all-zero column (a variable absent from every row).
 
-        Because the column is zero in every existing row, its reduced cost
-        under the current basis is simply its objective coefficient, so the
-        cost row extends without any re-pricing.
+        Sparse rows store nothing for absent columns, so only the column
+        count moves; the new column's reduced cost under the current
+        basis is simply its objective coefficient.
         """
-        for row in self.matrix:
-            row.append(_ZERO)
-        self.cost.append(cost)
-        self._cost_row.append(cost)
         self.num_cols += 1
-        return self.num_cols - 1
+        column = self.num_cols - 1
+        if cost:
+            self._cost = self._cost + SparseRow.from_pairs([(column, cost)])
+        return column
 
-    def append_row(
-        self, row: List[Fraction], rhs: Fraction, basic_column: int
-    ) -> None:
-        """Append a row whose *basic_column* entry is 1 (after elimination)."""
-        self.matrix.append(list(row))
-        self.rhs.append(rhs)
+    def append_row(self, row: SparseRow, basic_column: int) -> None:
+        """Append a row (rhs fused) whose *basic_column* entry is 1."""
+        self.rows.append(row)
         self.basis.append(basic_column)
         self.num_rows += 1
 
-    def eliminate_against_basis(
-        self, row: List[Fraction], rhs: Fraction
-    ) -> Tuple[List[Fraction], Fraction]:
-        """Express a fresh row in terms of the current basis.
+    def eliminate_against_basis(self, row: SparseRow) -> SparseRow:
+        """Express a fresh fused row in terms of the current basis.
 
         Each basic column has identity structure (1 in its own row, 0 in
         every other row and in every other basic column), so one pass over
         the basis suffices.
         """
-        row = list(row)
         for row_index, basic_col in enumerate(self.basis):
-            factor = row[basic_col]
-            if factor == 0:
-                continue
-            pivot_row = self.matrix[row_index]
-            row = [
-                value - factor * entry for value, entry in zip(row, pivot_row)
-            ]
-            rhs -= factor * self.rhs[row_index]
-        return row, rhs
+            if row.numerator_at(basic_col):
+                row = row.eliminate(basic_col, self.rows[row_index])
+        return row
 
     # -- pivoting ------------------------------------------------------------
 
     def pivot(self, row: int, col: int) -> None:
         """Pivot so that column *col* becomes basic in row *row*."""
-        pivot_value = self.matrix[row][col]
-        if pivot_value == 0:
-            raise ValueError("pivot on a zero element")
-        inverse = _ONE / pivot_value
-        self.matrix[row] = [value * inverse for value in self.matrix[row]]
-        self.rhs[row] *= inverse
-        pivot_row = self.matrix[row]
+        pivot_row = self.rows[row].pivot_normalized(col)
+        self.rows[row] = pivot_row
         for other in range(self.num_rows):
-            if other == row:
-                continue
-            factor = self.matrix[other][col]
-            if factor == 0:
-                continue
-            self.matrix[other] = [
-                value - factor * pivot_entry
-                for value, pivot_entry in zip(self.matrix[other], pivot_row)
-            ]
-            self.rhs[other] -= factor * self.rhs[row]
-        factor = self._cost_row[col]
-        if factor != 0:
-            self._cost_row = [
-                value - factor * pivot_entry
-                for value, pivot_entry in zip(self._cost_row, pivot_row)
-            ]
-            self._cost_rhs -= factor * self.rhs[row]
+            if other != row and self.rows[other].numerator_at(col):
+                self.rows[other] = self.rows[other].eliminate(col, pivot_row)
+        if self._cost.numerator_at(col):
+            self._cost = self._cost.eliminate(col, pivot_row)
         self.basis[row] = col
         self.pivot_count += 1
 
-    def reduced_costs(self) -> List[Fraction]:
-        """Reduced cost of every column for the current basis."""
-        return self._cost_row
+    def reduced_cost_at(self, col: int) -> Fraction:
+        """Reduced cost of one column for the current basis."""
+        return self._cost.get(col)
 
     def objective_value(self) -> Fraction:
-        return -self._cost_rhs
+        return -self._cost.get(_RHS)
 
     def column_values(self) -> List[Fraction]:
         values = [_ZERO] * self.num_cols
         for row, col in enumerate(self.basis):
-            values[col] = self.rhs[row]
+            values[col] = self.rows[row].get(_RHS)
         return values
 
     # -- the simplex loops -----------------------------------------------------
@@ -305,32 +295,43 @@ class _Tableau:
         this is how phase 2 keeps the artificial columns out of the basis.
         """
         while True:
-            reduced = self.reduced_costs()
+            # Bland: smallest column index with a negative reduced cost.
+            # The sparse cost row iterates in index order and absent
+            # entries are zero, so the first negative stored numerator
+            # (the denominator is positive) is the entering column.
             entering = None
-            for col in range(self.num_cols):
+            for col, numerator in self._cost.iter_scaled():
+                if col == _RHS or numerator >= 0:
+                    continue
                 if allowed_columns is not None and col not in allowed_columns:
                     continue
-                if reduced[col] < 0:
-                    entering = col  # Bland: smallest index
-                    break
+                entering = col
+                break
             if entering is None:
                 return ("optimal", None)
+            # Ratio test on integers: within one row, rhs and coefficient
+            # share the denominator, so the ratio is the numerator quotient
+            # and cross-multiplication compares rows exactly.
             leaving = None
-            best_ratio: Optional[Fraction] = None
+            best_rhs = best_coefficient = 0
             for row in range(self.num_rows):
-                coefficient = self.matrix[row][entering]
+                candidate = self.rows[row]
+                coefficient = candidate.numerator_at(entering)
                 if coefficient > 0:
-                    ratio = self.rhs[row] / coefficient
-                    if (
-                        best_ratio is None
-                        or ratio < best_ratio
-                        or (
-                            ratio == best_ratio
+                    rhs = candidate.numerator_at(_RHS)
+                    if leaving is None:
+                        take = True
+                    else:
+                        lhs = rhs * best_coefficient
+                        rhs_cross = best_rhs * coefficient
+                        take = lhs < rhs_cross or (
+                            lhs == rhs_cross
                             and self.basis[row] < self.basis[leaving]
                         )
-                    ):
-                        best_ratio = ratio
+                    if take:
                         leaving = row
+                        best_rhs = rhs
+                        best_coefficient = coefficient
             if leaving is None:
                 return ("unbounded", entering)
             self.pivot(leaving, entering)
@@ -348,25 +349,30 @@ class _Tableau:
         while True:
             leaving = None
             for row in range(self.num_rows):
-                if self.rhs[row] < 0 and (
+                if self.rows[row].numerator_at(_RHS) < 0 and (
                     leaving is None or self.basis[row] < self.basis[leaving]
                 ):
                     leaving = row
             if leaving is None:
                 return "optimal"
-            reduced = self.reduced_costs()
-            pivot_row = self.matrix[leaving]
+            # The entering ratio is reduced[col] / (-coefficient); the cost
+            # and pivot row denominators are constant across candidates, so
+            # comparing numerator cross-products picks the same column.
+            pivot_row = self.rows[leaving]
             entering = None
-            best_ratio: Optional[Fraction] = None
-            for col in range(self.num_cols):
+            best_cost = best_coefficient = 0
+            for col, coefficient in pivot_row.iter_scaled():
+                if col == _RHS or coefficient >= 0:
+                    continue
                 if allowed_columns is not None and col not in allowed_columns:
                     continue
-                coefficient = pivot_row[col]
-                if coefficient < 0:
-                    ratio = reduced[col] / (-coefficient)
-                    if best_ratio is None or ratio < best_ratio:
-                        best_ratio = ratio
-                        entering = col
+                cost = self._cost.numerator_at(col)
+                if entering is None or (
+                    cost * -best_coefficient < best_cost * -coefficient
+                ):
+                    entering = col
+                    best_cost = cost
+                    best_coefficient = coefficient
             if entering is None:
                 return "infeasible"
             self.pivot(leaving, entering)
@@ -376,7 +382,7 @@ class _Tableau:
         direction = [_ZERO] * self.num_cols
         direction[entering] = _ONE
         for row, basic_col in enumerate(self.basis):
-            direction[basic_col] = -self.matrix[row][entering]
+            direction[basic_col] = -self.rows[row].get(entering)
         return direction
 
 
@@ -402,21 +408,27 @@ def _two_phase(standard: _StandardForm) -> Tuple[bool, _Tableau, int]:
         row_index: artificial_start + position
         for position, row_index in enumerate(needy_rows)
     }
-    num_artificials = len(needy_rows)
-    phase1_matrix = []
+    rows: List[SparseRow] = []
     for row_index, row in enumerate(standard.matrix):
-        extension = [_ZERO] * num_artificials
+        pairs = [(_RHS, standard.rhs[row_index])]
+        pairs.extend(enumerate(row))
         if row_index in artificial_of_row:
-            extension[artificial_of_row[row_index] - artificial_start] = _ONE
-        phase1_matrix.append(row + extension)
-    phase1_cost = [_ZERO] * num_cols + [_ONE] * num_artificials
-    tableau = _Tableau(phase1_matrix, standard.rhs, phase1_cost)
+            pairs.append((artificial_of_row[row_index], _ONE))
+        rows.append(SparseRow.from_pairs(pairs))
+    phase1_cost = [
+        (artificial_start + position, _ONE)
+        for position in range(len(needy_rows))
+    ]
+    tableau = _Tableau(rows, num_cols + len(needy_rows),
+                       SparseRow.from_pairs(phase1_cost))
     tableau.basis = [
         artificial_of_row.get(row_index, standard.basis_candidate[row_index])
         for row_index in range(num_rows)
     ]
     if needy_rows:
-        tableau.install_cost(phase1_cost)
+        tableau.install_cost(
+            [_ZERO] * num_cols + [_ONE] * len(needy_rows)
+        )
         status, _ = tableau.optimize()
         assert status == "optimal", "phase 1 is always bounded below by zero"
         if tableau.objective_value() > 0:
@@ -426,8 +438,8 @@ def _two_phase(standard: _StandardForm) -> Tuple[bool, _Tableau, int]:
     for row in range(num_rows):
         if tableau.basis[row] >= artificial_start:
             replacement = None
-            for col in range(num_cols):
-                if tableau.matrix[row][col] != 0:
+            for col, _ in tableau.rows[row].iter_scaled():
+                if 0 <= col < num_cols:
                     replacement = col
                     break
             if replacement is not None:
@@ -697,12 +709,13 @@ class SimplexState:
             for expr in expressions:
                 slack = tableau.append_column()
                 self._allowed.add(slack)
-                row = [_ZERO] * tableau.num_cols
-                _spread_terms(expr.terms, self._plus, self._minus, row)
-                row[slack] = _ONE
-                rhs = -expr.constant_term
-                row, rhs = tableau.eliminate_against_basis(row, rhs)
-                tableau.append_row(row, rhs, slack)
+                entries = _sparse_terms(expr.terms, self._plus, self._minus)
+                entries[slack] = _ONE
+                entries[_RHS] = -expr.constant_term
+                row = tableau.eliminate_against_basis(
+                    SparseRow.from_dict(entries)
+                )
+                tableau.append_row(row, slack)
         self._commit_pending()
 
         # 3. Restore primal feasibility under the previously-priced

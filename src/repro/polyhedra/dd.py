@@ -18,6 +18,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.linalg.sparse import SparseRow
 from repro.linalg.vector import Vector
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
@@ -31,52 +32,67 @@ def cone_double_description(
 
     *rows* is a sequence of ``(a, is_equality)`` pairs.  Returns
     ``(lines, rays)`` such that the cone equals ``span(lines) + cone(rays)``.
+
+    Internally normals and generators are primitive-integer
+    :class:`~repro.linalg.sparse.SparseRow` vectors, so the inner loops
+    (dot-product sign tests, zero sets, ray combination) run on machine
+    integers; generators are scale-invariant, which makes the integer
+    dot *numerators* directly usable as combination coefficients.
     """
-    halfspaces: List[Vector] = []
+    halfspaces: List[SparseRow] = []
     for normal, is_equality in rows:
         if len(normal) != dimension:
             raise ValueError("constraint normal has wrong dimension")
-        halfspaces.append(normal)
+        row = SparseRow.from_dense(normal).normalized_direction()
+        halfspaces.append(row)
         if is_equality:
-            halfspaces.append(-normal)
+            halfspaces.append(-row)
 
-    lines: List[Vector] = [Vector.unit(dimension, i) for i in range(dimension)]
-    rays: List[Vector] = []
+    lines: List[SparseRow] = [
+        SparseRow.from_pairs([(i, 1)]) for i in range(dimension)
+    ]
+    rays: List[SparseRow] = []
 
     for index, normal in enumerate(halfspaces):
         processed = halfspaces[:index]
 
         # ---- Case 1: some line does not lie in the hyperplane. -----------
-        pivot_line: Optional[Vector] = None
+        # All generators are kept at denominator 1, so ``dot_numerator``
+        # is the dot product up to the (positive) normal denominator —
+        # exactly what sign tests and scale-invariant combinations need.
+        pivot_line: Optional[SparseRow] = None
+        value = 0
         for line in lines:
-            if normal.dot(line) != 0:
+            scalar = normal.dot_numerator(line)
+            if scalar != 0:
                 pivot_line = line
+                value = scalar
                 break
         if pivot_line is not None:
-            value = normal.dot(pivot_line)
             if value > 0:
                 pivot_line = -pivot_line
                 value = -value
-            new_lines: List[Vector] = []
+            new_lines: List[SparseRow] = []
             for line in lines:
-                scalar = normal.dot(line)
+                scalar = normal.dot_numerator(line)
                 if scalar == 0:
                     new_lines.append(line)
                     continue
                 if line is pivot_line:
                     continue
-                projected = line - pivot_line * (scalar / value)
+                # line − (scalar / value) · pivot, scaled by −value > 0.
+                projected = line.combine_int(-value, pivot_line, scalar)
                 if not projected.is_zero():
-                    new_lines.append(projected)
-            new_rays: List[Vector] = []
+                    new_lines.append(projected.normalized_direction())
+            new_rays: List[SparseRow] = []
             for ray in rays:
-                scalar = normal.dot(ray)
+                scalar = normal.dot_numerator(ray)
                 if scalar == 0:
                     new_rays.append(ray)
                 else:
-                    projected = ray - pivot_line * (scalar / value)
+                    projected = ray.combine_int(-value, pivot_line, scalar)
                     if not projected.is_zero():
-                        new_rays.append(projected)
+                        new_rays.append(projected.normalized_direction())
             # The pivot line survives as a ray strictly inside the half-space.
             new_rays.append(pivot_line)
             lines = new_lines
@@ -84,7 +100,7 @@ def cone_double_description(
             continue
 
         # ---- Case 2: all lines lie in the hyperplane; split the rays. ----
-        values = [normal.dot(ray) for ray in rays]
+        values = [normal.dot_numerator(ray) for ray in rays]
         satisfied = [ray for ray, v in zip(rays, values) if v < 0]
         tight = [ray for ray, v in zip(rays, values) if v == 0]
         violated = [ray for ray, v in zip(rays, values) if v > 0]
@@ -96,34 +112,35 @@ def cone_double_description(
             id(ray): _zero_set(ray, processed) for ray in rays
         }
 
-        combined: List[Vector] = []
+        combined: List[SparseRow] = []
         for plus in violated:
             for minus in satisfied:
                 if not _adjacent(plus, minus, rays, zero_sets):
                     continue
-                plus_value = normal.dot(plus)
-                minus_value = normal.dot(minus)
-                new_ray = minus * plus_value - plus * minus_value
+                plus_value = normal.dot_numerator(plus)
+                minus_value = normal.dot_numerator(minus)
+                new_ray = minus.combine_int(plus_value, plus, -minus_value)
                 if not new_ray.is_zero():
-                    combined.append(new_ray.normalized())
+                    combined.append(new_ray.normalized_direction())
 
         rays = _deduplicate(satisfied + tight + combined)
 
-    return lines, rays
+    to_vector = lambda row: Vector(row.to_dense(dimension))  # noqa: E731
+    return [to_vector(line) for line in lines], [to_vector(ray) for ray in rays]
 
 
-def _zero_set(ray: Vector, halfspaces: Sequence[Vector]) -> Set[int]:
+def _zero_set(ray: SparseRow, halfspaces: Sequence[SparseRow]) -> Set[int]:
     return {
         position
         for position, normal in enumerate(halfspaces)
-        if normal.dot(ray) == 0
+        if normal.dot_numerator(ray) == 0
     }
 
 
 def _adjacent(
-    first: Vector,
-    second: Vector,
-    rays: Sequence[Vector],
+    first: SparseRow,
+    second: SparseRow,
+    rays: Sequence[SparseRow],
     zero_sets: Dict[int, Set[int]],
 ) -> bool:
     """Combinatorial adjacency test for the double-description step."""
@@ -136,12 +153,12 @@ def _adjacent(
     return True
 
 
-def _deduplicate(rays: List[Vector]) -> List[Vector]:
-    seen: Dict[Vector, None] = {}
+def _deduplicate(rays: List[SparseRow]) -> List[SparseRow]:
+    seen: Dict[SparseRow, None] = {}
     for ray in rays:
         if ray.is_zero():
             continue
-        seen.setdefault(ray.normalized())
+        seen.setdefault(ray.normalized_direction())
     return list(seen)
 
 

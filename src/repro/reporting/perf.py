@@ -1,0 +1,267 @@
+"""The measured-performance micro-suite behind ``repro bench``.
+
+Four suites, cheapest first, each returning a plain dict that serialises
+into ``BENCH_kernel.json``.  The goal is a *committed* performance
+trajectory: every claim about the sparse scaled-integer kernel is a
+number in the repository, not an assertion in a docstring.
+
+* ``kernel_rows`` — the raw row kernel: fused axpy/eliminate/dot on
+  :class:`~repro.linalg.sparse.SparseRow` versus the same operations
+  entry-by-entry on dense ``Fraction`` lists (the seed representation).
+* ``simplex`` — a seeded batch of one-shot LPs plus one incrementally
+  grown :class:`~repro.lp.simplex.SimplexState`, with pivot counts.
+* ``projection`` — Fourier–Motzkin projections over seeded systems;
+  reports the rows eliminated by the syntactic/Kohler layers and the LP
+  calls they saved.
+* ``table1_wtc`` — the end-to-end slice: the terminating WTC programs
+  proved by the paper's lazy prover (the same slice
+  ``bench_lp_size_rank_vs_termite.py`` measures), with total pivots.
+
+Reachable as ``repro bench``, ``python -m repro bench`` and
+``python benchmarks/perf_kernel.py``.
+
+JSON schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "quick": false,
+      "suites": [
+        {"suite": "...", "wall_seconds": ..., ...per-suite counters...},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from fractions import Fraction
+from typing import Dict, List
+
+SCHEMA_VERSION = 1
+
+
+def _random_fraction(rng: random.Random) -> Fraction:
+    if rng.random() < 0.4:
+        return Fraction(0)
+    return Fraction(rng.randint(-9, 9), rng.randint(1, 7))
+
+
+def bench_kernel_rows(quick: bool = False, seed: int = 0) -> Dict:
+    """Fused sparse row operations vs dense ``Fraction`` loops."""
+    from repro.linalg.sparse import SparseRow
+
+    rng = random.Random(seed)
+    width = 24 if quick else 48
+    pairs = 60 if quick else 300
+    rounds = 3 if quick else 10
+
+    dense_rows: List[List[Fraction]] = [
+        [_random_fraction(rng) for _ in range(width)] for _ in range(pairs)
+    ]
+    factors = [
+        Fraction(rng.randint(-5, 5), rng.randint(1, 4)) for _ in range(pairs)
+    ]
+    sparse_rows = [SparseRow.from_dense(row) for row in dense_rows]
+
+    started = time.perf_counter()
+    operations = 0
+    for _ in range(rounds):
+        for position in range(0, pairs - 1, 2):
+            a = sparse_rows[position]
+            b = sparse_rows[position + 1]
+            a.combine(1, b, factors[position])
+            a.dot(b)
+            operations += 2
+    sparse_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for position in range(0, pairs - 1, 2):
+            a = dense_rows[position]
+            b = dense_rows[position + 1]
+            factor = factors[position]
+            [x + factor * y for x, y in zip(a, b)]
+            sum((x * y for x, y in zip(a, b)), Fraction(0))
+    dense_seconds = time.perf_counter() - started
+
+    return {
+        "suite": "kernel_rows",
+        "wall_seconds": round(sparse_seconds, 4),
+        "dense_wall_seconds": round(dense_seconds, 4),
+        "speedup_vs_dense": round(dense_seconds / sparse_seconds, 2)
+        if sparse_seconds
+        else None,
+        "operations": operations,
+    }
+
+
+def bench_simplex(quick: bool = False, seed: int = 0) -> Dict:
+    """A seeded batch of exact LPs: one-shot solves plus one warm-started
+    incrementally grown instance."""
+    from repro.linexpr.expr import LinExpr, var
+    from repro.lp.problem import Sense
+    from repro.lp.simplex import SimplexState, solve_lp
+
+    rng = random.Random(seed)
+    instances = 8 if quick else 30
+    size = 5 if quick else 8
+
+    pivots = 0
+    solved = 0
+    started = time.perf_counter()
+    for _ in range(instances):
+        names = ["x%d" % i for i in range(size)]
+        constraints = []
+        for i in range(size):
+            constraints.append(var(names[i]) >= -rng.randint(0, 5))
+            constraints.append(var(names[i]) <= rng.randint(1, 9))
+        for _ in range(size):
+            terms = {
+                name: Fraction(rng.randint(-3, 3))
+                for name in rng.sample(names, 3)
+            }
+            constraints.append(
+                LinExpr(terms) <= rng.randint(0, 12)
+            )
+        objective = LinExpr(
+            {name: Fraction(rng.randint(-4, 4)) for name in names}
+        )
+        outcome = solve_lp(objective, constraints, Sense.MAXIMIZE)
+        pivots += outcome.pivots
+        solved += 1
+
+    # Warm-started growth: one persistent LP, one row at a time — the
+    # counterexample-loop access pattern of the paper's Algorithm 1.
+    state = SimplexState(Sense.MAXIMIZE)
+    growth = 10 if quick else 40
+    objective = LinExpr()
+    for j in range(growth):
+        delta = "d%d" % j
+        state.declare(delta, nonnegative=True)
+        state.add_constraint(var(delta) <= 1)
+        if j:
+            state.add_constraint(
+                var(delta) + var("d%d" % (j - 1)) * rng.randint(-2, 2)
+                <= rng.randint(1, 4)
+            )
+        objective = objective + var(delta)
+        state.set_objective(objective)
+        state.solve()
+        solved += 1
+    pivots += state.total_pivots
+    wall = time.perf_counter() - started
+
+    return {
+        "suite": "simplex",
+        "wall_seconds": round(wall, 4),
+        "lps_solved": solved,
+        "pivots": pivots,
+        "warm_solves": state.warm_solves,
+    }
+
+
+def bench_projection(quick: bool = False, seed: int = 0) -> Dict:
+    """Seeded Fourier–Motzkin projections, counting pruned rows."""
+    from repro.linexpr.constraint import Constraint, Relation
+    from repro.linexpr.expr import LinExpr
+    from repro.polyhedra import projection
+
+    rng = random.Random(seed)
+    systems = 10 if quick else 40
+    names = ["a", "b", "c", "d", "e"]
+
+    snapshot = projection.statistics.snapshot()
+    started = time.perf_counter()
+    for _ in range(systems):
+        constraints = []
+        for _ in range(rng.randint(4, 8)):
+            terms = {
+                name: Fraction(rng.randint(-3, 3))
+                for name in rng.sample(names, rng.randint(1, 3))
+            }
+            constraints.append(
+                Constraint(
+                    LinExpr(terms, Fraction(rng.randint(-5, 5))), Relation.LE
+                )
+            )
+        drop = rng.sample(names, rng.randint(1, 3))
+        projection.fourier_motzkin(constraints, drop)
+    wall = time.perf_counter() - started
+    after = projection.statistics
+
+    return {
+        "suite": "projection",
+        "wall_seconds": round(wall, 4),
+        "systems": systems,
+        "variables_eliminated": after.variables_eliminated - snapshot[0],
+        "combinations": after.combinations - snapshot[1],
+        "lp_calls": after.lp_calls - snapshot[2],
+        "lp_calls_saved": after.lp_calls_saved - snapshot[3],
+        "rows_eliminated": (
+            after.rows_pruned_syntactic
+            + after.rows_pruned_kohler
+            - snapshot[4]
+            - snapshot[5]
+        ),
+    }
+
+
+def bench_table1_slice(quick: bool = False) -> Dict:
+    """End-to-end: the terminating WTC slice through the lazy prover."""
+    from repro.benchsuite import get_suite
+    from repro.core.termination import TerminationProver
+
+    programs = [p for p in get_suite("wtc") if p.terminating]
+    programs = programs[:2] if quick else programs[:4]
+
+    pivots = warm = cold = proved = 0
+    rows = cols = instances = 0
+    started = time.perf_counter()
+    for program in programs:
+        result = TerminationProver(
+            program.build(), check_certificates=False
+        ).prove()
+        proved += int(result.proved)
+        statistics = result.lp_statistics
+        pivots += statistics.pivots
+        warm += statistics.warm_solves
+        cold += statistics.cold_solves
+        rows += statistics.total_rows
+        cols += statistics.total_cols
+        instances += statistics.instances
+    wall = time.perf_counter() - started
+
+    return {
+        "suite": "table1_wtc",
+        "wall_seconds": round(wall, 4),
+        "programs": len(programs),
+        "proved": proved,
+        "pivots": pivots,
+        "warm_solves": warm,
+        "cold_solves": cold,
+        "average_lp_rows": round(rows / instances, 2) if instances else 0.0,
+        "average_lp_cols": round(cols / instances, 2) if instances else 0.0,
+    }
+
+
+def run_suite(quick: bool = False, seed: int = 0) -> Dict:
+    """Run every suite and assemble the JSON document."""
+    suites = [
+        bench_kernel_rows(quick=quick, seed=seed),
+        bench_simplex(quick=quick, seed=seed),
+        bench_projection(quick=quick, seed=seed),
+        bench_table1_slice(quick=quick),
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "seed": seed,
+        "total_wall_seconds": round(
+            sum(suite["wall_seconds"] for suite in suites), 4
+        ),
+        "suites": suites,
+    }
+
+

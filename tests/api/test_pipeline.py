@@ -116,6 +116,24 @@ class TestProblemCache:
             Analysis(42)
 
 
+class TestProjectionSavingsAttribution:
+    def test_build_savings_reappear_in_every_result(self):
+        # Like the shared build-stage timings, the LP calls the pruned
+        # projection saved while building the problem belong to every
+        # result of the Analysis, not just whichever tool ran first.
+        analysis = Analysis(
+            NESTED,
+            config=AnalysisConfig(check_certificates=False),
+            name="nested",
+        )
+        first = analysis.run("termite")
+        second = analysis.run("heuristic")
+        build_share = analysis._build_lp_saved
+        assert build_share > 0
+        assert first.lp_statistics.redundancy_lp_saved >= build_share
+        assert second.lp_statistics.redundancy_lp_saved >= build_share
+
+
 class TestBatchExecution:
     def test_run_tools_on_program_shares_one_build(self):
         results = run_tools_on_program(

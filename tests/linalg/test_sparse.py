@@ -1,0 +1,195 @@
+"""Differential tests: the sparse scaled-integer kernel vs dense Fractions.
+
+Every fused :class:`~repro.linalg.sparse.SparseRow` operation must agree
+exactly with the same operation performed entry-by-entry on dense
+``Fraction`` sequences (the representation the kernel replaced), and
+every produced row must satisfy the normal-form invariants the rest of
+the pipeline relies on (positive denominator, no stored zeros, overall
+gcd 1, strictly increasing indices).
+"""
+
+from fractions import Fraction
+from math import gcd
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.sparse import SparseRow
+from repro.linalg.vector import Vector
+
+fractions = st.builds(
+    Fraction,
+    st.integers(-30, 30),
+    st.integers(1, 12),
+)
+dense_rows = st.lists(fractions, min_size=0, max_size=10)
+
+
+def _check_invariants(row: SparseRow) -> None:
+    assert row.denominator > 0
+    assert all(numerator != 0 for numerator in row.numerators)
+    assert list(row.indices) == sorted(set(row.indices))
+    divisor = row.denominator
+    for numerator in row.numerators:
+        divisor = gcd(divisor, numerator)
+    if row.is_zero():
+        assert row.denominator == 1
+    else:
+        assert divisor == 1
+
+
+def _pad(values, size):
+    return list(values) + [Fraction(0)] * (size - len(values))
+
+
+class TestRoundTrip:
+    @given(dense_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, values):
+        row = SparseRow.from_dense(values)
+        _check_invariants(row)
+        assert row.to_dense(len(values)) == values
+        for position, value in enumerate(values):
+            assert row.get(position) == value
+            if value > 0:
+                assert row.numerator_at(position) > 0
+            elif value < 0:
+                assert row.numerator_at(position) < 0
+            else:
+                assert row.numerator_at(position) == 0
+
+    def test_pairs_and_dict_agree(self):
+        pairs = [(3, Fraction(1, 2)), (-1, 5), (7, Fraction(-2, 3))]
+        assert SparseRow.from_pairs(pairs) == SparseRow.from_dict(dict(pairs))
+
+    def test_zero_entries_dropped(self):
+        row = SparseRow.from_pairs([(0, 0), (2, Fraction(0))])
+        assert row.is_zero()
+        assert row == SparseRow.zero()
+
+    def test_negative_sentinel_index_sorts_first(self):
+        row = SparseRow.from_pairs([(4, 1), (-1, 2)])
+        assert row.support() == (-1, 4)
+
+    def test_duplicate_index_rejected_by_constructor(self):
+        with pytest.raises(ValueError):
+            SparseRow([1, 1], [2, 3])
+
+
+class TestFusedOperationsMatchDense:
+    @given(dense_rows, dense_rows, fractions, fractions)
+    @settings(max_examples=80, deadline=None)
+    def test_combine(self, a, b, ca, cb):
+        size = max(len(a), len(b))
+        a, b = _pad(a, size), _pad(b, size)
+        result = SparseRow.from_dense(a).combine(ca, SparseRow.from_dense(b), cb)
+        _check_invariants(result)
+        assert result.to_dense(size) == [ca * x + cb * y for x, y in zip(a, b)]
+
+    @given(dense_rows, dense_rows, st.integers(-9, 9), st.integers(-9, 9))
+    @settings(max_examples=80, deadline=None)
+    def test_combine_int(self, a, b, ca, cb):
+        size = max(len(a), len(b))
+        a, b = _pad(a, size), _pad(b, size)
+        result = SparseRow.from_dense(a).combine_int(
+            ca, SparseRow.from_dense(b), cb
+        )
+        _check_invariants(result)
+        assert result.to_dense(size) == [ca * x + cb * y for x, y in zip(a, b)]
+
+    @given(dense_rows, dense_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_dot(self, a, b):
+        size = max(len(a), len(b))
+        a, b = _pad(a, size), _pad(b, size)
+        sparse_a, sparse_b = SparseRow.from_dense(a), SparseRow.from_dense(b)
+        expected = Vector(a).dot(Vector(b)) if size else Fraction(0)
+        assert sparse_a.dot(sparse_b) == expected
+        numerator = sparse_a.dot_numerator(sparse_b)
+        assert Fraction(
+            numerator, sparse_a.denominator * sparse_b.denominator
+        ) == expected
+
+    @given(dense_rows, dense_rows, st.integers(0, 9))
+    @settings(max_examples=80, deadline=None)
+    def test_eliminate(self, a, b, index):
+        size = max(len(a), len(b), index + 1)
+        a, b = _pad(a, size), _pad(b, size)
+        sparse_a, sparse_b = SparseRow.from_dense(a), SparseRow.from_dense(b)
+        if b[index] == 0:
+            if a[index] != 0:
+                with pytest.raises(ZeroDivisionError):
+                    sparse_a.eliminate(index, sparse_b)
+            return
+        result = sparse_a.eliminate(index, sparse_b)
+        _check_invariants(result)
+        factor = a[index] / b[index]
+        assert result.to_dense(size) == [
+            x - factor * y for x, y in zip(a, b)
+        ]
+        assert result.get(index) == 0
+
+    @given(dense_rows, st.integers(0, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_pivot_normalized(self, values, index):
+        size = max(len(values), index + 1)
+        values = _pad(values, size)
+        row = SparseRow.from_dense(values)
+        if values[index] == 0:
+            with pytest.raises(ZeroDivisionError):
+                row.pivot_normalized(index)
+            return
+        result = row.pivot_normalized(index)
+        _check_invariants(result)
+        assert result.get(index) == 1
+        assert result.to_dense(size) == [v / values[index] for v in values]
+
+    @given(dense_rows, fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_and_neg(self, values, factor):
+        row = SparseRow.from_dense(values)
+        assert row.scaled(factor).to_dense(len(values)) == [
+            factor * v for v in values
+        ]
+        assert (-row).to_dense(len(values)) == [-v for v in values]
+        _check_invariants(row.scaled(factor))
+
+    @given(dense_rows, dense_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_add_sub(self, a, b):
+        size = max(len(a), len(b))
+        a, b = _pad(a, size), _pad(b, size)
+        sparse_a, sparse_b = SparseRow.from_dense(a), SparseRow.from_dense(b)
+        assert (sparse_a + sparse_b).to_dense(size) == [
+            x + y for x, y in zip(a, b)
+        ]
+        assert (sparse_a - sparse_b).to_dense(size) == [
+            x - y for x, y in zip(a, b)
+        ]
+
+
+class TestDirectionNormalisation:
+    @given(dense_rows, st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_positive_scalings_collapse(self, values, scale):
+        base = SparseRow.from_dense(values).normalized_direction()
+        scaled = SparseRow.from_dense(
+            [v * scale for v in values]
+        ).normalized_direction()
+        assert base == scaled
+        assert base.denominator == 1
+
+    def test_matches_vector_normalized(self):
+        values = [Fraction(1, 2), Fraction(3, 2), Fraction(0)]
+        row = SparseRow.from_dense(values).normalized_direction()
+        assert row.to_dense(3) == list(Vector(values).normalized())
+
+
+class TestEqualityHashing:
+    @given(dense_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_equal_rows_hash_equal(self, values):
+        first = SparseRow.from_dense(values)
+        second = SparseRow.from_pairs(list(enumerate(values)))
+        assert first == second
+        assert hash(first) == hash(second)

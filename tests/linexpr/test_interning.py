@@ -1,0 +1,60 @@
+"""The interned canonical normal form of constraints."""
+
+from fractions import Fraction
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr, var
+
+x, y = var("x"), var("y")
+
+
+class TestCanonicalInterning:
+    def test_scalar_multiples_normalise_to_the_same_object(self):
+        first = (2 * x <= 4).normalized()
+        second = (3 * x <= 6).normalized()
+        assert first is second
+
+    def test_different_routes_same_object(self):
+        from_guard = (x + y <= 1).normalized()
+        from_parts = Constraint(
+            LinExpr({"x": Fraction(2), "y": Fraction(2)}, Fraction(-2)),
+            Relation.LE,
+        ).normalized()
+        assert from_guard is from_parts
+
+    def test_normalized_is_idempotent_and_cached(self):
+        constraint = Fraction(1, 2) * x <= Fraction(3, 2)
+        canonical = constraint.normalized()
+        assert canonical.normalized() is canonical
+        assert constraint.normalized() is canonical
+
+    def test_already_canonical_instance_interns_itself(self):
+        constraint = x - y <= 0
+        assert constraint.normalized() is constraint.normalized()
+        # A primitive-integer constraint is its own canonical form.
+        assert constraint.normalized().expr == constraint.expr
+
+    def test_relations_do_not_collide(self):
+        le = (x <= 1).normalized()
+        lt = (x < 1).normalized()
+        eq = x.eq(1).normalized()
+        assert len({le.relation, lt.relation, eq.relation}) == 3
+        assert le is not lt
+
+    def test_structural_equality_unchanged(self):
+        # Interning must not weaken equality semantics: x ≤ 1 and
+        # 2x ≤ 2 stay structurally different until normalised.
+        assert (x <= 1) != (2 * x <= 2)
+        assert (x <= 1).normalized() == (2 * x <= 2).normalized()
+
+    def test_hash_stable_and_cached(self):
+        constraint = x + 2 * y <= 3
+        assert hash(constraint) == hash(constraint)
+        twin = x + 2 * y <= 3
+        assert constraint == twin
+        assert hash(constraint) == hash(twin)
+
+    def test_direction_preserved(self):
+        forward = (x <= 1).normalized()
+        backward = (-1 * x <= -1).normalized()  # i.e. x >= 1
+        assert forward is not backward

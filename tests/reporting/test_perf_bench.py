@@ -1,0 +1,91 @@
+"""The ``repro bench`` micro-suite and its JSON schema."""
+
+import json
+import subprocess
+import sys
+
+from repro.reporting.perf import (
+    SCHEMA_VERSION,
+    bench_kernel_rows,
+    bench_projection,
+    bench_simplex,
+    run_suite,
+)
+
+EXPECTED_SUITES = {"kernel_rows", "simplex", "projection", "table1_wtc"}
+
+
+class TestSuites:
+    def test_kernel_rows_counts_operations(self):
+        report = bench_kernel_rows(quick=True)
+        assert report["suite"] == "kernel_rows"
+        assert report["operations"] > 0
+        assert report["wall_seconds"] >= 0
+        assert report["dense_wall_seconds"] >= 0
+
+    def test_simplex_reports_pivots(self):
+        report = bench_simplex(quick=True)
+        assert report["lps_solved"] > 0
+        assert report["pivots"] > 0
+        assert report["warm_solves"] > 0
+
+    def test_projection_reports_eliminations(self):
+        report = bench_projection(quick=True)
+        assert report["variables_eliminated"] > 0
+        assert report["rows_eliminated"] >= 0
+        assert report["lp_calls_saved"] >= 0
+
+    def test_run_suite_document_shape(self):
+        document = run_suite(quick=True)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["quick"] is True
+        names = {suite["suite"] for suite in document["suites"]}
+        assert names == EXPECTED_SUITES
+        assert document["total_wall_seconds"] >= 0
+        wtc = next(
+            suite
+            for suite in document["suites"]
+            if suite["suite"] == "table1_wtc"
+        )
+        assert wtc["proved"] > 0
+
+    def test_deterministic_counters_across_runs(self):
+        # Wall-clock varies; the seeded workload counters must not.
+        first = bench_simplex(quick=True, seed=5)
+        second = bench_simplex(quick=True, seed=5)
+        assert first["pivots"] == second["pivots"]
+        assert first["lps_solved"] == second["lps_solved"]
+
+
+class TestCommandLine:
+    def test_repro_bench_quick_writes_json(self, tmp_path):
+        target = tmp_path / "bench.json"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "bench",
+                "--quick",
+                "--json",
+                str(target),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        document = json.loads(target.read_text())
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert {s["suite"] for s in document["suites"]} == EXPECTED_SUITES
+
+    def test_repro_bench_print_only(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "--quick", "--json", "-"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "table1_wtc" in completed.stdout
+        assert "wrote" not in completed.stdout
