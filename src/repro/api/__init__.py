@@ -28,15 +28,19 @@ Quickstart::
 
 from repro.api.config import (
     AnalysisConfig,
+    CEX_ORACLES,
+    CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
     SMT_MODES,
 )
 from repro.api.registry import (
+    CAPABILITIES,
     Prover,
     available_provers,
     canonical_name,
     get_prover,
+    prover_capabilities,
     prover_summaries,
     register_prover,
 )
@@ -50,6 +54,7 @@ from repro.api.result import (
 from repro.api.pipeline import (
     Analysis,
     BUILD_STAGES,
+    EngineObserver,
     STAGES,
     analyze,
     analyze_many,
@@ -65,18 +70,23 @@ __all__ = [
     "ConfigError",
     "SMT_MODES",
     "DOMAINS",
+    "CEX_ORACLES",
+    "CEX_STRATEGIES",
+    "CAPABILITIES",
     "Prover",
     "register_prover",
     "get_prover",
     "canonical_name",
     "available_provers",
     "prover_summaries",
+    "prover_capabilities",
     "AnalysisResult",
     "AnalysisStatus",
     "StageTiming",
     "ranking_to_dict",
     "ranking_from_dict",
     "Analysis",
+    "EngineObserver",
     "STAGES",
     "BUILD_STAGES",
     "analyze",

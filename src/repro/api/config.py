@@ -28,12 +28,20 @@ from typing import Optional
 
 from repro.core.lp_instance import LP_MODES
 from repro.smt.optimize import SearchMode
+from repro.synthesis.oracles import ORACLE_NAMES
+from repro.synthesis.strategies import STRATEGY_NAMES
 
 #: Valid values of :attr:`AnalysisConfig.smt_mode`.
 SMT_MODES = tuple(mode.value for mode in SearchMode)
 
 #: Valid values of :attr:`AnalysisConfig.domain`.
 DOMAINS = ("polyhedra", "intervals")
+
+#: Valid values of :attr:`AnalysisConfig.cex_oracle`.
+CEX_ORACLES = tuple(ORACLE_NAMES)
+
+#: Valid values of :attr:`AnalysisConfig.cex_strategy`.
+CEX_STRATEGIES = tuple(STRATEGY_NAMES)
 
 
 class ConfigError(ValueError):
@@ -74,6 +82,19 @@ class AnalysisConfig:
     #: Abstract domain of the invariant generator: ``"polyhedra"`` or
     #: ``"intervals"``.
     domain: str = "polyhedra"
+    #: Counterexample oracle of the CEGIS engine: ``"smt"`` (the paper's
+    #: optimising extremal-point query), ``"dd"`` (double-description
+    #: vertex/ray enumeration) or ``"sampling"`` (seeded interior points).
+    cex_oracle: str = "smt"
+    #: Counterexample selection strategy: ``"extremal"`` (the paper's
+    #: choice), ``"arbitrary"`` (first found, no optimisation) or
+    #: ``"random"`` (seeded pick) — the §4.2 ablation axis.
+    cex_strategy: str = "extremal"
+    #: LP rows added per refinement iteration (batched refinement; 1
+    #: replays the paper's one-row-per-counterexample loop).
+    cex_batch: int = 1
+    #: Seed of the sampling oracle and the random strategy.
+    oracle_seed: int = 0
 
     def __post_init__(self) -> None:
         _require(
@@ -115,6 +136,29 @@ class AnalysisConfig:
         _require(
             self.domain in DOMAINS,
             "domain must be one of %s, got %r" % (", ".join(DOMAINS), self.domain),
+        )
+        _require(
+            self.cex_oracle in CEX_ORACLES,
+            "cex_oracle must be one of %s, got %r"
+            % (", ".join(CEX_ORACLES), self.cex_oracle),
+        )
+        _require(
+            self.cex_strategy in CEX_STRATEGIES,
+            "cex_strategy must be one of %s, got %r"
+            % (", ".join(CEX_STRATEGIES), self.cex_strategy),
+        )
+        _require(
+            isinstance(self.cex_batch, int)
+            and not isinstance(self.cex_batch, bool)
+            and self.cex_batch >= 1,
+            "cex_batch must be a positive int, got %r" % (self.cex_batch,),
+        )
+        _require(
+            isinstance(self.oracle_seed, int)
+            and not isinstance(self.oracle_seed, bool)
+            and self.oracle_seed >= 0,
+            "oracle_seed must be a nonnegative int, got %r"
+            % (self.oracle_seed,),
         )
 
     # -- derived views -----------------------------------------------------------

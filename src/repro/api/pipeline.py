@@ -41,10 +41,16 @@ from repro.program.large_block import large_block_encoding
 
 if TYPE_CHECKING:  # pragma: no cover - layering: reporting imports the api
     from repro.reporting.parallel import TaskResult
+    from repro.synthesis.engine import CegisEvent
 
 #: An observer callback: ``hook(event, stage, seconds)`` with ``event`` in
 #: ``{"start", "end"}`` (``seconds`` is ``None`` on ``"start"``).
 StageObserver = Callable[[str, str, Optional[float]], None]
+
+#: An engine observer: receives every per-iteration
+#: :class:`~repro.synthesis.engine.CegisEvent` of a prover that
+#: advertises the ``"events"`` capability (see ``Analysis``).
+EngineObserver = Callable[["CegisEvent"], None]
 
 #: Stages that build the shared :class:`TerminationProblem` (run once per
 #: program) as opposed to the per-tool ``synthesis``/``certificate`` half.
@@ -72,6 +78,7 @@ class Analysis:
         config: Optional[AnalysisConfig] = None,
         name: Optional[str] = None,
         observers: Sequence[StageObserver] = (),
+        engine_observers: Sequence[EngineObserver] = (),
         invariants: Optional[InvariantMap] = None,
         cutset: Optional[Sequence[str]] = None,
         domain: Optional[AbstractDomain] = None,
@@ -90,6 +97,7 @@ class Analysis:
             )
         self.name = name or getattr(self._automaton, "name", "") or "program"
         self._observers: List[StageObserver] = list(observers)
+        self._engine_observers: List[EngineObserver] = list(engine_observers)
         self._given_invariants = invariants
         self._given_cutset = list(cutset) if cutset is not None else None
         self._given_domain = domain
@@ -102,9 +110,22 @@ class Analysis:
     def add_observer(self, observer: StageObserver) -> None:
         self._observers.append(observer)
 
+    def add_engine_observer(self, observer: EngineObserver) -> None:
+        """Subscribe to the synthesis engine's per-iteration events.
+
+        Events flow only from provers advertising the ``"events"``
+        capability (the CEGIS-based ``termite``); other tools simply
+        produce none.
+        """
+        self._engine_observers.append(observer)
+
     def _notify(self, event: str, stage: str, seconds: Optional[float]) -> None:
         for observer in self._observers:
             observer(event, stage, seconds)
+
+    def _notify_engine(self, event: "CegisEvent") -> None:
+        for observer in self._engine_observers:
+            observer(event)
 
     @contextmanager
     def _stage(self, stage: str, timings: List[StageTiming]):
@@ -202,8 +223,11 @@ class Analysis:
         problem = self.problem()
         snapshot = projection.statistics.snapshot()
         run_stages: List[StageTiming] = []
+        prove_kwargs = {}
+        if self._engine_observers and "events" in prover.capabilities:
+            prove_kwargs["observer"] = self._notify_engine
         with self._stage("synthesis", run_stages):
-            result = prover.prove(problem, self.config)
+            result = prover.prove(problem, self.config, **prove_kwargs)
         result.lp_statistics.redundancy_lp_saved += (
             self._build_lp_saved + projection.lp_calls_saved_since(snapshot)
         )
@@ -328,10 +352,15 @@ def analyze(
     config: Optional[AnalysisConfig] = None,
     name: Optional[str] = None,
     observers: Sequence[StageObserver] = (),
+    engine_observers: Sequence[EngineObserver] = (),
 ) -> AnalysisResult:
     """Analyse one program with one tool — the canonical entry point."""
     return Analysis(
-        program, config=config, name=name, observers=observers
+        program,
+        config=config,
+        name=name,
+        observers=observers,
+        engine_observers=engine_observers,
     ).run(tool)
 
 

@@ -42,17 +42,30 @@ from repro.core.ranking import LexicographicRankingFunction
 
 
 class TermiteProver(Prover):
-    """The paper's contribution: lazy, counterexample-guided synthesis."""
+    """The paper's contribution: lazy, counterexample-guided synthesis.
+
+    The counterexample source and refinement policy are swappable
+    through ``config.cex_oracle`` / ``cex_strategy`` / ``cex_batch`` /
+    ``oracle_seed`` (see :mod:`repro.synthesis`); *observer*, when
+    given, receives the engine's per-iteration
+    :class:`~repro.synthesis.engine.CegisEvent` stream.
+    """
 
     name = "termite"
     supports_certificates = True
+    extra_capabilities = frozenset(
+        {"cex-oracles", "cex-strategies", "lp-modes", "max-dimension", "events"}
+    )
     summary = (
         "lazy multidimensional synthesis from extremal counterexamples "
         "(Gonnord, Monniaux & Radanne, PLDI 2015)"
     )
 
     def prove(
-        self, problem: TerminationProblem, config: AnalysisConfig
+        self,
+        problem: TerminationProblem,
+        config: AnalysisConfig,
+        observer=None,
     ) -> AnalysisResult:
         start = time.perf_counter()
         lp_statistics = LpStatistics()
@@ -75,6 +88,11 @@ class TermiteProver(Prover):
                 max_iterations=config.max_iterations,
                 lp_statistics=lp_statistics,
                 lp_mode=config.lp_mode,
+                oracle=config.cex_oracle,
+                cex_strategy=config.cex_strategy,
+                cex_batch=config.cex_batch,
+                oracle_seed=config.oracle_seed,
+                observers=(observer,) if observer is not None else (),
             )
         except MaxIterationsExceeded as error:
             return AnalysisResult(
@@ -147,6 +165,9 @@ class BaselineProver(Prover):
         self.summary = summary
         self._function = function
         self._accepts_max_dimension = accepts_max_dimension
+        self.extra_capabilities = (
+            frozenset({"max-dimension"}) if accepts_max_dimension else frozenset()
+        )
 
     def prove(
         self, problem: TerminationProblem, config: AnalysisConfig

@@ -17,12 +17,32 @@ invocation glue anywhere above this module.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.api.config import AnalysisConfig
     from repro.api.result import AnalysisResult
     from repro.core.problem import TerminationProblem
+
+
+#: The capability flags a prover may advertise:
+#:
+#: ``certificates``    — :meth:`Prover.certify` performs a real check;
+#: ``cex-oracles``     — honours :attr:`AnalysisConfig.cex_oracle`;
+#: ``cex-strategies``  — honours ``cex_strategy`` / ``cex_batch`` /
+#:                       ``oracle_seed``;
+#: ``lp-modes``        — honours ``lp_mode`` (warm/cold/audit);
+#: ``max-dimension``   — honours ``max_dimension``;
+#: ``events``          — :meth:`Prover.prove` accepts an ``observer``
+#:                       keyword receiving per-iteration engine events.
+CAPABILITIES = (
+    "certificates",
+    "cex-oracles",
+    "cex-strategies",
+    "lp-modes",
+    "max-dimension",
+    "events",
+)
 
 
 class Prover(abc.ABC):
@@ -35,6 +55,25 @@ class Prover(abc.ABC):
     #: Whether :meth:`certify` performs a real check (gates the pipeline's
     #: ``certificate`` stage; a no-op certifier is simply skipped).
     supports_certificates: bool = False
+    #: Which optional config knobs / hooks this prover honours beyond
+    #: certification (a subset of :data:`CAPABILITIES`); everything else
+    #: is silently ignored, and the flags let
+    #: ``available_provers(capability=...)`` and the CLI tell callers so
+    #: up front.
+    extra_capabilities: frozenset = frozenset()
+
+    @property
+    def capabilities(self) -> frozenset:
+        """All capability flags of this prover.
+
+        ``"certificates"`` is derived from :attr:`supports_certificates`
+        (the attribute that actually gates the pipeline's certificate
+        stage), so the two can never drift apart.
+        """
+        flags = set(self.extra_capabilities)
+        if self.supports_certificates:
+            flags.add("certificates")
+        return frozenset(flags)
 
     @abc.abstractmethod
     def prove(
@@ -98,11 +137,36 @@ def get_prover(name: str) -> Prover:
     return _REGISTRY[canonical_name(name)]
 
 
-def available_provers() -> List[str]:
-    """Canonical prover names, in registration order."""
-    return list(_REGISTRY)
+def available_provers(capability: Optional[str] = None) -> List[str]:
+    """Canonical prover names, in registration order.
+
+    With *capability* (one of :data:`CAPABILITIES`) only the provers
+    advertising that flag are listed — e.g.
+    ``available_provers("cex-oracles")`` names the tools whose
+    counterexample source is swappable.
+    """
+    if capability is None:
+        return list(_REGISTRY)
+    if capability not in CAPABILITIES:
+        raise KeyError(
+            "unknown capability %r (available: %s)"
+            % (capability, ", ".join(CAPABILITIES))
+        )
+    return [
+        name
+        for name, prover in _REGISTRY.items()
+        if capability in prover.capabilities
+    ]
 
 
 def prover_summaries() -> Dict[str, str]:
     """``{name: one-line summary}`` for every registered prover."""
     return {name: prover.summary for name, prover in _REGISTRY.items()}
+
+
+def prover_capabilities() -> Dict[str, List[str]]:
+    """``{name: sorted capability flags}`` for every registered prover."""
+    return {
+        name: sorted(prover.capabilities)
+        for name, prover in _REGISTRY.items()
+    }

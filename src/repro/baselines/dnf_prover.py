@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines.dnf import TransitionDisjunct, expand_disjuncts
 from repro.baselines.eager_farkas import (
@@ -47,6 +47,7 @@ from repro.core.ranking import (
 )
 from repro.linalg.vector import Vector
 from repro.lp.problem import LpStatus
+from repro.synthesis.engine import eliminate_lexicographic
 
 
 def _eliminate_disjunct(
@@ -122,29 +123,28 @@ def dnf_prover(
     problem: TerminationProblem,
     max_dimension: Optional[int] = None,
 ) -> BaselineResult:
-    """Greedy per-disjunct lexicographic synthesis over the eager DNF."""
+    """Greedy per-disjunct lexicographic synthesis over the eager DNF.
+
+    The elimination loop is the shared
+    :func:`repro.synthesis.engine.eliminate_lexicographic`; this prover
+    only supplies the "find one eliminable disjunct" step.
+    """
     start = time.perf_counter()
     statistics = LpStatistics()
     disjuncts = expand_disjuncts(problem)
-    remaining = list(disjuncts)
-    components: List[AffineRankingFunction] = []
     if max_dimension is None:
         max_dimension = max(4, len(disjuncts))
 
-    proved = not remaining
-    while remaining and len(components) < max_dimension:
-        eliminated = None
+    def find_component(remaining):
         for index in range(len(remaining)):
             component = _eliminate_disjunct(problem, remaining, index, statistics)
             if component is not None:
-                eliminated = index
-                components.append(component)
-                break
-        if eliminated is None:
-            break
-        remaining.pop(eliminated)
-        if not remaining:
-            proved = True
+                return component, [index]
+        return None
+
+    components, _, proved = eliminate_lexicographic(
+        disjuncts, find_component, max_dimension
+    )
 
     elapsed = time.perf_counter() - start
     ranking = LexicographicRankingFunction(components) if proved else None

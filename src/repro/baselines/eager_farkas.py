@@ -38,6 +38,7 @@ from repro.linexpr.constraint import Constraint
 from repro.linexpr.expr import LinExpr
 from repro.linexpr.transform import prime_suffix
 from repro.lp.problem import LinearProgram, LpStatus, Sense
+from repro.synthesis.engine import eliminate_lexicographic
 
 
 class _FarkasSystem:
@@ -228,26 +229,16 @@ def eager_farkas_lexicographic(
     start = time.perf_counter()
     statistics = LpStatistics()
     disjuncts = expand_disjuncts(problem)
-    components: List[AffineRankingFunction] = []
     if max_dimension is None:
         max_dimension = max(4, problem.stacked_dimension)
 
-    remaining = list(disjuncts)
-    proved = not remaining
-    while remaining and len(components) < max_dimension:
-        outcome = _synthesize_component(problem, remaining, statistics)
-        if outcome is None:
-            break
-        component, killed = outcome
-        components.append(component)
-        remaining = [
-            disjunct
-            for index, disjunct in enumerate(remaining)
-            if index not in set(killed)
-        ]
-        if not remaining:
-            proved = True
-            break
+    # The refinement loop is the shared greedy elimination of the
+    # synthesis engine; this baseline only supplies the Farkas step.
+    components, _, proved = eliminate_lexicographic(
+        disjuncts,
+        lambda remaining: _synthesize_component(problem, remaining, statistics),
+        max_dimension,
+    )
 
     elapsed = time.perf_counter() - start
     ranking = LexicographicRankingFunction(components) if proved else None

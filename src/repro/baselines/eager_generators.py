@@ -12,84 +12,32 @@ linear ranking functions); the difference the paper measures is the cost:
 the number of generators — hence LP rows — can be exponential in the
 program, whereas the lazy loop only materialises the handful of extremal
 counterexamples it actually needs.
+
+The generator-to-u-space mapping is shared with the synthesis package's
+double-description oracle (:func:`repro.synthesis.oracles.
+disjunct_generators`), and the per-component elimination loop is the
+generic :func:`repro.synthesis.engine.eliminate_lexicographic`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import List, Optional, Tuple
 
 from repro.baselines.dnf import TransitionDisjunct, expand_disjuncts
 from repro.baselines.result import BaselineResult
 from repro.core.lp_instance import LpStatistics, RankingLp
-from repro.core.problem import ONE_COORDINATE, TerminationProblem
-from repro.core.ranking import (
-    AffineRankingFunction,
-    LexicographicRankingFunction,
-)
+from repro.core.problem import TerminationProblem
+from repro.core.ranking import LexicographicRankingFunction
 from repro.linalg.matrix import in_span
 from repro.linalg.vector import Vector
-from repro.polyhedra.dd import constraints_to_generators
-
-
-def _difference_map(
-    problem: TerminationProblem, disjunct: TransitionDisjunct
-) -> Tuple[List[str], List[Vector]]:
-    """The linear map from a disjunct's state space to the stacked u-space.
-
-    Returns the disjunct's variable ordering and, per stacked coordinate,
-    the row vector expressing that coordinate of ``u = e_k((x,1)) −
-    e_{k'}((x',1))`` over the disjunct's variables (the constant part is
-    handled separately by the caller through the @one coordinate).
-    """
-    variables = disjunct.variables()
-    rows: List[Vector] = []
-    for location in problem.cutset:
-        for coordinate in problem.space_variables:
-            entries = [0] * len(variables)
-            if coordinate == ONE_COORDINATE:
-                rows.append(Vector(entries))
-                continue
-            if location == disjunct.source and coordinate in variables:
-                entries[variables.index(coordinate)] += 1
-            primed = coordinate + "'"
-            if location == disjunct.target and primed in variables:
-                entries[variables.index(primed)] -= 1
-            rows.append(Vector(entries))
-    return variables, rows
-
-
-def _one_offsets(problem: TerminationProblem, disjunct: TransitionDisjunct) -> Vector:
-    """The constant contribution of the @one coordinates to ``u``."""
-    entries = []
-    for location in problem.cutset:
-        for coordinate in problem.space_variables:
-            value = 0
-            if coordinate == ONE_COORDINATE:
-                if location == disjunct.source:
-                    value += 1
-                if location == disjunct.target:
-                    value -= 1
-            entries.append(value)
-    return Vector(entries)
-
-
-def _disjunct_generators(
-    problem: TerminationProblem, disjunct: TransitionDisjunct
-) -> List[Tuple[str, Vector]]:
-    """Vertices and rays of the disjunct, mapped into the stacked u-space."""
-    variables, rows = _difference_map(problem, disjunct)
-    offset = _one_offsets(problem, disjunct)
-    system = constraints_to_generators(disjunct.constraints, variables)
-    generators: List[Tuple[str, Vector]] = []
-    for vertex in system.vertices:
-        image = Vector([row.dot(vertex) for row in rows]) + offset
-        generators.append(("vertex", image))
-    for ray in system.all_ray_like():
-        image = Vector([row.dot(ray) for row in rows])
-        if not image.is_zero():
-            generators.append(("ray", image))
-    return generators
+from repro.synthesis.engine import eliminate_lexicographic
+from repro.synthesis.oracles import (
+    difference_map,
+    disjunct_generators,
+    one_offsets,
+)
 
 
 def eager_generator_synthesis(
@@ -105,13 +53,12 @@ def eager_generator_synthesis(
     disjuncts = expand_disjuncts(problem)
     generators: List[Tuple[str, Vector]] = []
     for disjunct in disjuncts:
-        generators.extend(_disjunct_generators(problem, disjunct))
+        generators.extend(disjunct_generators(problem, disjunct))
 
-    components: List[AffineRankingFunction] = []
     stacked: List[Vector] = []
-    remaining = list(generators)
-    proved = not remaining
-    while remaining and len(components) < max_dimension:
+
+    def find_component(remaining):
+        """One ``LP(V, Constraints(I))`` solve over the remaining generators."""
         ranking_lp = RankingLp(problem, statistics)
         for _, generator in remaining:
             ranking_lp.add_counterexample(generator)
@@ -124,20 +71,17 @@ def eager_generator_synthesis(
             if delta == 1
         ]
         if not decreased:
-            break
+            return None
         if vector.is_zero() or in_span(vector, stacked):
-            break
-        components.append(component)
+            return None
         stacked.append(vector)
-        remaining = [
-            generator
-            for index, generator in enumerate(remaining)
-            if index not in set(decreased)
-        ]
-        if not remaining:
-            proved = True
-            component.strict = True
-            break
+        return component, decreased
+
+    components, _, proved = eliminate_lexicographic(
+        generators, find_component, max_dimension
+    )
+    if proved and components:
+        components[-1].strict = True
 
     elapsed = time.perf_counter() - start
     ranking = LexicographicRankingFunction(components) if proved else None
@@ -153,3 +97,37 @@ def eager_generator_synthesis(
             "dimension": len(components),
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases of the helpers that moved to repro.synthesis.oracles
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        "repro.baselines.eager_generators.%s moved to "
+        "repro.synthesis.oracles.%s; this alias will be removed" % (old, new),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _difference_map(problem: TerminationProblem, disjunct: TransitionDisjunct):
+    """Deprecated alias of :func:`repro.synthesis.oracles.difference_map`."""
+    _deprecated("_difference_map", "difference_map")
+    return difference_map(problem, disjunct)
+
+
+def _one_offsets(problem: TerminationProblem, disjunct: TransitionDisjunct):
+    """Deprecated alias of :func:`repro.synthesis.oracles.one_offsets`."""
+    _deprecated("_one_offsets", "one_offsets")
+    return one_offsets(problem, disjunct)
+
+
+def _disjunct_generators(
+    problem: TerminationProblem, disjunct: TransitionDisjunct
+):
+    """Deprecated alias of :func:`repro.synthesis.oracles.disjunct_generators`."""
+    _deprecated("_disjunct_generators", "disjunct_generators")
+    return disjunct_generators(problem, disjunct)

@@ -50,11 +50,14 @@ import time
 
 from repro.api import (
     AnalysisConfig,
+    CEX_ORACLES,
+    CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
     SMT_MODES,
     analyze,
     canonical_name,
+    prover_capabilities,
     prover_summaries,
 )
 from repro.core.lp_instance import LP_MODES
@@ -82,6 +85,35 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--smt-mode", choices=list(SMT_MODES), default=None)
     group.add_argument("--lp-mode", choices=list(LP_MODES), default=None)
     group.add_argument("--domain", choices=list(DOMAINS), default=None)
+    group.add_argument(
+        "--oracle",
+        dest="cex_oracle",
+        choices=list(CEX_ORACLES),
+        default=None,
+        help="counterexample oracle of the CEGIS engine (default: smt, "
+        "the paper's optimising extremal-point query)",
+    )
+    group.add_argument(
+        "--cex-strategy",
+        choices=list(CEX_STRATEGIES),
+        default=None,
+        help="counterexample selection strategy (default: extremal; "
+        "'arbitrary'/'random' are the paper's ablation)",
+    )
+    group.add_argument(
+        "--cex-batch",
+        type=int,
+        metavar="K",
+        default=None,
+        help="LP rows added per refinement iteration (default: 1)",
+    )
+    group.add_argument(
+        "--oracle-seed",
+        type=int,
+        metavar="N",
+        default=None,
+        help="seed of the sampling oracle / random strategy (default: 0)",
+    )
     group.add_argument("--max-iterations", type=int, metavar="N", default=None)
     group.add_argument("--max-dimension", type=int, metavar="N", default=None)
     group.add_argument(
@@ -113,6 +145,10 @@ def _config_from_arguments(arguments: argparse.Namespace) -> AnalysisConfig:
         ("smt_mode", "smt_mode"),
         ("lp_mode", "lp_mode"),
         ("domain", "domain"),
+        ("cex_oracle", "cex_oracle"),
+        ("cex_strategy", "cex_strategy"),
+        ("cex_batch", "cex_batch"),
+        ("oracle_seed", "oracle_seed"),
         ("max_iterations", "max_iterations"),
         ("max_dimension", "max_dimension"),
         ("integer_mode", "integer_mode"),
@@ -563,12 +599,20 @@ def bench_main(argv=None) -> int:
 
 def command_list_provers(arguments: argparse.Namespace) -> int:
     summaries = prover_summaries()
+    capabilities = prover_capabilities()
     if arguments.json:
-        print(json.dumps({"provers": summaries}, indent=2))
+        print(
+            json.dumps(
+                {"provers": summaries, "capabilities": capabilities}, indent=2
+            )
+        )
         return 0
     width = max(len(name) for name in summaries)
     for name, summary in summaries.items():
         print("%-*s  %s" % (width, name, summary))
+        flags = capabilities.get(name)
+        if flags:
+            print("%-*s    capabilities: %s" % (width, "", ", ".join(flags)))
     return 0
 
 

@@ -66,6 +66,13 @@ class LpStatistics:
     #: pruning made unnecessary during this run (attributed by the
     #: analysis pipeline from the process-wide projection counters).
     redundancy_lp_saved: int = 0
+    #: Unified CEGIS-engine counters (see :mod:`repro.synthesis.engine`):
+    #: counterexample-oracle queries issued, generator rows added to
+    #: ``LP(V, Constraints(I))``, and flat directions absorbed into the
+    #: ``AvoidSpace`` basis.
+    oracle_queries: int = 0
+    cex_rows: int = 0
+    flat_directions: int = 0
 
     def record(self, rows: int, cols: int) -> None:
         self.instances += 1
@@ -108,6 +115,9 @@ class LpStatistics:
             "cold_solves": self.cold_solves,
             "pivots_saved": self.pivots_saved,
             "redundancy_lp_saved": self.redundancy_lp_saved,
+            "oracle_queries": self.oracle_queries,
+            "cex_rows": self.cex_rows,
+            "flat_directions": self.flat_directions,
             "average_rows": self.average_rows,
             "average_cols": self.average_cols,
         }
@@ -126,6 +136,9 @@ class LpStatistics:
             cold_solves=data.get("cold_solves", 0),
             pivots_saved=data.get("pivots_saved", 0),
             redundancy_lp_saved=data.get("redundancy_lp_saved", 0),
+            oracle_queries=data.get("oracle_queries", 0),
+            cex_rows=data.get("cex_rows", 0),
+            flat_directions=data.get("flat_directions", 0),
         )
 
     def merge(self, other: "LpStatistics") -> None:
@@ -139,6 +152,9 @@ class LpStatistics:
         self.cold_solves += other.cold_solves
         self.pivots_saved += other.pivots_saved
         self.redundancy_lp_saved += other.redundancy_lp_saved
+        self.oracle_queries += other.oracle_queries
+        self.cex_rows += other.cex_rows
+        self.flat_directions += other.flat_directions
 
 
 @dataclass

@@ -1,5 +1,14 @@
 """Algorithm 1 / Algorithm 3: one quasi ranking function of maximal power.
 
+This module is now a **thin configuration** of the pluggable CEGIS
+engine in :mod:`repro.synthesis`: the counterexample loop itself lives
+in :class:`repro.synthesis.engine.CegisEngine`, the optimising SMT query
+construction in :mod:`repro.synthesis.oracles`, and the candidate space
+in :class:`repro.synthesis.templates.LinearTemplate`.
+:func:`synthesize_monodim` assembles the paper's default pieces (``smt``
+oracle, ``extremal`` strategy, one row per counterexample) — or any of
+the ablation combinations — and delegates.
+
 The loop alternates between
 
 * an optimising SMT query
@@ -20,58 +29,22 @@ what makes the loop terminate even when no strict ranking function exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import List, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
-from repro.core.lp_instance import LpStatistics, RankingLp
+from repro.core.lp_instance import LpStatistics
 from repro.core.problem import TerminationProblem
-from repro.core.ranking import AffineRankingFunction
-from repro.linalg.matrix import in_span, orthogonal_complement
 from repro.linalg.vector import Vector
 from repro.linexpr.constraint import Constraint
-from repro.linexpr.expr import LinExpr
-from repro.linexpr.formula import Formula, conjunction, disjunction
-from repro.smt.optimize import OptimizingSmtSolver, SearchMode
-
-
-@dataclass
-class MonodimStatistics:
-    """Counters for one run of the mono-dimensional loop.
-
-    ``lp`` carries this component's own LP solve costs (pivots, warm vs
-    cold solves) so the evaluation harness can report how much of the
-    counterexample loop the warm-started incremental LP saved.
-    """
-
-    iterations: int = 0
-    counterexamples: int = 0
-    rays: int = 0
-    flat_directions: int = 0
-    lp: LpStatistics = field(default_factory=LpStatistics)
-
-
-@dataclass
-class MonodimResult:
-    """Output of Algorithm 1/3: ``(λ, λ0, strict?)`` plus diagnostics."""
-
-    ranking: AffineRankingFunction
-    strict: bool
-    flat_basis: List[Vector] = field(default_factory=list)
-    statistics: MonodimStatistics = field(default_factory=MonodimStatistics)
-
-    @property
-    def is_trivial(self) -> bool:
-        return self.ranking.is_trivial()
-
-
-class MaxIterationsExceeded(RuntimeError):
-    """The synthesis loop exceeded its iteration budget.
-
-    With an SMT solver returning generators of the transition polyhedra the
-    loop provably terminates (Lemma 1); the budget is a safety net for the
-    fallback paths of the reproduction's own OMT layer.
-    """
+from repro.linexpr.formula import Formula
+from repro.smt.optimize import SearchMode
+from repro.synthesis.engine import CegisEngine, CegisObserver, MonodimResult
+from repro.synthesis.engine import MaxIterationsExceeded  # noqa: F401  (compat re-export)
+from repro.synthesis.engine import MonodimStatistics  # noqa: F401  (compat re-export)
+from repro.synthesis.oracles import avoid_space as _avoid_space
+from repro.synthesis.oracles import make_oracle
+from repro.synthesis.strategies import make_strategy
+from repro.synthesis.templates import LinearTemplate
 
 
 def synthesize_monodim(
@@ -82,6 +55,11 @@ def synthesize_monodim(
     max_iterations: int = 200,
     lp_statistics: Optional[LpStatistics] = None,
     lp_mode: str = "incremental",
+    oracle: str = "smt",
+    cex_strategy: str = "extremal",
+    cex_batch: int = 1,
+    oracle_seed: int = 0,
+    observers: Sequence[CegisObserver] = (),
 ) -> MonodimResult:
     """Run Algorithm 1 (single cut point) / Algorithm 3 (general case).
 
@@ -93,183 +71,37 @@ def synthesize_monodim(
     ``lp_mode`` selects how ``LP(V, Constraints(I))`` is re-solved as
     counterexamples accumulate (see :data:`repro.core.lp_instance.LP_MODES`);
     the default keeps one warm-started LP alive for the whole loop.
+
+    ``oracle`` / ``cex_strategy`` / ``cex_batch`` / ``oracle_seed`` pick
+    the counterexample source and selection policy (see
+    :mod:`repro.synthesis.oracles` and :mod:`repro.synthesis.strategies`);
+    the defaults replay the paper's extremal-counterexample loop exactly.
     """
-    statistics = MonodimStatistics()
-    ranking_lp = RankingLp(problem, statistics.lp, mode=lp_mode)
-    transition_formula = problem.transition_formula()
-    flat_basis: List[Vector] = []
-
-    try:
-        current, deltas = _counterexample_loop(
-            problem,
-            ranking_lp,
-            statistics,
-            transition_formula,
-            extra_constraints,
-            flat_basis,
-            problem.zero_ranking(),
-            integer_mode,
-            smt_mode,
-            max_iterations,
-        )
-    finally:
-        # Merge even when the iteration budget blows: the caller's shared
-        # statistics must reflect the LP work actually performed.
-        if lp_statistics is not None:
-            lp_statistics.merge(statistics.lp)
-
-    strict = bool(deltas) and all(value == 1 for value in deltas)
-    if strict:
-        strict = not _has_stuttering_step(
-            problem, transition_formula, extra_constraints, integer_mode
-        )
-    current.strict = strict
-    return MonodimResult(
-        ranking=current,
-        strict=strict,
-        flat_basis=flat_basis,
-        statistics=statistics,
+    template = LinearTemplate(
+        problem, integer_mode=integer_mode, smt_mode=smt_mode
     )
-
-
-def _counterexample_loop(
-    problem: TerminationProblem,
-    ranking_lp: RankingLp,
-    statistics: MonodimStatistics,
-    transition_formula: Formula,
-    extra_constraints: Sequence[Constraint],
-    flat_basis: List[Vector],
-    current,
-    integer_mode: bool,
-    smt_mode: str | SearchMode,
-    max_iterations: int,
-):
-    """The alternation of Algorithm 1: SMT counterexample, then LP."""
-    difference_names = problem.difference_variables()
-    deltas: List[Fraction] = []
-    finished = False
-
-    while not finished:
-        statistics.iterations += 1
-        if statistics.iterations > max_iterations:
-            raise MaxIterationsExceeded(
-                "mono-dimensional synthesis exceeded %d iterations"
-                % max_iterations
-            )
-        objective = problem.objective(current)
-        query = _build_query(
-            problem,
-            transition_formula,
-            extra_constraints,
-            flat_basis,
-            objective,
-            integer_mode,
-            smt_mode,
-        )
-        outcome = query.minimize(objective)
-        if outcome.is_unsat:
-            finished = True
-            break
-
-        model = outcome.model
-        witness = problem.difference_vector(model)
-        statistics.counterexamples += 1
-        ranking_lp.add_counterexample(witness)
-        witness_index = len(ranking_lp.counterexamples) - 1
-
-        if outcome.unbounded:
-            ray = Vector(
-                outcome.ray.get(name, Fraction(0)) for name in difference_names
-            )
-            if not ray.is_zero():
-                statistics.rays += 1
-                ranking_lp.add_counterexample(ray)
-
-        solution = ranking_lp.solve()
-        deltas = solution.deltas
-        if solution.all_gamma_zero and all(value == 0 for value in deltas):
-            # No quasi ranking function separates any collected generator:
-            # the component is finished (λ stays as computed, possibly 0).
-            finished = True
-            current = solution.ranking
-            break
-
-        current = solution.ranking
-        if solution.delta_of(witness_index) == 0:
-            if not witness.is_zero() and not in_span(witness, flat_basis):
-                flat_basis.append(witness)
-                statistics.flat_directions += 1
-
-    return current, deltas
-
-
-# ---------------------------------------------------------------------------
-# Query construction
-# ---------------------------------------------------------------------------
-
-
-def _build_query(
-    problem: TerminationProblem,
-    transition_formula: Formula,
-    extra_constraints: Sequence[Constraint],
-    flat_basis: Sequence[Vector],
-    objective: LinExpr,
-    integer_mode: bool,
-    smt_mode: str | SearchMode,
-) -> OptimizingSmtSolver:
-    solver = OptimizingSmtSolver(
-        integer_variables=problem.smt_integer_variables() if integer_mode else (),
-        mode=smt_mode,
+    engine = CegisEngine(
+        make_oracle(oracle, seed=oracle_seed),
+        make_strategy(cex_strategy, batch=cex_batch, seed=oracle_seed),
+        max_iterations=max_iterations,
+        lp_mode=lp_mode,
+        observers=observers,
     )
-    solver.assert_formula(transition_formula)
-    for constraint in extra_constraints:
-        solver.assert_formula(constraint)
-    solver.assert_formula(avoid_space(problem, flat_basis))
-    solver.assert_formula(objective <= 0)
-    return solver
+    return engine.synthesize_component(
+        template,
+        extra_constraints=extra_constraints,
+        lp_statistics=lp_statistics,
+    )
 
 
 def avoid_space(
     problem: TerminationProblem, flat_basis: Sequence[Vector]
 ) -> Formula:
-    """``AvoidSpace(u, B)``: the block vector must leave ``span(B)``.
-
-    Implemented through the orthogonal complement: ``u ∈ span(B)`` iff
-    ``w·u = 0`` for every ``w`` in a basis of ``span(B)^⊥``, so the
-    avoidance condition is the disjunction of the dis-equalities
-    ``w·u < 0 ∨ w·u > 0``.  With ``B = ∅`` this is simply ``u ≠ 0``, which
-    also rules out stuttering counterexamples ``(x, x)``.
-    """
-    names = problem.difference_variables()
-    dimension = problem.stacked_dimension
-    complement = orthogonal_complement(list(flat_basis), dimension)
-    disequalities: List[Formula] = []
-    for normal in complement:
-        expr = LinExpr(
-            {name: normal[i] for i, name in enumerate(names) if normal[i] != 0}
-        )
-        disequalities.append(disjunction([expr < 0, expr > 0]))
-    return disjunction(disequalities)
-
-
-def _has_stuttering_step(
-    problem: TerminationProblem,
-    transition_formula: Formula,
-    extra_constraints: Sequence[Constraint],
-    integer_mode: bool,
-) -> bool:
-    """Whether ``Φ`` admits a step with ``u = 0`` (see end of Algorithm 1)."""
-    solver = OptimizingSmtSolver(
-        integer_variables=problem.smt_integer_variables() if integer_mode else ()
+    """Deprecated alias of :func:`repro.synthesis.oracles.avoid_space`."""
+    warnings.warn(
+        "repro.core.monodim.avoid_space moved to "
+        "repro.synthesis.oracles.avoid_space; this alias will be removed",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    solver.assert_formula(transition_formula)
-    for constraint in extra_constraints:
-        solver.assert_formula(constraint)
-    zero = conjunction(
-        [
-            LinExpr.variable(name).eq(0)
-            for name in problem.difference_variables()
-        ]
-    )
-    solver.assert_formula(zero)
-    return solver.check().is_sat
+    return _avoid_space(problem, flat_basis)

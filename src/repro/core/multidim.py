@@ -1,40 +1,28 @@
 """Algorithm 2: lexicographic (multidimensional) ranking functions.
 
-One component is synthesised per dimension with Algorithm 1/3; before
-synthesising dimension ``d`` the transition relation is restricted to the
-steps on which every previous component is constant (``λ_{d'} · u = 0``),
-exactly as in the paper.  The loop stops as soon as a component is strict
-(success) or when the new component is linearly dependent on the previous
-ones without being strict (failure: no lexicographic linear ranking
-function exists relative to the invariant — Theorem 1).
+This module is now a **thin configuration** of the pluggable CEGIS
+engine: the per-dimension loop (restrict the transition relation to the
+steps on which every previous component is constant, synthesise the next
+component, stop on a strict component or on linear dependence — exactly
+as in the paper, Theorem 1) lives in
+:meth:`repro.synthesis.engine.CegisEngine.synthesize_lexicographic`,
+driven by a :class:`repro.synthesis.templates.LexicographicTemplate`.
+:func:`synthesize_multidim` assembles the requested oracle × strategy
+pieces and delegates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional, Sequence
 
 from repro.core.lp_instance import LpStatistics
-from repro.core.monodim import MonodimResult, synthesize_monodim
 from repro.core.problem import TerminationProblem
-from repro.core.ranking import LexicographicRankingFunction
-from repro.linalg.matrix import in_span
-from repro.linalg.vector import Vector
-from repro.linexpr.constraint import Constraint, Relation
 from repro.smt.optimize import SearchMode
-
-
-@dataclass
-class MultidimResult:
-    """Outcome of the lexicographic synthesis."""
-
-    success: bool
-    ranking: Optional[LexicographicRankingFunction]
-    components: List[MonodimResult] = field(default_factory=list)
-
-    @property
-    def dimension(self) -> int:
-        return self.ranking.dimension if self.ranking else 0
+from repro.synthesis.engine import CegisEngine, CegisObserver, MultidimResult
+from repro.synthesis.engine import MonodimResult  # noqa: F401  (compat re-export)
+from repro.synthesis.oracles import make_oracle
+from repro.synthesis.strategies import make_strategy
+from repro.synthesis.templates import LexicographicTemplate
 
 
 def synthesize_multidim(
@@ -45,6 +33,11 @@ def synthesize_multidim(
     max_iterations: int = 200,
     lp_statistics: Optional[LpStatistics] = None,
     lp_mode: str = "incremental",
+    oracle: str = "smt",
+    cex_strategy: str = "extremal",
+    cex_batch: int = 1,
+    oracle_seed: int = 0,
+    observers: Sequence[CegisObserver] = (),
 ) -> MultidimResult:
     """Run Algorithm 2 on *problem*.
 
@@ -52,47 +45,24 @@ def synthesize_multidim(
     relative to the given invariants (Theorem 1); the returned function has
     minimal dimension.  Each dimension owns one persistent incremental LP
     (``lp_mode``, see :data:`repro.core.lp_instance.LP_MODES`) that grows
-    row by row as its counterexample loop runs.
+    row by row as its counterexample loop runs.  ``oracle`` /
+    ``cex_strategy`` / ``cex_batch`` / ``oracle_seed`` select the
+    counterexample source and refinement policy of every component (see
+    :mod:`repro.synthesis`); the defaults replay the paper's loop exactly.
     """
-    if max_dimension is None:
-        max_dimension = problem.stacked_dimension
-
-    components: List[MonodimResult] = []
-    stacked: List[Vector] = []
-    flatness_constraints: List[Constraint] = []
-    ranking = LexicographicRankingFunction()
-
-    while True:
-        result = synthesize_monodim(
-            problem,
-            extra_constraints=flatness_constraints,
-            smt_mode=smt_mode,
-            integer_mode=integer_mode,
-            max_iterations=max_iterations,
-            lp_statistics=lp_statistics,
-            lp_mode=lp_mode,
-        )
-        components.append(result)
-        vector = result.ranking.stacked_vector(problem.cutset)
-
-        if not result.strict:
-            if vector.is_zero() or in_span(vector, stacked):
-                # The new component adds nothing: by Theorem 1, no
-                # lexicographic linear ranking function exists relative to
-                # the invariant.
-                return MultidimResult(False, None, components)
-
-        ranking.components.append(result.ranking)
-        stacked.append(vector)
-
-        if result.strict:
-            return MultidimResult(True, ranking, components)
-
-        if len(ranking.components) >= max_dimension:
-            return MultidimResult(False, None, components)
-
-        # Restrict the next dimension to the steps where this component is
-        # constant: λ_d · u = 0.
-        flatness_constraints.append(
-            Constraint(problem.objective(result.ranking), Relation.EQ)
-        )
+    template = LexicographicTemplate(
+        problem,
+        integer_mode=integer_mode,
+        smt_mode=smt_mode,
+        max_dimension=max_dimension,
+    )
+    engine = CegisEngine(
+        make_oracle(oracle, seed=oracle_seed),
+        make_strategy(cex_strategy, batch=cex_batch, seed=oracle_seed),
+        max_iterations=max_iterations,
+        lp_mode=lp_mode,
+        observers=observers,
+    )
+    return engine.synthesize_lexicographic(
+        template, lp_statistics=lp_statistics
+    )

@@ -1,9 +1,10 @@
 """The measured-performance micro-suite behind ``repro bench``.
 
-Four suites, cheapest first, each returning a plain dict that serialises
+Five suites, cheapest first, each returning a plain dict that serialises
 into ``BENCH_kernel.json``.  The goal is a *committed* performance
-trajectory: every claim about the sparse scaled-integer kernel is a
-number in the repository, not an assertion in a docstring.
+trajectory: every claim about the sparse scaled-integer kernel — and
+about the CEGIS oracle/strategy ablation — is a number in the
+repository, not an assertion in a docstring.
 
 * ``kernel_rows`` — the raw row kernel: fused axpy/eliminate/dot on
   :class:`~repro.linalg.sparse.SparseRow` versus the same operations
@@ -16,6 +17,10 @@ number in the repository, not an assertion in a docstring.
 * ``table1_wtc`` — the end-to-end slice: the terminating WTC programs
   proved by the paper's lazy prover (the same slice
   ``bench_lp_size_rank_vs_termite.py`` measures), with total pivots.
+* ``cegis_ablation`` — the same WTC slice once per counterexample
+  oracle × strategy variant (extremal / arbitrary / random; SMT, DD
+  enumeration, sampling), reporting iterations, LP rows and wall time —
+  the paper's §4.2 ablation as one committed number series.
 
 Reachable as ``repro bench``, ``python -m repro bench`` and
 ``python benchmarks/perf_kernel.py``.
@@ -246,6 +251,77 @@ def bench_table1_slice(quick: bool = False) -> Dict:
     }
 
 
+#: The oracle × strategy points of the ``cegis_ablation`` suite: the
+#: paper's default, the two §4.2 counterexample-selection ablations, and
+#: the two alternative oracles.
+CEGIS_ABLATION_VARIANTS = (
+    ("smt", "extremal"),
+    ("smt", "arbitrary"),
+    ("smt", "random"),
+    ("dd", "extremal"),
+    ("sampling", "random"),
+)
+
+
+def bench_cegis_ablation(quick: bool = False, seed: int = 0) -> Dict:
+    """Extremal vs. arbitrary vs. random counterexamples, end to end.
+
+    Runs the WTC Table-1 slice (the same terminating programs as
+    ``table1_wtc``) through the lazy prover once per oracle × strategy
+    variant and reports the quantities the paper's ablation compares:
+    refinement iterations, LP rows (one per counterexample), and wall
+    time.  Every variant must prove the same programs — the strategies
+    change the *cost*, never the verdict.
+    """
+    from repro.api import AnalysisConfig, analyze
+    from repro.benchsuite import get_suite
+
+    programs = [p for p in get_suite("wtc") if p.terminating]
+    programs = programs[:2] if quick else programs[:4]
+
+    variants: List[Dict] = []
+    total = 0.0
+    for oracle, strategy in CEGIS_ABLATION_VARIANTS:
+        config = AnalysisConfig(
+            check_certificates=False,
+            cex_oracle=oracle,
+            cex_strategy=strategy,
+            oracle_seed=seed,
+        )
+        proved = iterations = lp_rows = oracle_queries = 0
+        started = time.perf_counter()
+        for program in programs:
+            result = analyze(
+                program.build(), tool="termite", config=config,
+                name=program.name,
+            )
+            proved += int(result.proved)
+            iterations += result.iterations
+            lp_rows += result.lp_statistics.cex_rows
+            oracle_queries += result.lp_statistics.oracle_queries
+        wall = time.perf_counter() - started
+        total += wall
+        variants.append(
+            {
+                "oracle": oracle,
+                "strategy": strategy,
+                "programs": len(programs),
+                "proved": proved,
+                "iterations": iterations,
+                "lp_rows": lp_rows,
+                "oracle_queries": oracle_queries,
+                "wall_seconds": round(wall, 4),
+            }
+        )
+
+    return {
+        "suite": "cegis_ablation",
+        "wall_seconds": round(total, 4),
+        "programs": len(programs),
+        "variants": variants,
+    }
+
+
 def run_suite(quick: bool = False, seed: int = 0) -> Dict:
     """Run every suite and assemble the JSON document."""
     suites = [
@@ -253,6 +329,7 @@ def run_suite(quick: bool = False, seed: int = 0) -> Dict:
         bench_simplex(quick=quick, seed=seed),
         bench_projection(quick=quick, seed=seed),
         bench_table1_slice(quick=quick),
+        bench_cegis_ablation(quick=quick, seed=seed),
     ]
     return {
         "schema_version": SCHEMA_VERSION,

@@ -1,0 +1,113 @@
+"""Refinement strategies: which counterexamples become LP rows.
+
+A strategy makes the two decisions the paper's §4.2 ablation is about:
+
+* **which** of the oracle's candidates to refine with — the extremal
+  (most-violating) one, an arbitrary one, or a seeded-random one; and
+* **how many** rows to add per iteration — the paper adds one row per
+  counterexample, the batched variant adds up to ``k`` at once (useful
+  with enumeration oracles, where one query yields many candidates and
+  the warm-started LP absorbs several rows per re-solve).
+
+A strategy also declares :attr:`~RefinementStrategy.wants_extremal`, so
+the SMT oracle knows whether to run the optimising query or settle for
+an arbitrary model.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.synthesis.oracles import WitnessGroup
+
+#: Registry names of the built-in strategies.
+STRATEGY_NAMES = ("extremal", "arbitrary", "random")
+
+
+def _group_objective(group: WitnessGroup):
+    """Sort key: the most violating objective value of the group."""
+    values = [
+        witness.objective_value
+        for witness in group
+        if witness.objective_value is not None
+    ]
+    if not values:
+        return (1, Fraction(0))
+    return (0, min(values))
+
+
+class RefinementStrategy:
+    """Selection policy over the oracle's candidate witness groups."""
+
+    #: Stable registry name (the ``cex_strategy`` config value).
+    name: str = ""
+    #: Whether the oracle should optimise (extremal witnesses) or not.
+    wants_extremal: bool = False
+
+    def __init__(self, batch: int = 1):
+        if batch < 1:
+            raise ValueError("batch must be >= 1, got %r" % (batch,))
+        self.batch = batch
+
+    def select(self, groups: Sequence[WitnessGroup]) -> List[WitnessGroup]:
+        """Pick up to :attr:`batch` groups to refine with this iteration."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<%s batch=%d>" % (type(self).__name__, self.batch)
+
+
+class ExtremalStrategy(RefinementStrategy):
+    """The paper's choice: refine with the most extremal counterexamples."""
+
+    name = "extremal"
+    wants_extremal = True
+
+    def select(self, groups: Sequence[WitnessGroup]) -> List[WitnessGroup]:
+        ordered = sorted(groups, key=_group_objective)
+        return ordered[: self.batch]
+
+
+class ArbitraryStrategy(RefinementStrategy):
+    """First-found counterexamples, no optimisation (the ablation baseline)."""
+
+    name = "arbitrary"
+    wants_extremal = False
+
+    def select(self, groups: Sequence[WitnessGroup]) -> List[WitnessGroup]:
+        return list(groups[: self.batch])
+
+
+class RandomStrategy(RefinementStrategy):
+    """Seeded-random selection among the violating candidates."""
+
+    name = "random"
+    wants_extremal = False
+
+    def __init__(self, batch: int = 1, seed: int = 0):
+        super().__init__(batch)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def select(self, groups: Sequence[WitnessGroup]) -> List[WitnessGroup]:
+        if len(groups) <= self.batch:
+            return list(groups)
+        return self._rng.sample(list(groups), self.batch)
+
+
+def make_strategy(name, batch: int = 1, seed: int = 0) -> RefinementStrategy:
+    """Resolve a strategy name (or pass an instance through unchanged)."""
+    if isinstance(name, RefinementStrategy):
+        return name
+    if name == "extremal":
+        return ExtremalStrategy(batch)
+    if name == "arbitrary":
+        return ArbitraryStrategy(batch)
+    if name == "random":
+        return RandomStrategy(batch, seed=seed)
+    raise ValueError(
+        "unknown counterexample strategy %r (available: %s)"
+        % (name, ", ".join(STRATEGY_NAMES))
+    )

@@ -3,8 +3,9 @@
 
 import pytest
 
-from repro.core.monodim import avoid_space, synthesize_monodim
+from repro.core.monodim import synthesize_monodim
 from repro.core.multidim import synthesize_multidim
+from repro.synthesis.oracles import avoid_space
 from repro.core.termination import TerminationProver
 from repro.linalg.vector import Vector
 from repro.smt.solver import SmtSolver

@@ -5,14 +5,22 @@ import subprocess
 import sys
 
 from repro.reporting.perf import (
+    CEGIS_ABLATION_VARIANTS,
     SCHEMA_VERSION,
+    bench_cegis_ablation,
     bench_kernel_rows,
     bench_projection,
     bench_simplex,
     run_suite,
 )
 
-EXPECTED_SUITES = {"kernel_rows", "simplex", "projection", "table1_wtc"}
+EXPECTED_SUITES = {
+    "kernel_rows",
+    "simplex",
+    "projection",
+    "table1_wtc",
+    "cegis_ablation",
+}
 
 
 class TestSuites:
@@ -48,6 +56,21 @@ class TestSuites:
             if suite["suite"] == "table1_wtc"
         )
         assert wtc["proved"] > 0
+
+    def test_cegis_ablation_variants_agree_on_verdicts(self):
+        report = bench_cegis_ablation(quick=True)
+        assert report["suite"] == "cegis_ablation"
+        variants = report["variants"]
+        assert {(v["oracle"], v["strategy"]) for v in variants} == set(
+            CEGIS_ABLATION_VARIANTS
+        )
+        # The strategies change the cost profile, never the verdicts on
+        # this slice — every variant proves the same programs.
+        assert len({v["proved"] for v in variants}) == 1
+        for variant in variants:
+            assert variant["iterations"] > 0
+            assert variant["lp_rows"] > 0
+            assert variant["oracle_queries"] >= variant["iterations"]
 
     def test_deterministic_counters_across_runs(self):
         # Wall-clock varies; the seeded workload counters must not.

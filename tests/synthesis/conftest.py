@@ -1,0 +1,10 @@
+"""Reuse the core fixtures (paper examples) for the synthesis-engine tests."""
+
+from tests.core.conftest import (  # noqa: F401
+    countdown_automaton,
+    example1_automaton,
+    example3_automaton,
+    example4_automaton,
+    lexicographic_automaton,
+    stutter_automaton,
+)

@@ -1,0 +1,185 @@
+"""Oracle/strategy selection round-trips: AnalysisConfig JSON and the CLI."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import (
+    AnalysisConfig,
+    CEX_ORACLES,
+    CEX_STRATEGIES,
+    ConfigError,
+    available_provers,
+    prover_capabilities,
+)
+from repro.cli import _config_from_arguments, build_parser
+
+ALL_COMBOS = list(itertools.product(CEX_ORACLES, CEX_STRATEGIES))
+
+
+class TestConfigValidation:
+    def test_defaults_replay_the_paper(self):
+        config = AnalysisConfig()
+        assert config.cex_oracle == "smt"
+        assert config.cex_strategy == "extremal"
+        assert config.cex_batch == 1
+        assert config.oracle_seed == 0
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ConfigError, match="cex_oracle"):
+            AnalysisConfig(cex_oracle="crystal-ball")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="cex_strategy"):
+            AnalysisConfig(cex_strategy="greedy")
+
+    def test_batch_must_be_positive_int(self):
+        with pytest.raises(ConfigError, match="cex_batch"):
+            AnalysisConfig(cex_batch=0)
+        with pytest.raises(ConfigError, match="cex_batch"):
+            AnalysisConfig(cex_batch=True)
+
+    def test_seed_must_be_nonnegative(self):
+        with pytest.raises(ConfigError, match="oracle_seed"):
+            AnalysisConfig(oracle_seed=-1)
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("oracle,strategy", ALL_COMBOS)
+    def test_every_combination_round_trips_exactly(self, oracle, strategy):
+        config = AnalysisConfig(
+            cex_oracle=oracle,
+            cex_strategy=strategy,
+            cex_batch=3,
+            oracle_seed=17,
+        )
+        assert (
+            AnalysisConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+            == config
+        )
+        assert AnalysisConfig.from_json(config.to_json()) == config
+
+
+class TestCliRoundTrip:
+    @pytest.mark.parametrize("oracle,strategy", ALL_COMBOS)
+    def test_prove_flags_reach_the_config(self, oracle, strategy):
+        parser = build_parser()
+        arguments = parser.parse_args(
+            [
+                "prove",
+                "program.imp",
+                "--oracle",
+                oracle,
+                "--cex-strategy",
+                strategy,
+                "--cex-batch",
+                "2",
+                "--oracle-seed",
+                "9",
+            ]
+        )
+        config = _config_from_arguments(arguments)
+        assert config.cex_oracle == oracle
+        assert config.cex_strategy == strategy
+        assert config.cex_batch == 2
+        assert config.oracle_seed == 9
+
+    def test_config_file_baseline_with_flag_override(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(
+            AnalysisConfig(cex_oracle="dd", cex_strategy="random").to_json()
+        )
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["prove", "p.imp", "--config", str(path), "--cex-strategy", "arbitrary"]
+        )
+        config = _config_from_arguments(arguments)
+        assert config.cex_oracle == "dd"  # from the file
+        assert config.cex_strategy == "arbitrary"  # the flag wins
+
+    def test_invalid_choice_rejected_by_argparse(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["prove", "p.imp", "--oracle", "magic"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestCapabilityFlags:
+    def test_termite_advertises_swappable_oracles(self):
+        capabilities = prover_capabilities()
+        assert "cex-oracles" in capabilities["termite"]
+        assert "cex-strategies" in capabilities["termite"]
+        assert "events" in capabilities["termite"]
+
+    def test_capability_filter(self):
+        assert available_provers("cex-oracles") == ["termite"]
+        everyone = available_provers("certificates")
+        assert set(everyone) == set(available_provers())
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(KeyError, match="unknown capability"):
+            available_provers("telepathy")
+
+    def test_baselines_ignore_but_do_not_advertise(self):
+        capabilities = prover_capabilities()
+        for name in available_provers():
+            if name == "termite":
+                continue
+            assert "cex-oracles" not in capabilities[name]
+
+
+class TestPipelineEngineObservers:
+    def test_engine_events_flow_through_analysis(self):
+        from repro.api import Analysis
+
+        source = "var x; while (x > 0) { x = x - 1; }"
+        events = []
+        analysis = Analysis(source, name="countdown")
+        analysis.add_engine_observer(events.append)
+        result = analysis.run("termite")
+        assert result.proved
+        kinds = {event.kind for event in events}
+        assert {"component_start", "iteration", "component_end"} <= kinds
+
+    def test_no_events_without_capability(self):
+        from repro.api import Analysis
+
+        source = "var x; while (x > 0) { x = x - 1; }"
+        events = []
+        analysis = Analysis(source, name="countdown")
+        analysis.add_engine_observer(events.append)
+        analysis.run("heuristic")
+        assert events == []
+
+
+class TestDeprecatedAliases:
+    def test_core_avoid_space_warns_and_delegates(self):
+        from repro.core.monodim import avoid_space as deprecated
+        from repro.core.termination import TerminationProver
+        from repro.frontend.lowering import compile_program
+        from repro.synthesis.oracles import avoid_space
+
+        automaton = compile_program(
+            "var x; while (x > 0) { x = x - 1; }", "countdown"
+        )
+        problem = TerminationProver(automaton).build_problem()
+        with pytest.warns(DeprecationWarning, match="repro.synthesis.oracles"):
+            formula = deprecated(problem, [])
+        assert str(formula) == str(avoid_space(problem, []))
+
+    def test_eager_generator_helpers_warn_and_delegate(self):
+        from repro.baselines.dnf import expand_disjuncts
+        from repro.baselines.eager_generators import _disjunct_generators
+        from repro.core.termination import TerminationProver
+        from repro.frontend.lowering import compile_program
+        from repro.synthesis.oracles import disjunct_generators
+
+        automaton = compile_program(
+            "var x; while (x > 0) { x = x - 1; }", "countdown"
+        )
+        problem = TerminationProver(automaton).build_problem()
+        disjunct = expand_disjuncts(problem)[0]
+        with pytest.warns(DeprecationWarning, match="repro.synthesis.oracles"):
+            generators = _disjunct_generators(problem, disjunct)
+        assert generators == disjunct_generators(problem, disjunct)

@@ -1,0 +1,81 @@
+"""Strategy selection policies and batching."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.synthesis.oracles import Witness
+from repro.synthesis.strategies import (
+    ArbitraryStrategy,
+    ExtremalStrategy,
+    RandomStrategy,
+    make_strategy,
+)
+from repro.linalg.vector import Vector
+
+
+def group(value):
+    return [
+        Witness(
+            vector=Vector([Fraction(value)]),
+            kind="vertex",
+            objective_value=Fraction(value),
+        )
+    ]
+
+
+GROUPS = [group(-1), group(-5), group(-3), group(0)]
+
+
+class TestExtremal:
+    def test_picks_most_violating_first(self):
+        chosen = ExtremalStrategy(batch=2).select(GROUPS)
+        values = [g[0].objective_value for g in chosen]
+        assert values == [Fraction(-5), Fraction(-3)]
+
+    def test_declares_extremal_intent(self):
+        assert ExtremalStrategy().wants_extremal
+        assert not ArbitraryStrategy().wants_extremal
+        assert not RandomStrategy().wants_extremal
+
+    def test_groups_without_value_sort_last(self):
+        anonymous = [Witness(vector=Vector([Fraction(0)]), kind="vertex")]
+        chosen = ExtremalStrategy(batch=1).select([anonymous, group(-2)])
+        assert chosen[0][0].objective_value == Fraction(-2)
+
+
+class TestArbitrary:
+    def test_takes_first_in_order(self):
+        chosen = ArbitraryStrategy(batch=2).select(GROUPS)
+        values = [g[0].objective_value for g in chosen]
+        assert values == [Fraction(-1), Fraction(-5)]
+
+
+class TestRandom:
+    def test_seeded_and_reproducible(self):
+        first = RandomStrategy(batch=2, seed=11).select(GROUPS)
+        second = RandomStrategy(batch=2, seed=11).select(GROUPS)
+        assert [g[0].objective_value for g in first] == [
+            g[0].objective_value for g in second
+        ]
+
+    def test_small_pool_returned_whole(self):
+        assert RandomStrategy(batch=5, seed=0).select(GROUPS) == list(GROUPS)
+
+
+class TestFactory:
+    def test_batch_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            make_strategy("extremal", batch=0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown counterexample strategy"):
+            make_strategy("greedy")
+
+    def test_instances_pass_through(self):
+        instance = RandomStrategy(batch=3, seed=5)
+        assert make_strategy(instance) is instance
+
+    def test_names_resolve(self):
+        for name in ("extremal", "arbitrary", "random"):
+            assert make_strategy(name, batch=2).name == name
