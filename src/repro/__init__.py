@@ -34,9 +34,12 @@ The historical entry points (:func:`prove_termination`,
 from repro.api import (
     Analysis,
     AnalysisConfig,
+    AnalysisRequest,
     AnalysisResult,
     AnalysisStatus,
     ConfigError,
+    Provenance,
+    RequestError,
     analyze,
     analyze_many,
     available_provers,
@@ -58,9 +61,12 @@ __all__ = [
     # unified analysis API
     "Analysis",
     "AnalysisConfig",
+    "AnalysisRequest",
     "AnalysisResult",
     "AnalysisStatus",
     "ConfigError",
+    "Provenance",
+    "RequestError",
     "analyze",
     "analyze_many",
     "available_provers",

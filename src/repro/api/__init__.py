@@ -44,9 +44,16 @@ from repro.api.registry import (
     prover_summaries,
     register_prover,
 )
+from repro.api.request import (
+    AnalysisRequest,
+    RequestError,
+    canonical_program_text,
+)
 from repro.api.result import (
     AnalysisResult,
     AnalysisStatus,
+    CACHE_DISPOSITIONS,
+    Provenance,
     StageTiming,
     ranking_from_dict,
     ranking_to_dict,
@@ -80,8 +87,13 @@ __all__ = [
     "available_provers",
     "prover_summaries",
     "prover_capabilities",
+    "AnalysisRequest",
+    "RequestError",
+    "canonical_program_text",
     "AnalysisResult",
     "AnalysisStatus",
+    "CACHE_DISPOSITIONS",
+    "Provenance",
     "StageTiming",
     "ranking_to_dict",
     "ranking_from_dict",

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 from repro.api.config import AnalysisConfig
 from repro.api.registry import canonical_name, get_prover
+from repro.api.request import AnalysisRequest
 from repro.api.result import AnalysisResult, AnalysisStatus, StageTiming
 from repro.core.problem import TerminationProblem
 from repro.core.relevance import restrict_to_guarded_states
@@ -347,14 +348,34 @@ def results_from_task(
 
 
 def analyze(
-    program: ProgramLike,
+    program: Union[ProgramLike, AnalysisRequest],
     tool: str = "termite",
     config: Optional[AnalysisConfig] = None,
     name: Optional[str] = None,
     observers: Sequence[StageObserver] = (),
     engine_observers: Sequence[EngineObserver] = (),
 ) -> AnalysisResult:
-    """Analyse one program with one tool — the canonical entry point."""
+    """Analyse one program with one tool — the canonical entry point.
+
+    *program* may be an :class:`~repro.api.request.AnalysisRequest`,
+    which already carries its tool, config and name — the same request
+    object the ``repro prove`` command line and the JSON-RPC service
+    construct.  Passing *tool*/*config*/*name* alongside a request is an
+    error: the request is the single source of truth.
+    """
+    if isinstance(program, AnalysisRequest):
+        if tool != "termite" or config is not None or name is not None:
+            raise TypeError(
+                "analyze(AnalysisRequest) takes no separate tool/config/name; "
+                "the request already carries them"
+            )
+        request = program
+        program, tool, config, name = (
+            request.program,
+            request.tool,
+            request.config,
+            request.name,
+        )
     return Analysis(
         program,
         config=config,
@@ -384,6 +405,36 @@ def analyze_many(
     # the api in the layering (its runner is built on these entry points).
     from repro.reporting.parallel import run_tasks
 
+    programs = list(programs)
+    if any(isinstance(program, AnalysisRequest) for program in programs):
+        if not all(isinstance(program, AnalysisRequest) for program in programs):
+            raise TypeError(
+                "analyze_many: mix of AnalysisRequest and bare programs; "
+                "pass one kind"
+            )
+        if tools != ("termite",) or config is not None or names is not None:
+            raise TypeError(
+                "analyze_many(requests) takes no separate tools/config/names; "
+                "each request already carries them"
+            )
+        thunks = [
+            functools.partial(
+                run_tools_on_program,
+                request.program,
+                [request.tool],
+                request.config,
+                request.name,
+            )
+            for request in programs
+        ]
+        tasks = run_tasks(thunks, jobs=jobs, timeout=timeout)
+        results: List[AnalysisResult] = []
+        for task, request in zip(tasks, programs):
+            results.extend(
+                results_from_task(task, [request.tool], request.name, timeout)
+            )
+        return results
+
     tools = [canonical_name(tool) for tool in tools]
     if names is None:
         names = [_program_name(program, None) for program in programs]
@@ -392,7 +443,7 @@ def analyze_many(
         for program, name in zip(programs, names)
     ]
     tasks = run_tasks(thunks, jobs=jobs, timeout=timeout)
-    results: List[AnalysisResult] = []
+    results = []
     for task, name in zip(tasks, names):
         results.extend(results_from_task(task, tools, name, timeout))
     return results

@@ -1,0 +1,182 @@
+"""The one request schema of the analysis front doors.
+
+:class:`AnalysisRequest` bundles everything one analysis needs — the
+program source, the prover, the :class:`~repro.api.config.AnalysisConfig`
+and an optional caller-chosen request id — into a single frozen,
+validated, exactly JSON-round-trippable value.  The library entry points
+(:func:`repro.api.analyze` / :func:`repro.api.analyze_many`), the
+``repro prove`` command line and the JSON-RPC service of
+:mod:`repro.service` all construct and consume *this* object, so there is
+exactly one request schema across every front door.
+
+The request is also the unit of **content addressing**:
+:meth:`AnalysisRequest.cache_key` hashes the canonicalised program text
+together with the tool name and the config's canonical JSON, which is the
+key of the service's checker-revalidated result cache
+(:mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.api.config import AnalysisConfig, ConfigError
+
+
+class RequestError(ValueError):
+    """An :class:`AnalysisRequest` field failed validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(message)
+
+
+def canonical_program_text(source: str) -> str:
+    """The canonical form of a program used for content addressing.
+
+    Line endings are normalised to ``\\n``, trailing whitespace is
+    stripped per line, and leading/trailing blank lines are dropped —
+    so two sources that compile identically token-for-token under the
+    mini-language lexer share one cache entry.  Interior indentation is
+    preserved (it is insignificant to the lexer but keeping it is free
+    and makes keys auditable by eye).
+    """
+    lines = source.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    canonical = [line.rstrip() for line in lines]
+    while canonical and not canonical[0]:
+        canonical.pop(0)
+    while canonical and not canonical[-1]:
+        canonical.pop()
+    return "\n".join(canonical)
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One analysis to perform: program + tool + config (+ optional id).
+
+    ``program`` is mini-language source text (the wire format of the
+    service; prepared automata stay a library-only convenience of
+    :class:`~repro.api.pipeline.Analysis`).  ``tool`` is canonicalised
+    through the prover registry at construction, so a request never
+    carries an alias spelling.  ``request_id`` is an opaque caller-chosen
+    correlation id; it does not affect the cache key.
+    """
+
+    program: str
+    tool: str = "termite"
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    name: str = "program"
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.api.registry import canonical_name
+
+        _require(
+            isinstance(self.program, str) and bool(self.program.strip()),
+            "program must be non-empty source text, got %r" % (self.program,),
+        )
+        _require(
+            isinstance(self.tool, str), "tool must be a str, got %r" % (self.tool,)
+        )
+        try:
+            object.__setattr__(
+                self, "tool", canonical_name(self.tool.strip().lower())
+            )
+        except KeyError as error:
+            raise RequestError(error.args[0]) from None
+        _require(
+            isinstance(self.config, AnalysisConfig),
+            "config must be an AnalysisConfig, got %r" % type(self.config).__name__,
+        )
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            "name must be a non-empty str, got %r" % (self.name,),
+        )
+        _require(
+            self.request_id is None or isinstance(self.request_id, str),
+            "request_id must be None or a str, got %r" % (self.request_id,),
+        )
+
+    # -- content addressing ------------------------------------------------------
+
+    def canonical_program(self) -> str:
+        """The canonicalised program text (see :func:`canonical_program_text`)."""
+        return canonical_program_text(self.program)
+
+    def cache_key(self) -> str:
+        """The content address: SHA-256 over (canonical program, tool, config).
+
+        The config participates via its canonical (sorted-keys) JSON, so
+        two requests agree on the key exactly when the analysis they ask
+        for is identical.  ``name`` and ``request_id`` are presentation
+        metadata and deliberately do not participate.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.canonical_program().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.tool.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.config.to_json().encode("utf-8"))
+        return digest.hexdigest()
+
+    def replace(self, **changes) -> "AnalysisRequest":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON dictionary; inverse of :meth:`from_dict`."""
+        return {
+            "program": self.program,
+            "tool": self.tool,
+            "config": self.config.to_dict(),
+            "name": self.name,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a request written by a newer schema
+        must not be silently misread); missing keys take their defaults.
+        """
+        if not isinstance(data, dict):
+            raise RequestError(
+                "request must be a dict, got %r" % type(data).__name__
+            )
+        known = {"program", "tool", "config", "name", "request_id"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RequestError("unknown request keys: %s" % ", ".join(unknown))
+        if "program" not in data:
+            raise RequestError("request is missing the 'program' key")
+        kwargs = {key: data[key] for key in known & set(data)}
+        config = kwargs.get("config")
+        if config is not None and not isinstance(config, AnalysisConfig):
+            try:
+                kwargs["config"] = AnalysisConfig.from_dict(config)
+            except ConfigError as error:
+                raise RequestError("invalid config: %s" % error) from None
+        elif config is None:
+            kwargs.pop("config", None)
+        if kwargs.get("name") is None:
+            kwargs.pop("name", None)
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisRequest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise RequestError("invalid request JSON: %s" % error) from None
+        return cls.from_dict(data)

@@ -59,6 +59,61 @@ class StageTiming:
         return cls(name=data["name"], seconds=data["seconds"])
 
 
+#: Valid values of :attr:`Provenance.cache`.
+CACHE_DISPOSITIONS = ("hit", "miss", "bypass")
+
+
+@dataclass
+class Provenance:
+    """How a result was served, stamped by the analysis service.
+
+    Results obtained through direct library calls carry no provenance
+    (``result.provenance is None``); the service front door of
+    :mod:`repro.service` stamps every response it serves:
+
+    * ``cache`` — ``"hit"`` (served from the content-addressed cache),
+      ``"miss"`` (computed, then stored) or ``"bypass"`` (computed with
+      caching disabled);
+    * ``key`` — the content address (:meth:`repro.api.request.
+      AnalysisRequest.cache_key`) of the request;
+    * ``revalidated`` — ``True`` iff the independent certificate checker
+      re-validated the served certificate (always checked before a proved
+      cache hit is served; vacuously true for proved results with no
+      proof obligations);
+    * ``worker_pid`` — the pid of the process that produced the payload
+      (a pool worker on a miss, the serving process on a hit).
+    """
+
+    cache: str = "miss"
+    key: str = ""
+    revalidated: bool = False
+    worker_pid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cache not in CACHE_DISPOSITIONS:
+            raise ValueError(
+                "cache must be one of %s, got %r"
+                % (", ".join(CACHE_DISPOSITIONS), self.cache)
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "cache": self.cache,
+            "key": self.key,
+            "revalidated": self.revalidated,
+            "worker_pid": self.worker_pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Provenance":
+        return cls(
+            cache=data.get("cache", "miss"),
+            key=data.get("key", ""),
+            revalidated=data.get("revalidated", False),
+            worker_pid=data.get("worker_pid", 0),
+        )
+
+
 # -- exact serialisation of ranking functions --------------------------------------
 
 
@@ -131,6 +186,7 @@ class AnalysisResult:
     error: Optional[str] = None
     timed_out: bool = False
     details: Dict[str, object] = field(default_factory=dict)
+    provenance: Optional[Provenance] = None
 
     def __post_init__(self) -> None:
         # Accept plain strings for convenience; store the enum.
@@ -184,11 +240,15 @@ class AnalysisResult:
             "error": self.error,
             "timed_out": self.timed_out,
             "details": dict(self.details),
+            "provenance": (
+                self.provenance.to_dict() if self.provenance is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "AnalysisResult":
         ranking = data.get("ranking")
+        provenance = data.get("provenance")
         return cls(
             tool=data.get("tool", "termite"),
             program=data.get("program", ""),
@@ -205,6 +265,9 @@ class AnalysisResult:
             error=data.get("error"),
             timed_out=data.get("timed_out", False),
             details=dict(data.get("details", {})),
+            provenance=(
+                Provenance.from_dict(provenance) if provenance is not None else None
+            ),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -22,10 +22,9 @@ generic :func:`repro.synthesis.engine.eliminate_lexicographic`.
 from __future__ import annotations
 
 import time
-import warnings
 from typing import List, Optional, Tuple
 
-from repro.baselines.dnf import TransitionDisjunct, expand_disjuncts
+from repro.baselines.dnf import expand_disjuncts
 from repro.baselines.result import BaselineResult
 from repro.core.lp_instance import LpStatistics, RankingLp
 from repro.core.problem import TerminationProblem
@@ -33,11 +32,7 @@ from repro.core.ranking import LexicographicRankingFunction
 from repro.linalg.matrix import in_span
 from repro.linalg.vector import Vector
 from repro.synthesis.engine import eliminate_lexicographic
-from repro.synthesis.oracles import (
-    difference_map,
-    disjunct_generators,
-    one_offsets,
-)
+from repro.synthesis.oracles import disjunct_generators
 
 
 def eager_generator_synthesis(
@@ -97,37 +92,3 @@ def eager_generator_synthesis(
             "dimension": len(components),
         },
     )
-
-
-# ---------------------------------------------------------------------------
-# Deprecated aliases of the helpers that moved to repro.synthesis.oracles
-# ---------------------------------------------------------------------------
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        "repro.baselines.eager_generators.%s moved to "
-        "repro.synthesis.oracles.%s; this alias will be removed" % (old, new),
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def _difference_map(problem: TerminationProblem, disjunct: TransitionDisjunct):
-    """Deprecated alias of :func:`repro.synthesis.oracles.difference_map`."""
-    _deprecated("_difference_map", "difference_map")
-    return difference_map(problem, disjunct)
-
-
-def _one_offsets(problem: TerminationProblem, disjunct: TransitionDisjunct):
-    """Deprecated alias of :func:`repro.synthesis.oracles.one_offsets`."""
-    _deprecated("_one_offsets", "one_offsets")
-    return one_offsets(problem, disjunct)
-
-
-def _disjunct_generators(
-    problem: TerminationProblem, disjunct: TransitionDisjunct
-):
-    """Deprecated alias of :func:`repro.synthesis.oracles.disjunct_generators`."""
-    _deprecated("_disjunct_generators", "disjunct_generators")
-    return disjunct_generators(problem, disjunct)

@@ -50,10 +50,12 @@ import time
 
 from repro.api import (
     AnalysisConfig,
+    AnalysisRequest,
     CEX_ORACLES,
     CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
+    RequestError,
     SMT_MODES,
     analyze,
     canonical_name,
@@ -190,8 +192,17 @@ def command_prove(arguments: argparse.Namespace) -> int:
     name = arguments.name or (
         "stdin" if arguments.file == "-" else arguments.file
     )
+    # The same request object the JSON-RPC service constructs: there is
+    # exactly one request schema across every front door.
     try:
-        result = analyze(source, tool=tool, config=config, name=name)
+        request = AnalysisRequest(
+            program=source, tool=tool, config=config, name=name
+        )
+    except RequestError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    try:
+        result = analyze(request)
     except Exception as error:  # surface a parse/analysis failure as exit 1
         print("error: %s: %s" % (type(error).__name__, error), file=sys.stderr)
         return 1
@@ -516,16 +527,149 @@ def command_fuzz(arguments: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+
+
+def command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServiceServer, serve_stdio
+
+    if arguments.stdio == (arguments.port is not None):
+        print("error: give exactly one of --stdio or --port", file=sys.stderr)
+        return 1
+    common = dict(
+        cache=not arguments.no_cache,
+        cache_entries=arguments.cache_entries,
+        revalidate=not arguments.no_revalidate,
+        max_program_bytes=arguments.max_program_bytes,
+    )
+    if arguments.stdio:
+        return serve_stdio(**common)
+
+    server = ServiceServer(
+        host=arguments.host,
+        port=arguments.port,
+        jobs=arguments.jobs,
+        timeout=arguments.timeout,
+        **common,
+    )
+
+    async def _serve() -> None:
+        port = await server.start()
+        # Parsed by clients started with --port 0 (tests, CI smoke).
+        print("listening on %s:%d" % (arguments.host, port), flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.service.cache import DEFAULT_MAX_ENTRIES
+    from repro.service.protocol import DEFAULT_MAX_PROGRAM_BYTES
+
+    door = parser.add_argument_group("front door (give exactly one)")
+    door.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak newline-delimited JSON-RPC over stdin/stdout "
+        "(inline, single process)",
+    )
+    door.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="listen on TCP port N (0 picks a free port, printed as "
+        "'listening on HOST:PORT') and dispatch onto the pre-forked "
+        "worker pool",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the socket server (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="resident crash-isolated worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock budget; an over-budget request gets "
+        "a JSON-RPC timeout error and its worker is respawned "
+        "(default: none)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache "
+        "(every response carries provenance.cache = 'bypass')",
+    )
+    parser.add_argument(
+        "--no-revalidate",
+        action="store_true",
+        help="serve cache hits without the independent checker pass "
+        "(NOT recommended; the revalidation guarantee is the point)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=DEFAULT_MAX_ENTRIES,
+        metavar="N",
+        help="LRU bound on resident cache entries (default: %d)"
+        % DEFAULT_MAX_ENTRIES,
+    )
+    parser.add_argument(
+        "--max-program-bytes",
+        type=int,
+        default=DEFAULT_MAX_PROGRAM_BYTES,
+        metavar="B",
+        help="reject programs larger than B bytes with a "
+        "PROGRAM_TOO_LARGE error (default: %d)" % DEFAULT_MAX_PROGRAM_BYTES,
+    )
+
+
+# ---------------------------------------------------------------------------
 # repro bench (also the engine behind benchmarks/perf_kernel.py)
 # ---------------------------------------------------------------------------
 
 
 def command_bench(arguments: argparse.Namespace) -> int:
-    from repro.reporting.perf import run_suite
+    from repro.reporting.perf import merge_bench_documents, run_suite
 
     started = time.perf_counter()
-    document = run_suite(quick=arguments.quick, seed=arguments.seed)
+    try:
+        document = run_suite(
+            quick=arguments.quick,
+            seed=arguments.seed,
+            suites=arguments.suites or None,
+        )
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
+
+    # A partial run (explicit suite selection) folds into the existing
+    # trajectory file instead of clobbering the other suites' numbers.
+    if arguments.suites and arguments.json_path and arguments.json_path != "-":
+        try:
+            with open(arguments.json_path) as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = None
+        if previous is not None:
+            document = merge_bench_documents(previous, document)
 
     for suite in document["suites"]:
         extras = " ".join(
@@ -560,6 +704,17 @@ def command_bench(arguments: argparse.Namespace) -> int:
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.reporting.perf import SUITE_RUNNERS
+
+    parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="SUITE",
+        help="suites to run (default: the five-kernel set; 'service' "
+        "measures the resident front door).  A partial selection merges "
+        "into the existing JSON report instead of replacing it.  "
+        "Choices: %s" % ", ".join(sorted(SUITE_RUNNERS)),
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -970,6 +1125,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench)
     bench.set_defaults(handler=command_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident analysis service (JSON-RPC over stdio or TCP)",
+        description="Keep the analysis pipeline resident and serve "
+        "newline-delimited JSON-RPC 2.0 requests, with a "
+        "content-addressed result cache whose hits are re-validated by "
+        "the independent certificate checker before serving.  See "
+        "docs/SERVICE.md for the protocol reference.",
+    )
+    add_serve_arguments(serve)
+    serve.set_defaults(handler=command_serve)
 
     return parser
 

@@ -29,19 +29,15 @@ what makes the loop terminate even when no strict ranking function exists.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence
 
 from repro.core.lp_instance import LpStatistics
 from repro.core.problem import TerminationProblem
-from repro.linalg.vector import Vector
 from repro.linexpr.constraint import Constraint
-from repro.linexpr.formula import Formula
 from repro.smt.optimize import SearchMode
 from repro.synthesis.engine import CegisEngine, CegisObserver, MonodimResult
 from repro.synthesis.engine import MaxIterationsExceeded  # noqa: F401  (compat re-export)
 from repro.synthesis.engine import MonodimStatistics  # noqa: F401  (compat re-export)
-from repro.synthesis.oracles import avoid_space as _avoid_space
 from repro.synthesis.oracles import make_oracle
 from repro.synthesis.strategies import make_strategy
 from repro.synthesis.templates import LinearTemplate
@@ -92,16 +88,3 @@ def synthesize_monodim(
         extra_constraints=extra_constraints,
         lp_statistics=lp_statistics,
     )
-
-
-def avoid_space(
-    problem: TerminationProblem, flat_basis: Sequence[Vector]
-) -> Formula:
-    """Deprecated alias of :func:`repro.synthesis.oracles.avoid_space`."""
-    warnings.warn(
-        "repro.core.monodim.avoid_space moved to "
-        "repro.synthesis.oracles.avoid_space; this alias will be removed",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _avoid_space(problem, flat_basis)

@@ -22,6 +22,8 @@ process overhead — which keeps the unit-test path cheap.
 from __future__ import annotations
 
 import multiprocessing
+import queue
+import threading
 import time
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_connections
@@ -198,3 +200,217 @@ def run_tasks(
         active = still_active
 
     return [result for result in results if result is not None]
+
+
+# ---------------------------------------------------------------------------
+# The resident worker pool (the long-lived service variant of the engine)
+# ---------------------------------------------------------------------------
+
+
+def _default_context():
+    start_methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in start_methods else "spawn"
+    )
+
+
+def _pool_worker_loop(connection, handler: Callable[[Any], Any]) -> None:
+    """One resident worker: receive a message, run *handler*, reply.
+
+    The loop ends on the ``None`` shutdown sentinel or when the parent's
+    end of the pipe disappears.  Every reply is a :class:`TaskResult`
+    envelope, so handler exceptions come back as ``kind="error"`` instead
+    of killing the worker — the worker only dies on a genuine crash
+    (segfault, ``os._exit``, OOM kill), which the parent detects as EOF.
+    """
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        result = _run_thunk(lambda: handler(message))
+        try:
+            connection.send(result)
+        except Exception as error:  # e.g. an unpicklable return value
+            try:
+                connection.send(
+                    TaskResult(
+                        kind="error",
+                        message="result not transferable: %s" % error,
+                        elapsed=result.elapsed,
+                    )
+                )
+            except Exception:
+                break
+    try:
+        connection.close()
+    except Exception:
+        pass
+
+
+class _PooledWorker:
+    __slots__ = ("process", "connection")
+
+    def __init__(self, process, connection):
+        self.process = process
+        self.connection = connection
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+
+class WorkerPool:
+    """A fixed set of resident, crash-isolated worker processes.
+
+    Where :func:`run_tasks` forks one disposable process per task (right
+    for batch sweeps), the pool keeps ``jobs`` **pre-forked** workers
+    alive across requests — each worker pays the interpreter/import cost
+    once and keeps the prover registry, interned constraints and any
+    warm per-process state resident.  This is the execution engine of the
+    analysis service (:mod:`repro.service`).
+
+    Guarantees, per :meth:`submit`:
+
+    * **crash isolation** — a worker dying mid-request surfaces as a
+      ``kind="crash"`` envelope and the worker is respawned; the pool is
+      never poisoned;
+    * **hard timeouts** — a request over its *timeout* kills the worker
+      (``kind="timeout"``) and respawns it;
+    * **thread safety** — :meth:`submit` may be called from many threads
+      concurrently (the asyncio server does); each call exclusively
+      leases one worker for the duration of the request.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Any], Any],
+        jobs: int = 2,
+        context=None,
+    ):
+        self._handler = handler
+        self._context = context if context is not None else _default_context()
+        self._jobs = max(1, int(jobs))
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers: List[_PooledWorker] = []
+        self._idle: "queue.Queue[_PooledWorker]" = queue.Queue()
+        for _ in range(self._jobs):
+            self._idle.put(self._spawn())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn(self) -> _PooledWorker:
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_pool_worker_loop,
+            args=(child_end, self._handler),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        worker = _PooledWorker(process, parent_end)
+        with self._lock:
+            self._workers.append(worker)
+        return worker
+
+    def _retire(self, worker: _PooledWorker) -> None:
+        with self._lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+        worker.process.terminate()
+        worker.process.join(_TERMINATE_GRACE)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join()
+        try:
+            worker.connection.close()
+        except Exception:
+            pass
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def pids(self) -> List[int]:
+        """Pids of the currently live workers (for monitoring/tests)."""
+        with self._lock:
+            return [worker.pid for worker in self._workers if worker.pid]
+
+    # -- execution ---------------------------------------------------------------
+
+    def submit(self, message: Any, timeout: Optional[float] = None) -> TaskResult:
+        """Run *message* through one worker; always returns an envelope."""
+        worker = self._idle.get()
+        started = time.monotonic()
+        replace = False
+        try:
+            try:
+                worker.connection.send(message)
+            except Exception as error:
+                replace = True
+                return TaskResult(
+                    kind="crash",
+                    message="worker unreachable: %s" % error,
+                    elapsed=time.monotonic() - started,
+                )
+            try:
+                if not worker.connection.poll(timeout):
+                    replace = True
+                    return TaskResult(
+                        kind="timeout", elapsed=time.monotonic() - started
+                    )
+                result = worker.connection.recv()
+            except (EOFError, OSError):
+                replace = True
+                exit_code = worker.process.exitcode
+                return TaskResult(
+                    kind="crash",
+                    message="worker died mid-request (exit code %s)" % exit_code,
+                    elapsed=time.monotonic() - started,
+                )
+            if not isinstance(result, TaskResult):
+                result = TaskResult(kind="ok", value=result)
+            return result
+        finally:
+            if replace:
+                self._retire(worker)
+                if not self._closed:
+                    self._idle.put(self._spawn())
+            else:
+                self._idle.put(worker)
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every worker.  Idempotent; in-flight requests should be
+        drained first (the service does), stragglers are killed."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            self._workers = []
+        for worker in workers:
+            try:
+                worker.connection.send(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + _TERMINATE_GRACE
+        for worker in workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.connection.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

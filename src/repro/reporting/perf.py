@@ -39,7 +39,10 @@ JSON schema (``schema_version`` 1)::
 
 from __future__ import annotations
 
+import json
+import math
 import random
+import threading
 import time
 from fractions import Fraction
 from typing import Dict, List
@@ -322,23 +325,238 @@ def bench_cegis_ablation(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
-def run_suite(quick: bool = False, seed: int = 0) -> Dict:
-    """Run every suite and assemble the JSON document."""
-    suites = [
-        bench_kernel_rows(quick=quick, seed=seed),
-        bench_simplex(quick=quick, seed=seed),
-        bench_projection(quick=quick, seed=seed),
-        bench_table1_slice(quick=quick),
-        bench_cegis_ablation(quick=quick, seed=seed),
+def _percentile(values: List[float], fraction: float) -> float:
+    """The *fraction* percentile (nearest-rank) of *values*, seconds."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = int(math.ceil(fraction * len(ordered)))
+    return ordered[max(0, min(len(ordered), rank) - 1)]
+
+
+def _drive_service_clients(
+    host: str, port: int, batches: List[List[bytes]]
+) -> List[float]:
+    """Each batch on its own connection+thread; per-request latencies."""
+    import socket
+
+    latencies: List[float] = []
+    lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def _client(lines: List[bytes]) -> None:
+        try:
+            with socket.create_connection((host, port)) as sock:
+                stream = sock.makefile("rwb")
+                for line in lines:
+                    started = time.perf_counter()
+                    stream.write(line)
+                    stream.flush()
+                    reply = stream.readline()
+                    elapsed = time.perf_counter() - started
+                    document = json.loads(reply)
+                    if "error" in document:
+                        raise RuntimeError(
+                            "service error: %r" % (document["error"],)
+                        )
+                    with lock:
+                        latencies.append(elapsed)
+        except BaseException as error:  # surfaced to the bench below
+            with lock:
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=_client, args=(batch,)) for batch in batches
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return latencies
+
+
+def bench_service(quick: bool = False, seed: int = 0) -> Dict:
+    """Sustained throughput and p99 latency of the socket front door.
+
+    Two phases over the terminating WTC slice, under concurrent client
+    connections:
+
+    * **cold** — every request carries a distinct cache key (the same
+      programs under distinct ``oracle_seed`` configs), so each one pays
+      a full analysis in the worker pool;
+    * **warm** — the identical requests again, so every one is a cache
+      hit re-validated by the independent checker before serving.
+
+    The committed claim is ``warm_p99_seconds < cold_p99_seconds`` with
+    ``revalidation_failures == 0``: residency pays, and no cached
+    certificate is ever served unchecked.
+    """
+    from repro.api.config import AnalysisConfig
+    from repro.api.request import AnalysisRequest
+    from repro.benchsuite import get_suite
+    from repro.service import run_server_in_thread
+
+    programs = [
+        p for p in get_suite("wtc") if p.terminating and p.source is not None
+    ]
+    programs = programs[:2] if quick else programs[:4]
+    variants = 2 if quick else 4
+    clients = 2 if quick else 4
+    warm_rounds = 2 if quick else 4
+
+    def _lines(requests: List[AnalysisRequest]) -> List[bytes]:
+        return [
+            json.dumps(
+                {
+                    "jsonrpc": "2.0",
+                    "id": index,
+                    "method": "analyze",
+                    "params": request.to_dict(),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            + b"\n"
+            for index, request in enumerate(requests)
+        ]
+
+    requests = [
+        AnalysisRequest(
+            program=program.source,
+            config=AnalysisConfig(oracle_seed=seed + variant),
+            name="%s@%d" % (program.name, variant),
+        )
+        for program in programs
+        for variant in range(variants)
+    ]
+
+    server = run_server_in_thread(port=0, jobs=clients)
+    try:
+        # Cold: distinct keys round-robined over concurrent clients.
+        cold_batches: List[List[bytes]] = [[] for _ in range(clients)]
+        for index, line in enumerate(_lines(requests)):
+            cold_batches[index % clients].append(line)
+        started = time.perf_counter()
+        cold_latencies = _drive_service_clients(
+            server.host, server.port, cold_batches
+        )
+        cold_wall = time.perf_counter() - started
+
+        # Warm: every client replays the whole request list — all hits.
+        warm_batches = [
+            [line for _ in range(warm_rounds) for line in _lines(requests)]
+            for _ in range(clients)
+        ]
+        started = time.perf_counter()
+        warm_latencies = _drive_service_clients(
+            server.host, server.port, warm_batches
+        )
+        warm_wall = time.perf_counter() - started
+
+        stats = server.cache_stats()["stats"]
+    finally:
+        server.stop()
+
+    return {
+        "suite": "service",
+        "wall_seconds": round(cold_wall + warm_wall, 4),
+        "programs": len(programs),
+        "clients": clients,
+        "cold_requests": len(cold_latencies),
+        "cold_wall_seconds": round(cold_wall, 4),
+        "cold_programs_per_second": round(len(cold_latencies) / cold_wall, 2)
+        if cold_wall
+        else None,
+        "cold_p99_seconds": round(_percentile(cold_latencies, 0.99), 4),
+        "warm_requests": len(warm_latencies),
+        "warm_wall_seconds": round(warm_wall, 4),
+        "warm_programs_per_second": round(len(warm_latencies) / warm_wall, 2)
+        if warm_wall
+        else None,
+        "warm_p99_seconds": round(_percentile(warm_latencies, 0.99), 4),
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+        "revalidations": stats["revalidations"],
+        "revalidation_failures": stats["revalidation_failures"],
+    }
+
+
+#: Suite name → runner, in the canonical (cheapest-first) order.  The
+#: ``service`` suite is opt-in (``repro bench service``): it forks a
+#: worker pool and proves the WTC slice end to end, so the default
+#: ``repro bench`` run keeps the historical five-suite document.
+SUITE_RUNNERS = {
+    "kernel_rows": bench_kernel_rows,
+    "simplex": bench_simplex,
+    "projection": bench_projection,
+    "table1_wtc": lambda quick, seed: bench_table1_slice(quick=quick),
+    "cegis_ablation": bench_cegis_ablation,
+    "service": bench_service,
+}
+
+#: The suites ``repro bench`` runs when none are named.
+DEFAULT_SUITES = (
+    "kernel_rows",
+    "simplex",
+    "projection",
+    "table1_wtc",
+    "cegis_ablation",
+)
+
+
+def run_suite(quick: bool = False, seed: int = 0, suites=None) -> Dict:
+    """Run the named *suites* (default: the five-kernel set) into the
+    JSON document."""
+    names = list(suites) if suites else list(DEFAULT_SUITES)
+    unknown = [name for name in names if name not in SUITE_RUNNERS]
+    if unknown:
+        raise ValueError(
+            "unknown suite(s) %s; have: %s"
+            % (", ".join(unknown), ", ".join(SUITE_RUNNERS))
+        )
+    documents = [
+        SUITE_RUNNERS[name](quick=quick, seed=seed) for name in names
     ]
     return {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "seed": seed,
         "total_wall_seconds": round(
-            sum(suite["wall_seconds"] for suite in suites), 4
+            sum(suite["wall_seconds"] for suite in documents), 4
         ),
-        "suites": suites,
+        "suites": documents,
     }
+
+
+def merge_bench_documents(previous: Dict, current: Dict) -> Dict:
+    """Fold a partial run into an existing report document.
+
+    Suites re-measured by *current* replace their same-named entries in
+    *previous* (in place); new suites append.  Every other key of
+    *previous* — notably ``baseline`` — is preserved, while
+    ``quick``/``seed`` reflect the current run and
+    ``total_wall_seconds`` is re-summed over the merged suites.
+    """
+    merged = dict(previous)
+    suites = [dict(suite) for suite in previous.get("suites", [])]
+    positions = {suite["suite"]: index for index, suite in enumerate(suites)}
+    for suite in current.get("suites", []):
+        index = positions.get(suite["suite"])
+        if index is None:
+            positions[suite["suite"]] = len(suites)
+            suites.append(suite)
+        else:
+            suites[index] = suite
+    merged["schema_version"] = current.get(
+        "schema_version", previous.get("schema_version", SCHEMA_VERSION)
+    )
+    merged["quick"] = current.get("quick", False)
+    merged["seed"] = current.get("seed", 0)
+    merged["suites"] = suites
+    merged["total_wall_seconds"] = round(
+        sum(suite["wall_seconds"] for suite in suites), 4
+    )
+    return merged
 
 

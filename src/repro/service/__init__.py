@@ -1,0 +1,84 @@
+"""Analysis-as-a-service: the resident front door.
+
+The batch tools (``repro prove`` / ``repro table1``) pay interpreter
+start-up, registry population and constraint interning on every
+invocation.  This package keeps all of that **resident** and serves
+analyses over a tiny wire protocol instead:
+
+* :mod:`repro.service.protocol` — a JSON-RPC 2.0 layer speaking
+  newline-delimited requests, with methods ``analyze``,
+  ``analyze_batch``, ``list_provers``, ``cache_stats`` and ``shutdown``.
+  The payload schema is exactly the JSON round-trip of
+  :class:`~repro.api.request.AnalysisRequest` and
+  :class:`~repro.api.result.AnalysisResult` — there is no second wire
+  format.
+* :mod:`repro.service.cache` — a content-addressed result cache keyed on
+  (canonical program text, tool, canonical config JSON).  A **hit is
+  never served unverified**: proved results are re-validated by the
+  independent certificate checker of :mod:`repro.checking` first, and a
+  failing revalidation demotes the hit to a miss.
+* :mod:`repro.service.server` — the two front doors: ``repro serve
+  --stdio`` (inline, single-process) and ``repro serve --port N`` (an
+  asyncio socket server dispatching onto the pre-forked crash-isolated
+  :class:`~repro.reporting.parallel.WorkerPool`, with per-request
+  timeouts and graceful drain on SIGTERM).
+
+See ``docs/SERVICE.md`` for the protocol reference and deployment notes.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.protocol import (
+    ANALYSIS_ERROR,
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    JSONRPC_VERSION,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    PROGRAM_TOO_LARGE,
+    ProtocolError,
+    REQUEST_TIMEOUT,
+    SERVICE_METHODS,
+    SHUTTING_DOWN,
+    ServiceProtocol,
+    WORKER_CRASH,
+    error_response,
+    result_response,
+)
+from repro.service.server import (
+    AnalysisService,
+    InlineExecutor,
+    PoolExecutor,
+    RunningServer,
+    ServiceServer,
+    run_server_in_thread,
+    serve_stdio,
+)
+
+__all__ = [
+    "ResultCache",
+    "CacheStats",
+    "ProtocolError",
+    "ServiceProtocol",
+    "SERVICE_METHODS",
+    "JSONRPC_VERSION",
+    "error_response",
+    "result_response",
+    "PARSE_ERROR",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "INVALID_PARAMS",
+    "INTERNAL_ERROR",
+    "ANALYSIS_ERROR",
+    "REQUEST_TIMEOUT",
+    "WORKER_CRASH",
+    "PROGRAM_TOO_LARGE",
+    "SHUTTING_DOWN",
+    "AnalysisService",
+    "InlineExecutor",
+    "PoolExecutor",
+    "RunningServer",
+    "ServiceServer",
+    "serve_stdio",
+    "run_server_in_thread",
+]

@@ -1,0 +1,227 @@
+"""The content-addressed, checker-revalidated result cache.
+
+Keys are :meth:`repro.api.request.AnalysisRequest.cache_key` — SHA-256
+over the canonicalised program text, the canonical tool name and the
+config's canonical JSON — so two requests share an entry exactly when
+they ask for the identical analysis.  Values are stored as the result's
+plain-JSON dictionary (the exact round-trip of
+:class:`~repro.api.result.AnalysisResult`), which makes entries immune
+to caller-side mutation: every lookup deserialises a fresh result.
+
+**The revalidation guarantee.**  A cached ``TERMINATING`` claim is never
+served on trust.  On every hit the synthesised ranking function is
+re-verified against a freshly built termination problem by the
+independent certificate checker of :mod:`repro.checking.checker` — the
+engine that shares no code with the LP/SMT synthesis loop.  A hit whose
+certificate the checker cannot re-validate is **dropped and recounted as
+a miss** (and ``revalidation_failures`` is incremented), so a corrupted
+or stale entry can cost throughput but never soundness.  Problems are
+memoised per key, so steady-state revalidation costs one checker pass,
+not a pipeline rebuild.
+
+Unproved cached results (``unknown``) carry no certificate; they are
+served as hits with ``provenance.revalidated = False``.  Error and
+timeout results are never cached at all — failures are assumed
+transient.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.api.request import AnalysisRequest
+from repro.api.result import AnalysisResult, AnalysisStatus, Provenance
+
+#: Default bound on resident entries (LRU eviction beyond it).
+DEFAULT_MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ResultCache` (all monotonic except sizes)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    revalidations: int = 0
+    revalidation_failures: int = 0
+    entries: int = 0
+    problems_resident: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "revalidations": self.revalidations,
+            "revalidation_failures": self.revalidation_failures,
+            "entries": self.entries,
+            "problems_resident": self.problems_resident,
+        }
+
+
+@dataclass
+class _Entry:
+    result: dict
+    # The rebuilt TerminationProblem, memoised after the first
+    # revalidation so later hits pay one checker pass only.
+    problem: object = None
+    checkable: bool = field(default=False)
+
+
+class ResultCache:
+    """Thread-safe content-addressed cache of analysis results.
+
+    *revalidate* disables the checker gate (used only by tests and
+    explicitly flagged deployments; the default — re-check every proved
+    hit — is the service's headline guarantee).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        revalidate: bool = True,
+    ):
+        self.max_entries = max(1, int(max_entries))
+        self.revalidate = revalidate
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._stats = CacheStats()
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            self._stats.entries = len(self._entries)
+            self._stats.problems_resident = sum(
+                1 for entry in self._entries.values() if entry.problem is not None
+            )
+            return CacheStats(**self._stats.to_dict())
+
+    # -- the read path -----------------------------------------------------------
+
+    def lookup(self, request: AnalysisRequest) -> Optional[AnalysisResult]:
+        """The cached result for *request*, revalidated, or ``None``.
+
+        A returned result is a fresh deserialisation stamped with
+        ``provenance = Provenance("hit", key, revalidated, pid)``.
+        """
+        key = request.cache_key()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            with self._lock:
+                self._stats.misses += 1
+            return None
+
+        result = AnalysisResult.from_dict(entry.result)
+        revalidated = False
+        if self.revalidate and result.proved and result.ranking is not None:
+            ok, revalidated = self._revalidate(request, key, entry, result)
+            if not ok:
+                with self._lock:
+                    self._stats.revalidation_failures += 1
+                    self._stats.misses += 1
+                    self._entries.pop(key, None)
+                return None
+        with self._lock:
+            self._stats.hits += 1
+        result.provenance = Provenance(
+            cache="hit", key=key, revalidated=revalidated, worker_pid=os.getpid()
+        )
+        return result
+
+    def _revalidate(
+        self,
+        request: AnalysisRequest,
+        key: str,
+        entry: _Entry,
+        result: AnalysisResult,
+    ) -> Tuple[bool, bool]:
+        """Re-check *result*'s certificate; ``(serve it, was checked)``.
+
+        ``serve it`` is False when the independent checker refutes (or
+        cannot conclude on) the certificate.  ``was checked`` is True
+        when the checker actually re-validated it — a proved program with
+        no proof obligations (no cycle) is vacuously valid and also
+        reported as revalidated.
+        """
+        from repro.api.pipeline import Analysis
+        from repro.checking.checker import CertificateVerdict, check_ranking
+
+        problem = entry.problem
+        if problem is None:
+            try:
+                analysis = Analysis(
+                    request.program, config=request.config, name=request.name
+                )
+                problem = analysis.problem()
+            except Exception:
+                # The cached claim cannot even be re-anchored to a
+                # problem — refuse to serve it.
+                return False, False
+            with self._lock:
+                entry.problem = problem
+                entry.checkable = bool(problem.blocks)
+        if not entry.checkable:
+            # No cyclic behaviour: termination is vacuous, nothing to refute.
+            with self._lock:
+                self._stats.revalidations += 1
+            return True, True
+        try:
+            verdict = check_ranking(
+                problem,
+                result.ranking,
+                integer_mode=request.config.integer_mode,
+            )
+        except Exception:
+            return False, False
+        with self._lock:
+            self._stats.revalidations += 1
+        if verdict.status != CertificateVerdict.VALID:
+            return False, False
+        return True, True
+
+    # -- the write path ----------------------------------------------------------
+
+    def store(self, request: AnalysisRequest, result: AnalysisResult) -> bool:
+        """Cache *result* under *request*'s key.
+
+        Error/timeout results are rejected (returns ``False``) — they are
+        transient, and caching them would pin a flake forever.  The
+        stored copy is provenance-free; provenance describes a serving,
+        not a value.
+        """
+        if result.status in (AnalysisStatus.ERROR, AnalysisStatus.TIMEOUT):
+            return False
+        document = result.to_dict()
+        document["provenance"] = None
+        key = request.cache_key()
+        with self._lock:
+            self._entries[key] = _Entry(result=document)
+            self._entries.move_to_end(key)
+            self._stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, request: AnalysisRequest) -> bool:
+        with self._lock:
+            return request.cache_key() in self._entries

@@ -1,0 +1,484 @@
+"""The two front doors of the analysis service.
+
+``repro serve --stdio`` wires :class:`~repro.service.protocol.
+ServiceProtocol` straight to stdin/stdout with an :class:`InlineExecutor`
+— one process, no pool, ideal for editor integrations and pipes.
+
+``repro serve --port N`` runs :class:`ServiceServer`: an asyncio socket
+server accepting newline-delimited JSON-RPC over TCP.  Requests dispatch
+onto a **pre-forked** :class:`~repro.reporting.parallel.WorkerPool`
+(forked after the prover registry and interned constraints are resident,
+so a request pays the analysis alone), with per-request wall-clock
+timeouts, crash isolation with automatic respawn, and graceful drain on
+SIGTERM/SIGINT or the ``shutdown`` method: the listener closes first,
+in-flight requests finish (bounded by a grace period), then the pool is
+torn down.
+
+Both doors share one :class:`~repro.service.cache.ResultCache` front:
+the parent process answers duplicate requests from the content-addressed
+cache — after the independent checker re-validates the certificate —
+without ever touching a worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Set, Tuple
+
+from repro.api.pipeline import analyze
+from repro.api.request import AnalysisRequest
+from repro.api.result import AnalysisResult, AnalysisStatus, Provenance
+from repro.reporting.parallel import WorkerPool
+from repro.service.cache import DEFAULT_MAX_ENTRIES, ResultCache
+from repro.service.protocol import (
+    ANALYSIS_ERROR,
+    DEFAULT_MAX_PROGRAM_BYTES,
+    PARSE_ERROR,
+    REQUEST_TIMEOUT,
+    WORKER_CRASH,
+    ProtocolError,
+    ServiceProtocol,
+    error_response,
+)
+
+#: Extra seconds granted to in-flight requests during a graceful drain.
+DRAIN_GRACE_SECONDS = 30.0
+
+
+def _analyze_request_document(document: dict) -> dict:
+    """The pool worker entry point: one request document in, one
+    ``{"result": ..., "pid": ...}`` envelope out.
+
+    Must stay module-level (it crosses the fork/spawn boundary) and must
+    never raise for an analysis-level failure — those come back as
+    ``status="error"`` results; only a genuine process death is a crash.
+    """
+    try:
+        request = AnalysisRequest.from_dict(document)
+        result = analyze(request)
+    except Exception as error:
+        result = AnalysisResult(
+            tool=str(document.get("tool", "termite")),
+            program=str(document.get("name", "program")),
+            status=AnalysisStatus.ERROR,
+            error="%s: %s" % (type(error).__name__, error),
+        )
+    return {"result": result.to_dict(), "pid": os.getpid()}
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+class _CachingExecutor:
+    """The shared cache-front: lookup → compute → store → stamp."""
+
+    def __init__(self, cache: Optional[ResultCache] = None):
+        self.cache = cache
+
+    def run(self, request: AnalysisRequest) -> AnalysisResult:
+        if self.cache is not None:
+            hit = self.cache.lookup(request)
+            if hit is not None:
+                # The cached payload carries the *first* requester's
+                # program name; serve it under the current caller's.
+                hit.program = request.name
+                return hit
+        result, pid = self._compute(request)
+        disposition = "bypass"
+        if self.cache is not None:
+            self.cache.store(request, result)
+            disposition = "miss"
+        result.provenance = Provenance(
+            cache=disposition,
+            key=request.cache_key(),
+            revalidated=False,
+            worker_pid=pid,
+        )
+        return result
+
+    def _compute(self, request: AnalysisRequest) -> Tuple[AnalysisResult, int]:
+        raise NotImplementedError
+
+    def cache_stats(self) -> dict:
+        return {
+            "enabled": self.cache is not None,
+            "stats": self.cache.stats().to_dict()
+            if self.cache is not None
+            else None,
+        }
+
+    def shutdown(self) -> None:
+        pass
+
+
+class InlineExecutor(_CachingExecutor):
+    """Run analyses in the serving process (the stdio front door)."""
+
+    def _compute(self, request: AnalysisRequest) -> Tuple[AnalysisResult, int]:
+        try:
+            result = analyze(request)
+        except Exception as error:
+            raise ProtocolError(
+                ANALYSIS_ERROR,
+                "analysis failed: %s: %s" % (type(error).__name__, error),
+            ) from None
+        if result.status is AnalysisStatus.ERROR:
+            raise ProtocolError(
+                ANALYSIS_ERROR, result.error or "analysis failed"
+            )
+        return result, os.getpid()
+
+
+class PoolExecutor(_CachingExecutor):
+    """Dispatch analyses onto the pre-forked crash-isolated worker pool."""
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        timeout: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        super().__init__(cache=cache)
+        self.timeout = timeout
+        self.pool = WorkerPool(_analyze_request_document, jobs=jobs)
+
+    def _compute(self, request: AnalysisRequest) -> Tuple[AnalysisResult, int]:
+        envelope = self.pool.submit(request.to_dict(), timeout=self.timeout)
+        if envelope.kind == "timeout":
+            raise ProtocolError(
+                REQUEST_TIMEOUT,
+                "request exceeded its %.1fs budget (worker killed and "
+                "respawned)" % (self.timeout or 0.0),
+                data={"elapsed": round(envelope.elapsed, 3)},
+            )
+        if envelope.kind == "crash":
+            raise ProtocolError(
+                WORKER_CRASH,
+                "worker crashed mid-request (respawned): %s" % envelope.message,
+            )
+        if envelope.kind != "ok":
+            raise ProtocolError(ANALYSIS_ERROR, envelope.message or "analysis failed")
+        payload = envelope.value
+        result = AnalysisResult.from_dict(payload["result"])
+        if result.status is AnalysisStatus.ERROR:
+            raise ProtocolError(
+                ANALYSIS_ERROR, result.error or "analysis failed"
+            )
+        return result, payload["pid"]
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the stdio front door
+# ---------------------------------------------------------------------------
+
+
+class AnalysisService:
+    """Protocol + executor, bundled for embedding (tests, stdio, bench)."""
+
+    def __init__(
+        self,
+        executor: Optional[_CachingExecutor] = None,
+        max_program_bytes: int = DEFAULT_MAX_PROGRAM_BYTES,
+    ):
+        self.executor = executor if executor is not None else InlineExecutor(
+            cache=ResultCache()
+        )
+        self.protocol = ServiceProtocol(
+            self.executor, max_program_bytes=max_program_bytes
+        )
+
+    def handle_line(self, line) -> Optional[str]:
+        return self.protocol.handle_line(line)
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self.protocol.shutdown_requested
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+
+def serve_stdio(
+    input_stream=None,
+    output_stream=None,
+    cache: bool = True,
+    cache_entries: int = DEFAULT_MAX_ENTRIES,
+    revalidate: bool = True,
+    max_program_bytes: int = DEFAULT_MAX_PROGRAM_BYTES,
+) -> int:
+    """Speak the protocol over stdin/stdout until EOF or ``shutdown``."""
+    stdin = input_stream if input_stream is not None else sys.stdin
+    stdout = output_stream if output_stream is not None else sys.stdout
+    service = AnalysisService(
+        InlineExecutor(
+            cache=ResultCache(cache_entries, revalidate=revalidate)
+            if cache
+            else None
+        ),
+        max_program_bytes=max_program_bytes,
+    )
+    try:
+        for line in stdin:
+            response = service.handle_line(line)
+            if response is not None:
+                stdout.write(response + "\n")
+                stdout.flush()
+            if service.shutdown_requested:
+                break
+    finally:
+        service.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# the asyncio socket front door
+# ---------------------------------------------------------------------------
+
+
+class ServiceServer:
+    """Newline-delimited JSON-RPC over TCP, onto the pre-forked pool.
+
+    Lifecycle: :meth:`start` binds (``port=0`` picks a free port and
+    updates :attr:`port`), :meth:`serve_forever` runs until a stop is
+    requested — by SIGTERM/SIGINT, the protocol's ``shutdown`` method, or
+    :meth:`request_stop` — then drains: stop accepting, let in-flight
+    connections finish (bounded by a grace period), shut the pool down.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 2,
+        timeout: Optional[float] = None,
+        cache: bool = True,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        revalidate: bool = True,
+        max_program_bytes: int = DEFAULT_MAX_PROGRAM_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.max_program_bytes = int(max_program_bytes)
+        self.executor = PoolExecutor(
+            jobs=jobs,
+            timeout=timeout,
+            cache=ResultCache(cache_entries, revalidate=revalidate)
+            if cache
+            else None,
+        )
+        self.protocol = ServiceProtocol(
+            self.executor, max_program_bytes=self.max_program_bytes
+        )
+        # handle_line blocks (cache revalidation, waiting on a worker
+        # pipe); it runs on this thread pool so the event loop never does.
+        self._threads = ThreadPoolExecutor(
+            max_workers=max(4, jobs + 2), thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._connections: Set[asyncio.Task] = set()
+        # Connections with a request in flight; only these get the drain
+        # grace — idle connections (parked in readline) cancel instantly.
+        self._busy: Set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind the listener; returns (and records) the bound port."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            # A request line must hold the JSON-escaped program plus the
+            # envelope; anything beyond this is an unframeable line.
+            limit=2 * self.max_program_bytes + (1 << 16),
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def request_stop(self) -> None:
+        """Begin a graceful drain (safe to call from any thread)."""
+        if self._loop is None or self._stop is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def serve_forever(self) -> None:
+        """Serve until a stop is requested, then drain and tear down."""
+        assert self._server is not None and self._stop is not None
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        try:
+            await self._stop.wait()
+        finally:
+            for signum in installed:
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+            self._server.close()
+            await self._server.wait_closed()
+            for task in list(self._connections):
+                if task not in self._busy:
+                    task.cancel()
+            if self._connections:
+                done, pending = await asyncio.wait(
+                    list(self._connections), timeout=DRAIN_GRACE_SECONDS
+                )
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+            self.executor.shutdown()
+            self._threads.shutdown(wait=False)
+
+    async def run(self) -> int:
+        """``start()`` + ``serve_forever()`` in one call; returns the port
+        it served on (mostly for symmetry with :func:`serve_stdio`)."""
+        port = await self.start()
+        await self.serve_forever()
+        return port
+
+    # -- per-connection loop -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line exceeded the stream limit: framing is
+                    # lost, so answer once and close this connection.
+                    payload = json.dumps(
+                        error_response(
+                            None,
+                            PARSE_ERROR,
+                            "request line exceeds the stream limit",
+                        )
+                    )
+                    writer.write(payload.encode("utf-8") + b"\n")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    response = await loop.run_in_executor(
+                        self._threads, self.protocol.handle_line, line
+                    )
+                    if response is not None:
+                        writer.write(response.encode("utf-8") + b"\n")
+                        await writer.drain()
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
+                if self.protocol.shutdown_requested or self._stop.is_set():
+                    self._stop.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+                self._busy.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# embedding helper (tests and the service bench)
+# ---------------------------------------------------------------------------
+
+
+class RunningServer:
+    """A :class:`ServiceServer` running on a daemon thread."""
+
+    def __init__(self, server: ServiceServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def cache_stats(self) -> dict:
+        return self.server.executor.cache_stats()
+
+    def stop(self, join_timeout: float = 60.0) -> None:
+        self.server.request_stop()
+        self.thread.join(join_timeout)
+
+    def __enter__(self) -> "RunningServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_server_in_thread(**kwargs) -> RunningServer:
+    """Start a :class:`ServiceServer` on a background thread.
+
+    Returns once the listener is bound (so ``.port`` is final).  The
+    caller stops it with :meth:`RunningServer.stop` (or ``with``).
+    """
+    server = ServiceServer(**kwargs)
+    started = threading.Event()
+    failure = []
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def _main() -> None:
+            try:
+                await server.start()
+            finally:
+                started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(_main())
+        except Exception as error:  # surfaced via `failure` below
+            failure.append(error)
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=60.0):
+        raise RuntimeError("service did not start within 60s")
+    if failure:
+        raise RuntimeError("service failed to start: %s" % failure[0])
+    return RunningServer(server, thread)

@@ -3,7 +3,15 @@
 import json
 from fractions import Fraction
 
-from repro.api import AnalysisResult, AnalysisStatus, StageTiming, analyze
+import pytest
+
+from repro.api import (
+    AnalysisResult,
+    AnalysisStatus,
+    Provenance,
+    StageTiming,
+    analyze,
+)
 from repro.api.result import ranking_from_dict, ranking_to_dict
 from repro.core.lp_instance import LpStatistics
 from repro.core.ranking import (
@@ -106,6 +114,31 @@ class TestResultSerialisation:
         assert document["proved"] is True
         assert document["time_ms"] > 0
         assert {"instances", "average_rows", "pivots"} <= set(document["lp"])
+
+    def test_provenance_round_trips(self):
+        result = AnalysisResult(
+            tool="termite",
+            program="sample",
+            status=AnalysisStatus.TERMINATING,
+            provenance=Provenance(
+                cache="hit", key="ab" * 32, revalidated=True, worker_pid=42
+            ),
+        )
+        rebuilt = AnalysisResult.from_json(result.to_json())
+        assert rebuilt == result
+        assert rebuilt.provenance.cache == "hit"
+        assert rebuilt.provenance.revalidated is True
+        assert rebuilt.provenance.worker_pid == 42
+
+    def test_provenance_defaults_to_none(self):
+        result = analyze(COUNTDOWN)
+        assert result.provenance is None
+        assert result.to_dict()["provenance"] is None
+        assert AnalysisResult.from_json(result.to_json()).provenance is None
+
+    def test_provenance_rejects_unknown_disposition(self):
+        with pytest.raises(ValueError):
+            Provenance(cache="maybe")
 
     def test_stage_seconds_helper(self):
         result = analyze(COUNTDOWN)

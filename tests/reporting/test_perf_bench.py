@@ -4,13 +4,19 @@ import json
 import subprocess
 import sys
 
+import pytest
+
 from repro.reporting.perf import (
     CEGIS_ABLATION_VARIANTS,
+    DEFAULT_SUITES,
     SCHEMA_VERSION,
+    SUITE_RUNNERS,
     bench_cegis_ablation,
     bench_kernel_rows,
     bench_projection,
+    bench_service,
     bench_simplex,
+    merge_bench_documents,
     run_suite,
 )
 
@@ -78,6 +84,75 @@ class TestSuites:
         second = bench_simplex(quick=True, seed=5)
         assert first["pivots"] == second["pivots"]
         assert first["lps_solved"] == second["lps_solved"]
+
+
+class TestSuiteSelection:
+    def test_default_suites_match_the_committed_document(self):
+        assert set(DEFAULT_SUITES) == EXPECTED_SUITES
+        assert set(DEFAULT_SUITES) | {"service"} == set(SUITE_RUNNERS)
+
+    def test_run_suite_with_a_selection(self):
+        document = run_suite(quick=True, suites=["kernel_rows"])
+        assert [s["suite"] for s in document["suites"]] == ["kernel_rows"]
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(quick=True, suites=["kernel_rows", "nope"])
+
+    def test_merge_replaces_and_preserves(self):
+        previous = {
+            "schema_version": SCHEMA_VERSION,
+            "quick": False,
+            "seed": 0,
+            "total_wall_seconds": 3.0,
+            "suites": [
+                {"suite": "kernel_rows", "wall_seconds": 1.0, "operations": 9},
+                {"suite": "simplex", "wall_seconds": 2.0},
+            ],
+            "baseline": {"kept": True},
+        }
+        current = {
+            "schema_version": SCHEMA_VERSION,
+            "quick": True,
+            "seed": 7,
+            "total_wall_seconds": 0.5,
+            "suites": [
+                {"suite": "simplex", "wall_seconds": 0.25},
+                {"suite": "service", "wall_seconds": 0.25},
+            ],
+        }
+        merged = merge_bench_documents(previous, current)
+        assert [s["suite"] for s in merged["suites"]] == [
+            "kernel_rows",
+            "simplex",
+            "service",
+        ]
+        assert merged["suites"][1]["wall_seconds"] == 0.25
+        assert merged["suites"][0]["operations"] == 9
+        assert merged["baseline"] == {"kept": True}
+        assert merged["quick"] is True and merged["seed"] == 7
+        assert merged["total_wall_seconds"] == 1.5
+        # The inputs are not mutated.
+        assert previous["suites"][1]["wall_seconds"] == 2.0
+
+
+class TestServiceSuite:
+    def test_quick_service_bench_holds_the_headline_claims(self):
+        report = bench_service(quick=True)
+        assert report["suite"] == "service"
+        assert report["cold_requests"] > 0 and report["warm_requests"] > 0
+        # Every cold request misses, every warm request is a served hit.
+        assert report["cache_misses"] == report["cold_requests"]
+        assert report["cache_hits"] == report["warm_requests"]
+        # The committed acceptance claims: a warm (revalidated) hit is
+        # strictly cheaper than a cold analysis, and no cached
+        # certificate ever failed its independent re-check.
+        assert report["warm_p99_seconds"] < report["cold_p99_seconds"]
+        assert report["revalidations"] == report["warm_requests"]
+        assert report["revalidation_failures"] == 0
+        assert report["warm_programs_per_second"] > (
+            report["cold_programs_per_second"]
+        )
 
 
 class TestCommandLine:

@@ -1,0 +1,300 @@
+"""The socket front door, the worker pool and the stdio loop.
+
+The error-path contract under test: a timeout, a worker crash or an
+oversized line always comes back as a JSON-RPC *error response* — never a
+dropped connection — and the follow-up request on the same server
+succeeds, i.e. no failure mode poisons a worker.
+"""
+
+import io
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.reporting.parallel import WorkerPool
+from repro.service import (
+    PARSE_ERROR,
+    REQUEST_TIMEOUT,
+    WORKER_CRASH,
+    run_server_in_thread,
+    serve_stdio,
+)
+
+COUNTDOWN = "var x; while (x > 0) { x = x - 1; }"
+PAIR = "var x, y; assume(y >= 1); while (x > 0) { x = x - y; }"
+
+
+def rpc_line(method, params=None, request_id=1) -> bytes:
+    message = {"jsonrpc": "2.0", "id": request_id, "method": method}
+    if params is not None:
+        message["params"] = params
+    return json.dumps(message).encode("utf-8") + b"\n"
+
+
+class Client:
+    """One newline-delimited JSON-RPC connection."""
+
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port), timeout=120)
+        self.stream = self.sock.makefile("rwb")
+
+    def call(self, method, params=None, request_id=1) -> dict:
+        self.stream.write(rpc_line(method, params, request_id))
+        self.stream.flush()
+        line = self.stream.readline()
+        assert line, "connection dropped instead of answering"
+        return json.loads(line)
+
+    def close(self) -> None:
+        self.stream.close()
+        self.sock.close()
+
+
+# ---------------------------------------------------------------------------
+# the worker pool
+# ---------------------------------------------------------------------------
+
+
+def _echo_handler(message):
+    if message == "sleep":
+        time.sleep(60)
+    if message == "die":
+        os._exit(13)
+    if message == "raise":
+        raise RuntimeError("handler failure")
+    return {"echo": message, "pid": os.getpid()}
+
+
+class TestWorkerPool:
+    def test_round_trip_and_residency(self):
+        with WorkerPool(_echo_handler, jobs=2) as pool:
+            first = pool.submit("a")
+            second = pool.submit("b")
+            assert first.ok and first.value["echo"] == "a"
+            assert second.ok
+            assert first.value["pid"] in pool.pids()
+
+    def test_handler_exception_is_an_error_not_a_crash(self):
+        with WorkerPool(_echo_handler, jobs=1) as pool:
+            result = pool.submit("raise")
+            assert result.kind == "error"
+            assert "handler failure" in result.message
+            assert pool.submit("after").ok  # same worker still alive
+
+    def test_timeout_kills_and_respawns(self):
+        with WorkerPool(_echo_handler, jobs=1) as pool:
+            before = pool.pids()
+            result = pool.submit("sleep", timeout=0.2)
+            assert result.kind == "timeout"
+            follow_up = pool.submit("after", timeout=30)
+            assert follow_up.ok
+            assert follow_up.value["pid"] not in before
+
+    def test_crash_is_detected_and_the_pool_recovers(self):
+        with WorkerPool(_echo_handler, jobs=1) as pool:
+            result = pool.submit("die")
+            assert result.kind == "crash"
+            assert pool.submit("after").ok
+
+    def test_externally_killed_worker_is_replaced(self):
+        with WorkerPool(_echo_handler, jobs=1) as pool:
+            victim = pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            result = pool.submit("anything")
+            assert result.kind == "crash"
+            revived = pool.submit("after")
+            assert revived.ok and revived.value["pid"] != victim
+
+
+# ---------------------------------------------------------------------------
+# the socket server
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def server():
+    running = run_server_in_thread(port=0, jobs=2)
+    yield running
+    running.stop()
+
+
+@pytest.mark.usefixtures("server")
+class TestSocketServer:
+    def test_miss_then_revalidated_hit(self, server):
+        client = Client(server.host, server.port)
+        try:
+            first = client.call("analyze", {"program": COUNTDOWN, "name": "c"})
+            assert first["result"]["status"] == "terminating"
+            assert first["result"]["provenance"]["cache"] == "miss"
+            # The miss was computed in a pool worker, not the server.
+            assert first["result"]["provenance"]["worker_pid"] != os.getpid()
+            second = client.call("analyze", {"program": COUNTDOWN})
+            provenance = second["result"]["provenance"]
+            assert provenance["cache"] == "hit"
+            assert provenance["revalidated"] is True
+        finally:
+            client.close()
+
+    def test_concurrent_duplicates_all_answered(self, server):
+        responses = []
+        lock = threading.Lock()
+
+        def one_client(index):
+            client = Client(server.host, server.port)
+            try:
+                reply = client.call(
+                    "analyze", {"program": PAIR, "name": "p%d" % index}, index
+                )
+                with lock:
+                    responses.append(reply)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=one_client, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(responses) == 8
+        assert all(r["result"]["status"] == "terminating" for r in responses)
+        assert any(
+            r["result"]["provenance"]["cache"] == "hit" for r in responses
+        )
+        stats = server.cache_stats()["stats"]
+        assert stats["revalidation_failures"] == 0
+        assert stats["hits"] >= 1
+
+    def test_malformed_json_answers_and_keeps_the_connection(self, server):
+        client = Client(server.host, server.port)
+        try:
+            client.stream.write(b'{"jsonrpc": "2.0", "id":\n')
+            client.stream.flush()
+            reply = json.loads(client.stream.readline())
+            assert reply["error"]["code"] == PARSE_ERROR
+            # Same connection still serves real requests.
+            good = client.call("list_provers")
+            assert "termite" in good["result"]["provers"]
+        finally:
+            client.close()
+
+
+class TestFailureIsolation:
+    def test_timeout_then_recovery(self):
+        running = run_server_in_thread(port=0, jobs=1, timeout=0.05)
+        try:
+            client = Client(running.host, running.port)
+            try:
+                slow = client.call("analyze", {"program": PAIR})
+                assert slow["error"]["code"] == REQUEST_TIMEOUT
+            finally:
+                client.close()
+            # The worker was killed and respawned; a cheap request must
+            # succeed on a fresh connection within the same budget...
+            running.server.executor.timeout = None
+            client = Client(running.host, running.port)
+            try:
+                good = client.call("analyze", {"program": COUNTDOWN})
+                assert good["result"]["status"] == "terminating"
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+    def test_worker_crash_mid_request_then_recovery(self):
+        running = run_server_in_thread(port=0, jobs=1)
+        try:
+            victim = running.server.executor.pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            client = Client(running.host, running.port)
+            try:
+                crashed = client.call("analyze", {"program": COUNTDOWN})
+                assert crashed["error"]["code"] == WORKER_CRASH
+                good = client.call("analyze", {"program": COUNTDOWN})
+                assert good["result"]["status"] == "terminating"
+                assert good["result"]["provenance"]["worker_pid"] != victim
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+    def test_shutdown_method_stops_the_server(self):
+        running = run_server_in_thread(port=0, jobs=1)
+        client = Client(running.host, running.port)
+        try:
+            reply = client.call("shutdown")
+            assert reply["result"] == {"stopping": True}
+        finally:
+            client.close()
+        running.thread.join(timeout=30)
+        assert not running.thread.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection((running.host, running.port), timeout=2)
+
+
+# ---------------------------------------------------------------------------
+# the stdio front door
+# ---------------------------------------------------------------------------
+
+
+class TestStdio:
+    def run_lines(self, *messages) -> list:
+        source = "".join(json.dumps(m) + "\n" for m in messages)
+        output = io.StringIO()
+        code = serve_stdio(io.StringIO(source), output)
+        assert code == 0
+        return [json.loads(line) for line in output.getvalue().splitlines()]
+
+    def test_miss_hit_shutdown(self):
+        replies = self.run_lines(
+            {
+                "jsonrpc": "2.0",
+                "id": 1,
+                "method": "analyze",
+                "params": {"program": COUNTDOWN},
+            },
+            {
+                "jsonrpc": "2.0",
+                "id": 2,
+                "method": "analyze",
+                "params": {"program": COUNTDOWN},
+            },
+            {"jsonrpc": "2.0", "id": 3, "method": "shutdown"},
+            {"jsonrpc": "2.0", "id": 4, "method": "cache_stats"},
+        )
+        assert [r["id"] for r in replies] == [1, 2, 3]  # post-shutdown: EOF
+        assert replies[0]["result"]["provenance"]["cache"] == "miss"
+        assert replies[1]["result"]["provenance"]["revalidated"] is True
+
+    def test_cache_disabled_serves_bypass(self):
+        replies = self.run_lines(
+            {
+                "jsonrpc": "2.0",
+                "id": 1,
+                "method": "analyze",
+                "params": {"program": COUNTDOWN},
+            },
+        )
+        # (cache on by default; this exercises the off switch)
+        output = io.StringIO()
+        source = io.StringIO(
+            json.dumps(
+                {
+                    "jsonrpc": "2.0",
+                    "id": 9,
+                    "method": "analyze",
+                    "params": {"program": COUNTDOWN},
+                }
+            )
+            + "\n"
+        )
+        serve_stdio(source, output, cache=False)
+        reply = json.loads(output.getvalue())
+        assert reply["result"]["provenance"]["cache"] == "bypass"
+        assert replies[0]["result"]["provenance"]["cache"] == "miss"

@@ -153,33 +153,22 @@ class TestPipelineEngineObservers:
         assert events == []
 
 
-class TestDeprecatedAliases:
-    def test_core_avoid_space_warns_and_delegates(self):
-        from repro.core.monodim import avoid_space as deprecated
-        from repro.core.termination import TerminationProver
-        from repro.frontend.lowering import compile_program
-        from repro.synthesis.oracles import avoid_space
+class TestRemovedAliases:
+    """The PR-5 deprecation shims are gone; repro.synthesis is the one path."""
 
-        automaton = compile_program(
-            "var x; while (x > 0) { x = x - 1; }", "countdown"
+    def test_core_avoid_space_alias_removed(self):
+        import repro.core.monodim as monodim
+
+        assert not hasattr(monodim, "avoid_space")
+        from repro.synthesis.oracles import avoid_space  # noqa: F401
+
+    def test_eager_generator_aliases_removed(self):
+        import repro.baselines.eager_generators as eager
+
+        for alias in ("_difference_map", "_one_offsets", "_disjunct_generators"):
+            assert not hasattr(eager, alias)
+        from repro.synthesis.oracles import (  # noqa: F401
+            difference_map,
+            disjunct_generators,
+            one_offsets,
         )
-        problem = TerminationProver(automaton).build_problem()
-        with pytest.warns(DeprecationWarning, match="repro.synthesis.oracles"):
-            formula = deprecated(problem, [])
-        assert str(formula) == str(avoid_space(problem, []))
-
-    def test_eager_generator_helpers_warn_and_delegate(self):
-        from repro.baselines.dnf import expand_disjuncts
-        from repro.baselines.eager_generators import _disjunct_generators
-        from repro.core.termination import TerminationProver
-        from repro.frontend.lowering import compile_program
-        from repro.synthesis.oracles import disjunct_generators
-
-        automaton = compile_program(
-            "var x; while (x > 0) { x = x - 1; }", "countdown"
-        )
-        problem = TerminationProver(automaton).build_problem()
-        disjunct = expand_disjuncts(problem)[0]
-        with pytest.warns(DeprecationWarning, match="repro.synthesis.oracles"):
-            generators = _disjunct_generators(problem, disjunct)
-        assert generators == disjunct_generators(problem, disjunct)
