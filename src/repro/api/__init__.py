@@ -32,6 +32,7 @@ from repro.api.config import (
     CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
+    NONTERM_MODES,
     SMT_MODES,
 )
 from repro.api.registry import (
@@ -79,6 +80,7 @@ __all__ = [
     "DOMAINS",
     "CEX_ORACLES",
     "CEX_STRATEGIES",
+    "NONTERM_MODES",
     "CAPABILITIES",
     "Prover",
     "register_prover",

@@ -43,6 +43,9 @@ CEX_ORACLES = tuple(ORACLE_NAMES)
 #: Valid values of :attr:`AnalysisConfig.cex_strategy`.
 CEX_STRATEGIES = tuple(STRATEGY_NAMES)
 
+#: Valid values of :attr:`AnalysisConfig.nonterm`.
+NONTERM_MODES = ("off", "auto", "only")
+
 
 class ConfigError(ValueError):
     """An :class:`AnalysisConfig` field failed validation."""
@@ -95,6 +98,15 @@ class AnalysisConfig:
     cex_batch: int = 1
     #: Seed of the sampling oracle and the random strategy.
     oracle_seed: int = 0
+    #: Nontermination analysis: ``"off"`` (termination only — the
+    #: historical behaviour), ``"auto"`` (race recurrence-set synthesis
+    #: against termination; first definitive verdict wins) or ``"only"``
+    #: (recurrence-set synthesis alone).  Only provers advertising the
+    #: ``"nontermination"`` capability honour it.
+    nonterm: str = "off"
+    #: Cap on recurrence-set candidates (cycle x guard-conjunct x havoc
+    #: choice combinations) examined per program.
+    nonterm_budget: int = 64
 
     def __post_init__(self) -> None:
         _require(
@@ -159,6 +171,18 @@ class AnalysisConfig:
             and self.oracle_seed >= 0,
             "oracle_seed must be a nonnegative int, got %r"
             % (self.oracle_seed,),
+        )
+        _require(
+            self.nonterm in NONTERM_MODES,
+            "nonterm must be one of %s, got %r"
+            % (", ".join(NONTERM_MODES), self.nonterm),
+        )
+        _require(
+            isinstance(self.nonterm_budget, int)
+            and not isinstance(self.nonterm_budget, bool)
+            and self.nonterm_budget >= 1,
+            "nonterm_budget must be a positive int, got %r"
+            % (self.nonterm_budget,),
         )
 
     # -- derived views -----------------------------------------------------------

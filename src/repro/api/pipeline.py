@@ -227,6 +227,8 @@ class Analysis:
         prove_kwargs = {}
         if self._engine_observers and "events" in prover.capabilities:
             prove_kwargs["observer"] = self._notify_engine
+        if self.config.nonterm != "off" and "nontermination" in prover.capabilities:
+            prove_kwargs["automaton"] = self.automaton()
         with self._stage("synthesis", run_stages):
             result = prover.prove(problem, self.config, **prove_kwargs)
         result.lp_statistics.redundancy_lp_saved += (
@@ -242,6 +244,17 @@ class Analysis:
                 result.certificate_checked = prover.certify(
                     problem, result, self.config
                 )
+        elif (
+            self.config.check_certificates
+            and result.status is AnalysisStatus.NONTERMINATING
+            and result.lasso is not None
+        ):
+            from repro.checking.recurrence import check_recurrence
+
+            with self._stage("certificate", run_stages):
+                verdict = check_recurrence(self.automaton(), result.lasso)
+                result.details["lasso_verdict"] = verdict.to_dict()
+                result.certificate_checked = verdict.status == "valid"
         result.program = self.name
         result.problem_statistics = problem.statistics()
         result.stages = list(self._build_stages) + run_stages

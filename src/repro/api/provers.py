@@ -19,8 +19,9 @@ compatibility with the historical Table-1 command lines.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.api.config import AnalysisConfig
 from repro.api.registry import Prover, register_prover
@@ -54,7 +55,14 @@ class TermiteProver(Prover):
     name = "termite"
     supports_certificates = True
     extra_capabilities = frozenset(
-        {"cex-oracles", "cex-strategies", "lp-modes", "max-dimension", "events"}
+        {
+            "cex-oracles",
+            "cex-strategies",
+            "lp-modes",
+            "max-dimension",
+            "events",
+            "nontermination",
+        }
     )
     summary = (
         "lazy multidimensional synthesis from extremal counterexamples "
@@ -66,6 +74,7 @@ class TermiteProver(Prover):
         problem: TerminationProblem,
         config: AnalysisConfig,
         observer=None,
+        automaton=None,
     ) -> AnalysisResult:
         start = time.perf_counter()
         lp_statistics = LpStatistics()
@@ -79,6 +88,28 @@ class TermiteProver(Prover):
                 lp_statistics=lp_statistics,
                 message="no cycle through the cut-set",
             )
+        mode = config.nonterm if automaton is not None else "off"
+        if mode == "only":
+            return self._prove_nontermination(
+                config, automaton, observer, start, lp_statistics
+            )
+        if mode == "auto":
+            return self._race(
+                problem, config, automaton, observer, start, lp_statistics
+            )
+        return self._prove_termination(
+            problem, config, observer, start, lp_statistics
+        )
+
+    def _prove_termination(
+        self,
+        problem: TerminationProblem,
+        config: AnalysisConfig,
+        observer,
+        start: float,
+        lp_statistics: LpStatistics,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> AnalysisResult:
         try:
             outcome = synthesize_multidim(
                 problem,
@@ -93,6 +124,7 @@ class TermiteProver(Prover):
                 cex_batch=config.cex_batch,
                 oracle_seed=config.oracle_seed,
                 observers=(observer,) if observer is not None else (),
+                should_stop=should_stop,
             )
         except MaxIterationsExceeded as error:
             return AnalysisResult(
@@ -125,6 +157,166 @@ class TermiteProver(Prover):
             dimension=outcome.dimension,
             lp_statistics=lp_statistics,
         )
+
+    def _prove_nontermination(
+        self,
+        config: AnalysisConfig,
+        automaton,
+        observer,
+        start: float,
+        lp_statistics: LpStatistics,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> AnalysisResult:
+        # Imported lazily so the prover table stays importable even if
+        # the nontermination package is stripped from a deployment.
+        from repro.nontermination import synthesize_recurrence
+
+        outcome = synthesize_recurrence(
+            automaton,
+            budget=config.nonterm_budget,
+            observers=(observer,) if observer is not None else (),
+            should_stop=should_stop,
+        )
+        elapsed = time.perf_counter() - start
+        if outcome.success:
+            return AnalysisResult(
+                tool=self.name,
+                status=AnalysisStatus.NONTERMINATING,
+                lasso=outcome.lasso,
+                time_seconds=elapsed,
+                iterations=outcome.iterations,
+                lp_statistics=lp_statistics,
+                message=outcome.lasso.describe(),
+                details={"nonterm": outcome.statistics.to_dict()},
+            )
+        return AnalysisResult(
+            tool=self.name,
+            status=AnalysisStatus.UNKNOWN,
+            time_seconds=elapsed,
+            iterations=outcome.iterations,
+            lp_statistics=lp_statistics,
+            message="no recurrence set found (%s)" % outcome.message,
+            details={"nonterm": outcome.statistics.to_dict()},
+        )
+
+    def _race(
+        self,
+        problem: TerminationProblem,
+        config: AnalysisConfig,
+        automaton,
+        observer,
+        start: float,
+        lp_statistics: LpStatistics,
+    ) -> AnalysisResult:
+        """Race termination against nontermination; first verdict wins.
+
+        Each lane runs in its own thread with a co-operative
+        ``should_stop`` hook; the lane that reaches a definitive verdict
+        sets the shared event and the loser stands down at its next
+        iteration boundary (raising
+        :class:`~repro.synthesis.engine.SynthesisCancelled`, absorbed
+        here).  Soundness makes the race deterministic: on a given
+        program at most one lane can ever succeed, so which thread is
+        scheduled first only affects wall time, never the verdict.
+        """
+        from repro.synthesis.engine import SynthesisCancelled
+
+        stop = threading.Event()
+        outcomes: dict = {}
+
+        def lane(label: str, run: Callable[[], AnalysisResult], wins) -> None:
+            try:
+                result = run()
+            except SynthesisCancelled:
+                outcomes[label] = None
+                return
+            except BaseException as error:  # re-raised on the caller thread
+                outcomes[label] = error
+                stop.set()
+                return
+            outcomes[label] = result
+            if wins(result):
+                stop.set()
+
+        threads = [
+            threading.Thread(
+                target=lane,
+                args=(
+                    "termination",
+                    lambda: self._prove_termination(
+                        problem,
+                        config,
+                        observer,
+                        start,
+                        lp_statistics,
+                        should_stop=stop.is_set,
+                    ),
+                    lambda result: result.proved,
+                ),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=lane,
+                args=(
+                    "nontermination",
+                    lambda: self._prove_nontermination(
+                        config,
+                        automaton,
+                        observer,
+                        start,
+                        lp_statistics,
+                        should_stop=stop.is_set,
+                    ),
+                    lambda result: result.disproved,
+                ),
+                daemon=True,
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        term = outcomes.get("termination")
+        nonterm = outcomes.get("nontermination")
+        term_ok = isinstance(term, AnalysisResult) and term.proved
+        nonterm_ok = isinstance(nonterm, AnalysisResult) and nonterm.disproved
+        if term_ok and nonterm_ok:
+            # Both lanes claiming is a soundness bug somewhere; refuse to
+            # pick a side so the harness flags it loudly.
+            return AnalysisResult(
+                tool=self.name,
+                status=AnalysisStatus.ERROR,
+                time_seconds=time.perf_counter() - start,
+                lp_statistics=lp_statistics,
+                error="termination and nontermination both claimed a verdict",
+            )
+        if term_ok:
+            return term
+        if nonterm_ok:
+            return nonterm
+        for outcome in (term, nonterm):
+            if isinstance(outcome, BaseException):
+                raise outcome
+        merged = (
+            term
+            if isinstance(term, AnalysisResult)
+            else AnalysisResult(
+                tool=self.name,
+                status=AnalysisStatus.UNKNOWN,
+                lp_statistics=lp_statistics,
+            )
+        )
+        merged.time_seconds = time.perf_counter() - start
+        if isinstance(nonterm, AnalysisResult):
+            merged.details["nonterm"] = nonterm.details.get("nonterm", {})
+            if nonterm.message:
+                merged.message = (
+                    "%s; %s" % (merged.message, nonterm.message)
+                    if merged.message
+                    else nonterm.message
+                )
+        return merged
 
     def certify(
         self,

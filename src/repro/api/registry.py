@@ -34,7 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 #: ``lp-modes``        — honours ``lp_mode`` (warm/cold/audit);
 #: ``max-dimension``   — honours ``max_dimension``;
 #: ``events``          — :meth:`Prover.prove` accepts an ``observer``
-#:                       keyword receiving per-iteration engine events.
+#:                       keyword receiving per-iteration engine events;
+#: ``nontermination``  — honours ``nonterm`` / ``nonterm_budget`` and can
+#:                       return NONTERMINATING with a lasso witness
+#:                       (:meth:`Prover.prove` accepts an ``automaton``
+#:                       keyword).
 CAPABILITIES = (
     "certificates",
     "cex-oracles",
@@ -42,6 +46,7 @@ CAPABILITIES = (
     "lp-modes",
     "max-dimension",
     "events",
+    "nontermination",
 )
 
 

@@ -29,6 +29,7 @@ from repro.core.ranking import (
     LexicographicRankingFunction,
 )
 from repro.linalg.vector import Vector
+from repro.nontermination.witness import Lasso
 
 
 class AnalysisStatus(str, enum.Enum):
@@ -39,6 +40,7 @@ class AnalysisStatus(str, enum.Enum):
     """
 
     TERMINATING = "terminating"
+    NONTERMINATING = "nonterminating"
     UNKNOWN = "unknown"
     ERROR = "error"
     TIMEOUT = "timeout"
@@ -186,6 +188,7 @@ class AnalysisResult:
     error: Optional[str] = None
     timed_out: bool = False
     details: Dict[str, object] = field(default_factory=dict)
+    lasso: Optional[Lasso] = None
     provenance: Optional[Provenance] = None
 
     def __post_init__(self) -> None:
@@ -198,6 +201,11 @@ class AnalysisResult:
     @property
     def proved(self) -> bool:
         return self.status is AnalysisStatus.TERMINATING
+
+    @property
+    def disproved(self) -> bool:
+        """Whether the analysis established *non*-termination."""
+        return self.status is AnalysisStatus.NONTERMINATING
 
     def stage_seconds(self, name: str) -> float:
         """Total seconds recorded for the stage called *name*."""
@@ -220,9 +228,11 @@ class AnalysisResult:
 
         ``proved`` and ``time_ms`` are derived convenience keys for
         dashboards and the Table-1 JSON consumers; :meth:`from_dict`
-        recomputes them from the raw fields.
+        recomputes them from the raw fields.  The ``lasso`` key is only
+        present on NONTERMINATING results, keeping the document shape of
+        every pre-existing status byte-identical.
         """
-        return {
+        document = {
             "tool": self.tool,
             "program": self.program,
             "status": self.status.value,
@@ -244,11 +254,15 @@ class AnalysisResult:
                 self.provenance.to_dict() if self.provenance is not None else None
             ),
         }
+        if self.lasso is not None:
+            document["lasso"] = self.lasso.to_dict()
+        return document
 
     @classmethod
     def from_dict(cls, data: dict) -> "AnalysisResult":
         ranking = data.get("ranking")
         provenance = data.get("provenance")
+        lasso = data.get("lasso")
         return cls(
             tool=data.get("tool", "termite"),
             program=data.get("program", ""),
@@ -265,6 +279,7 @@ class AnalysisResult:
             error=data.get("error"),
             timed_out=data.get("timed_out", False),
             details=dict(data.get("details", {})),
+            lasso=Lasso.from_dict(lasso) if lasso is not None else None,
             provenance=(
                 Provenance.from_dict(provenance) if provenance is not None else None
             ),

@@ -25,6 +25,7 @@ from repro.checking.checker import (
     ObligationFailure,
     check_ranking,
 )
+from repro.checking.recurrence import check_recurrence
 from repro.checking.differential import (
     FuzzReport,
     SoundnessViolation,
@@ -51,6 +52,7 @@ __all__ = [
     "CertificateVerdict",
     "ObligationFailure",
     "check_ranking",
+    "check_recurrence",
     "FarkasBudgetExceeded",
     "Refutation",
     "Witness",

@@ -11,7 +11,12 @@ sharing it, exactly like the batch runner), then audits the results:
   construction is a soundness violation (``proved_nonterminating``);
 * a certificate-capable prover claiming ``TERMINATING`` on a cyclic
   program *without* producing a ranking is flagged
-  (``missing_certificate``).
+  (``missing_certificate``);
+* the ground truth is **two-sided**: any ``NONTERMINATING`` verdict on a
+  program that is terminating by construction is a soundness violation
+  (``nonterm_on_terminating``), and a ``NONTERMINATING`` claim whose
+  lasso witness is missing or refuted by the independent recurrence
+  checker is one too (``lasso_rejected``).
 
 Prover *disagreements* (one tool proves, another returns UNKNOWN) are
 expected — the baselines are incomplete in different ways — and are
@@ -34,10 +39,12 @@ from repro.checking.checker import (
     CertificateVerdict,
     check_ranking,
 )
+from repro.checking.recurrence import check_recurrence
 from repro.checking.generator import (
     GeneratedProgram,
     NONTERMINATING,
     ProgramGenerator,
+    TERMINATING,
     shrink_program,
 )
 from repro.frontend.errors import FrontendError
@@ -55,7 +62,10 @@ def default_fuzz_config() -> AnalysisConfig:
     campaign optimises for many diverse programs per second.
     """
     return AnalysisConfig(
-        check_certificates=False, max_iterations=60, max_dimension=4
+        check_certificates=False,
+        max_iterations=60,
+        max_dimension=4,
+        nonterm="auto",
     )
 
 
@@ -63,7 +73,8 @@ def default_fuzz_config() -> AnalysisConfig:
 class SoundnessViolation:
     """One observed soundness violation, with a reproducer."""
 
-    kind: str  # "certificate_rejected" | "proved_nonterminating" | "missing_certificate"
+    kind: str  # "certificate_rejected" | "proved_nonterminating"
+    # | "missing_certificate" | "nonterm_on_terminating" | "lasso_rejected"
     program: str
     tool: str
     detail: str
@@ -99,6 +110,7 @@ class ProgramAudit:
     name: str
     results: List[AnalysisResult] = field(default_factory=list)
     verdicts: Dict[str, CertificateVerdict] = field(default_factory=dict)
+    lasso_verdicts: Dict[str, CertificateVerdict] = field(default_factory=dict)
     violations: List[SoundnessViolation] = field(default_factory=list)
     build_error: Optional[str] = None
 
@@ -115,6 +127,9 @@ class FuzzReport:
     certificates_checked: int = 0
     certificates_valid: int = 0
     certificates_inconclusive: int = 0
+    lassos_checked: int = 0
+    lassos_valid: int = 0
+    lassos_inconclusive: int = 0
     disagreements: int = 0
     violations: List[SoundnessViolation] = field(default_factory=list)
     build_errors: List[str] = field(default_factory=list)
@@ -136,6 +151,9 @@ class FuzzReport:
             "certificates_checked": self.certificates_checked,
             "certificates_valid": self.certificates_valid,
             "certificates_inconclusive": self.certificates_inconclusive,
+            "lassos_checked": self.lassos_checked,
+            "lassos_valid": self.lassos_valid,
+            "lassos_inconclusive": self.lassos_inconclusive,
             "disagreements": self.disagreements,
             "violations": [violation.to_dict() for violation in self.violations],
             "build_errors": list(self.build_errors),
@@ -147,6 +165,7 @@ class FuzzReport:
     def summary(self) -> str:
         lines = [
             "%d programs x %d tools | %d certificates audited "
+            "(%d valid, %d inconclusive) | %d lassos audited "
             "(%d valid, %d inconclusive) | %d prover disagreements"
             % (
                 self.programs,
@@ -154,16 +173,20 @@ class FuzzReport:
                 self.certificates_checked,
                 self.certificates_valid,
                 self.certificates_inconclusive,
+                self.lassos_checked,
+                self.lassos_valid,
+                self.lassos_inconclusive,
                 self.disagreements,
             )
         ]
         for tool in self.tools:
             tally = self.outcomes.get(tool, {})
             lines.append(
-                "  %-22s proved %-4d unknown %-4d error %d"
+                "  %-22s proved %-4d nonterm %-4d unknown %-4d error %d"
                 % (
                     tool,
                     tally.get("terminating", 0),
+                    tally.get("nonterminating", 0),
                     tally.get("unknown", 0),
                     tally.get("error", 0) + tally.get("timeout", 0),
                 )
@@ -228,6 +251,49 @@ def audit_source(
                 error="%s: %s" % (type(error).__name__, error),
             )
         audit.results.append(result)
+        if result.disproved:
+            if expected == TERMINATING:
+                audit.violations.append(
+                    SoundnessViolation(
+                        kind="nonterm_on_terminating",
+                        program=name,
+                        tool=tool,
+                        detail="claimed NONTERMINATING on a program that "
+                        "is terminating by construction",
+                        source=source,
+                    )
+                )
+            if result.lasso is None:
+                audit.violations.append(
+                    SoundnessViolation(
+                        kind="lasso_rejected",
+                        program=name,
+                        tool=tool,
+                        detail="claimed NONTERMINATING without a lasso "
+                        "witness",
+                        source=source,
+                    )
+                )
+                continue
+            lasso_verdict = check_recurrence(analysis.automaton(), result.lasso)
+            audit.lasso_verdicts[tool] = lasso_verdict
+            if lasso_verdict.status == CertificateVerdict.INVALID:
+                audit.violations.append(
+                    SoundnessViolation(
+                        kind="lasso_rejected",
+                        program=name,
+                        tool=tool,
+                        detail="; ".join(
+                            "%s->%s: %s" % (f.source, f.target, f.case)
+                            for f in lasso_verdict.failures[:3]
+                        ),
+                        source=source,
+                        failures=[
+                            f.to_dict() for f in lasso_verdict.failures
+                        ],
+                    )
+                )
+            continue
         if not result.proved:
             continue
         if expected == NONTERMINATING:
@@ -307,16 +373,16 @@ def audit_generated_program(
 
 
 def _tally(report: FuzzReport, audit: ProgramAudit) -> None:
-    proved, unproved = 0, 0
+    decided, unproved = 0, 0
     for result in audit.results:
         tally = report.outcomes.setdefault(result.tool, {})
         key = result.status.value
         tally[key] = tally.get(key, 0) + 1
-        if result.proved:
-            proved += 1
+        if result.proved or result.disproved:
+            decided += 1
         elif result.status.value == "unknown":
             unproved += 1
-    if proved and unproved:
+    if decided and unproved:
         report.disagreements += 1
     for verdict in audit.verdicts.values():
         report.certificates_checked += 1
@@ -324,6 +390,12 @@ def _tally(report: FuzzReport, audit: ProgramAudit) -> None:
             report.certificates_valid += 1
         elif verdict.status == CertificateVerdict.INCONCLUSIVE:
             report.certificates_inconclusive += 1
+    for verdict in audit.lasso_verdicts.values():
+        report.lassos_checked += 1
+        if verdict.status == CertificateVerdict.VALID:
+            report.lassos_valid += 1
+        elif verdict.status == CertificateVerdict.INCONCLUSIVE:
+            report.lassos_inconclusive += 1
 
 
 def _shrink_violation(

@@ -5,8 +5,10 @@ Six subcommands, all built on the unified analysis API:
 ``repro prove FILE``
     Run one registered prover on a mini-language program (``-`` reads
     stdin).  ``--json`` emits the full, exactly round-trippable
-    :class:`~repro.api.result.AnalysisResult` document.  Exit code: 0
-    proved, 2 not proved, 1 error.
+    :class:`~repro.api.result.AnalysisResult` document; ``--trace FILE``
+    dumps the engine's event stream as JSON-lines.  Exit code: 0 proved
+    terminating, 5 proved *non*-terminating (lasso witness attached), 2
+    unknown, 1 error.
 
 ``repro list-provers``
     The prover registry: every stable tool name with its summary.
@@ -55,6 +57,7 @@ from repro.api import (
     CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
+    NONTERM_MODES,
     RequestError,
     SMT_MODES,
     analyze,
@@ -119,6 +122,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--max-iterations", type=int, metavar="N", default=None)
     group.add_argument("--max-dimension", type=int, metavar="N", default=None)
     group.add_argument(
+        "--nonterm",
+        choices=list(NONTERM_MODES),
+        default=None,
+        help="nontermination analysis: 'off' (default), 'auto' (race "
+        "recurrence-set synthesis against termination) or 'only'",
+    )
+    group.add_argument(
+        "--nonterm-budget",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cap on recurrence-set candidates examined (default: 64)",
+    )
+    group.add_argument(
         "--integer-mode",
         action="store_true",
         default=None,
@@ -153,6 +170,8 @@ def _config_from_arguments(arguments: argparse.Namespace) -> AnalysisConfig:
         ("oracle_seed", "oracle_seed"),
         ("max_iterations", "max_iterations"),
         ("max_dimension", "max_dimension"),
+        ("nonterm", "nonterm"),
+        ("nonterm_budget", "nonterm_budget"),
         ("integer_mode", "integer_mode"),
     ]:
         value = getattr(arguments, flag)
@@ -201,11 +220,37 @@ def command_prove(arguments: argparse.Namespace) -> int:
     except RequestError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
+    trace_events = []
+    engine_observers = [trace_events.append] if arguments.trace else []
     try:
-        result = analyze(request)
+        result = analyze(request, engine_observers=engine_observers)
     except Exception as error:  # surface a parse/analysis failure as exit 1
         print("error: %s: %s" % (type(error).__name__, error), file=sys.stderr)
         return 1
+
+    if arguments.trace:
+        try:
+            with open(arguments.trace, "w") as handle:
+                for event in trace_events:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "kind": event.kind,
+                                "component": event.component,
+                                "iteration": event.iteration,
+                                "payload": event.payload,
+                            },
+                            default=str,
+                            sort_keys=True,
+                        )
+                    )
+                    handle.write("\n")
+        except OSError as error:
+            print(
+                "error: cannot write %s: %s" % (arguments.trace, error),
+                file=sys.stderr,
+            )
+            return 1
 
     if arguments.json:
         print(result.to_json(indent=2))
@@ -216,6 +261,8 @@ def command_prove(arguments: argparse.Namespace) -> int:
         if result.ranking is not None:
             print("ranking function   : %s" % result.ranking.pretty())
             print("dimension          : %d" % result.dimension)
+        if result.lasso is not None:
+            print("lasso witness      : %s" % result.lasso.describe())
         if result.certificate_checked:
             print("certificate        : checked")
         if result.message:
@@ -239,6 +286,8 @@ def command_prove(arguments: argparse.Namespace) -> int:
             )
     if result.status.value == "error":
         return 1
+    if result.disproved:
+        return 5
     return 0 if result.proved else 2
 
 
@@ -251,14 +300,16 @@ def _check_one_program(program, name, tool, config, disjunct_cap):
     """Prove + independently audit one program.
 
     Returns ``(result, verdict, missing)``: *verdict* is the checker's
-    (or ``None`` when there was nothing to check), *missing* flags a
-    ``TERMINATING`` claim on a cyclic program with no ranking attached —
-    an unauditable claim the exit code must not green-light.  *program*
-    is mini-language source, a prepared automaton, or a benchmark
+    (or ``None`` when there was nothing to check), *missing* flags an
+    unauditable claim the exit code must not green-light — a
+    ``TERMINATING`` claim on a cyclic program with no ranking attached,
+    or a ``NONTERMINATING`` claim with no lasso witness.  *program* is
+    mini-language source, a prepared automaton, or a benchmark
     description with ``build()``.
     """
     from repro.api import Analysis
     from repro.checking.checker import check_ranking
+    from repro.checking.recurrence import check_recurrence
 
     if hasattr(program, "build"):
         program = program.build()
@@ -280,6 +331,11 @@ def _check_one_program(program, name, tool, config, disjunct_cap):
                 integer_mode=config.integer_mode,
                 **kwargs,
             )
+    elif result.disproved:
+        if result.lasso is None:
+            missing = True
+        else:
+            verdict = check_recurrence(analysis.automaton(), result.lasso)
     return result, verdict, missing
 
 
@@ -363,6 +419,7 @@ def command_check(arguments: argparse.Namespace) -> int:
 
     rows = []
     rejected = proved = validated = inconclusive = errors = missing = 0
+    disproved = 0
     for (name, _), task in zip(jobs, tasks):
         if task.ok:
             row = task.value
@@ -382,6 +439,8 @@ def command_check(arguments: argparse.Namespace) -> int:
             continue
         if row["status"] == "terminating":
             proved += 1
+        if row["status"] == "nonterminating":
+            disproved += 1
         if row.get("missing_certificate"):
             missing += 1
         verdict = row["verdict"]
@@ -402,6 +461,7 @@ def command_check(arguments: argparse.Namespace) -> int:
                     "totals": {
                         "programs": len(rows),
                         "proved": proved,
+                        "disproved": disproved,
                         "errors": errors,
                         "certificates_valid": validated,
                         "certificates_rejected": rejected,
@@ -416,7 +476,11 @@ def command_check(arguments: argparse.Namespace) -> int:
         for row in rows:
             verdict = row["verdict"]
             if row.get("missing_certificate"):
-                note = "TERMINATING claim without a ranking function!"
+                note = (
+                    "NONTERMINATING claim without a lasso witness!"
+                    if row["status"] == "nonterminating"
+                    else "TERMINATING claim without a ranking function!"
+                )
             elif verdict is None:
                 note = row.get("error") or "no certificate to check"
             else:
@@ -429,11 +493,12 @@ def command_check(arguments: argparse.Namespace) -> int:
                 "%-36s %-12s %s" % (row["program"], row["status"], note)
             )
         print(
-            "%d programs: %d proved, %d errors, %d certificates valid, "
-            "%d rejected, %d missing, %d inconclusive"
+            "%d programs: %d proved, %d disproved, %d errors, "
+            "%d certificates valid, %d rejected, %d missing, "
+            "%d inconclusive"
             % (
-                len(rows), proved, errors, validated, rejected, missing,
-                inconclusive,
+                len(rows), proved, disproved, errors, validated, rejected,
+                missing, inconclusive,
             )
         )
 
@@ -447,7 +512,7 @@ def command_check(arguments: argparse.Namespace) -> int:
         return 1
     if inconclusive:
         return 4
-    if arguments.file and not arguments.suite and not proved:
+    if arguments.file and not arguments.suite and not proved and not disproved:
         return 2
     return 0
 
@@ -960,7 +1025,8 @@ def build_parser() -> argparse.ArgumentParser:
         "prove",
         help="prove termination of one mini-language program",
         description="Run one registered prover on a program file "
-        "('-' reads stdin).  Exit code: 0 proved, 2 not proved, 1 error.",
+        "('-' reads stdin).  Exit code: 0 proved terminating, 5 proved "
+        "nonterminating, 2 unknown, 1 error.",
     )
     prove.add_argument("file", help="program file, or '-' for stdin")
     prove.add_argument(
@@ -978,6 +1044,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full AnalysisResult as JSON (exactly round-trippable "
         "via AnalysisResult.from_json)",
+    )
+    prove.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="dump the engine's CegisEvent stream (termination and "
+        "nontermination events) to FILE as JSON-lines",
     )
     _add_config_arguments(prove)
     prove.set_defaults(handler=command_prove)

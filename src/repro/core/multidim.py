@@ -13,7 +13,7 @@ pieces and delegates.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.lp_instance import LpStatistics
 from repro.core.problem import TerminationProblem
@@ -38,6 +38,7 @@ def synthesize_multidim(
     cex_batch: int = 1,
     oracle_seed: int = 0,
     observers: Sequence[CegisObserver] = (),
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> MultidimResult:
     """Run Algorithm 2 on *problem*.
 
@@ -62,6 +63,7 @@ def synthesize_multidim(
         max_iterations=max_iterations,
         lp_mode=lp_mode,
         observers=observers,
+        should_stop=should_stop,
     )
     return engine.synthesize_lexicographic(
         template, lp_statistics=lp_statistics

@@ -1,0 +1,162 @@
+"""Lasso witnesses: the portable evidence for a NONTERMINATING verdict.
+
+A :class:`Lasso` names everything an independent checker needs to
+re-establish nontermination without trusting the engine:
+
+* ``cutpoint`` — the location the infinite execution revisits;
+* ``rows`` — the recurrence set ``S`` as a conjunction of linear
+  constraints over the *program* variables at the cutpoint;
+* ``initial``/``stem`` — a concrete initial state and the transition
+  path (with concrete values for every havoc) that drives it into ``S``;
+* ``cycle`` — one pass around a cycle back to the cutpoint.  Each step
+  names its transition, which DNF conjunct of the guard the engine
+  committed to, and an affine *choice* ``sigma`` for every havoc slot,
+  expressed over the cycle-**entry** state.
+
+The cycle is deliberately symbolic: closure (``x in S`` implies the pass
+is enabled and lands back in ``S``) is a universally quantified claim,
+re-proved by the checker with Farkas certificates, while the stem and a
+few unrolled cycle iterations are replayed concretely.
+
+Serialisation follows :func:`repro.api.result.ranking_to_dict`: every
+rational is a ``str(Fraction)`` so the JSON round-trip is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+
+
+def _expr_to_dict(expr: LinExpr) -> dict:
+    return {
+        "terms": {name: str(coeff) for name, coeff in sorted(expr.terms.items())},
+        "constant": str(expr.constant_term),
+    }
+
+
+def _expr_from_dict(data: Mapping) -> LinExpr:
+    return LinExpr.from_terms(
+        [(name, Fraction(text)) for name, text in data["terms"].items()],
+        Fraction(data["constant"]),
+    )
+
+
+def constraint_to_dict(constraint: Constraint) -> dict:
+    document = _expr_to_dict(constraint.expr)
+    document["relation"] = constraint.relation.value
+    return document
+
+
+def constraint_from_dict(data: Mapping) -> Constraint:
+    return Constraint(_expr_from_dict(data), Relation(data["relation"]))
+
+
+@dataclass
+class StemStep:
+    """One concrete transition along the stem.
+
+    ``choices`` gives the value written by every havoc update of the
+    transition, keyed by the havocked program variable.
+    """
+
+    transition: int
+    choices: Dict[str, Fraction] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "transition": self.transition,
+            "choices": {name: str(value) for name, value in sorted(self.choices.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StemStep":
+        return cls(
+            transition=int(data["transition"]),
+            choices={name: Fraction(text) for name, text in data.get("choices", {}).items()},
+        )
+
+
+@dataclass
+class CycleStep:
+    """One symbolic transition around the cycle.
+
+    ``conjunct`` indexes into the DNF expansion of the transition's
+    guard (``repro.linexpr.transform.dnf_conjunctions`` is deterministic,
+    so the index is a stable reference).  ``choices`` maps each havocked
+    variable to an affine expression over the cycle-entry state.
+    """
+
+    transition: int
+    conjunct: int = 0
+    choices: Dict[str, LinExpr] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "transition": self.transition,
+            "conjunct": self.conjunct,
+            "choices": {
+                name: _expr_to_dict(expr) for name, expr in sorted(self.choices.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CycleStep":
+        return cls(
+            transition=int(data["transition"]),
+            conjunct=int(data.get("conjunct", 0)),
+            choices={
+                name: _expr_from_dict(expr)
+                for name, expr in data.get("choices", {}).items()
+            },
+        )
+
+
+@dataclass
+class Lasso:
+    """A stem + cycle nontermination witness anchored at ``cutpoint``."""
+
+    cutpoint: str
+    rows: List[Constraint] = field(default_factory=list)
+    initial: Dict[str, Fraction] = field(default_factory=dict)
+    stem: List[StemStep] = field(default_factory=list)
+    cycle: List[CycleStep] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "cutpoint": self.cutpoint,
+            "rows": [constraint_to_dict(row) for row in self.rows],
+            "initial": {name: str(value) for name, value in sorted(self.initial.items())},
+            "stem": [step.to_dict() for step in self.stem],
+            "cycle": [step.to_dict() for step in self.cycle],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Lasso":
+        return cls(
+            cutpoint=data["cutpoint"],
+            rows=[constraint_from_dict(row) for row in data.get("rows", [])],
+            initial={
+                name: Fraction(text) for name, text in data.get("initial", {}).items()
+            },
+            stem=[StemStep.from_dict(step) for step in data.get("stem", [])],
+            cycle=[CycleStep.from_dict(step) for step in data.get("cycle", [])],
+        )
+
+    def describe(self) -> str:
+        return (
+            "recurrence set of %d row%s at %s (stem %d step%s, cycle %d step%s)"
+            % (
+                len(self.rows),
+                "" if len(self.rows) == 1 else "s",
+                self.cutpoint,
+                len(self.stem),
+                "" if len(self.stem) == 1 else "s",
+                len(self.cycle),
+                "" if len(self.cycle) == 1 else "s",
+            )
+        )

@@ -482,10 +482,72 @@ def bench_service(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
+def bench_nonterm(quick: bool = False, seed: int = 0) -> Dict:
+    """Recurrence-set synthesis over the nonterminating corpus slice.
+
+    Runs the nontermination engine (``nonterm="only"``) over the seeded
+    generator's nonterminating-by-construction gadgets plus the
+    possibly-nonterminating WTC suite programs, and reports verdict
+    counts, CEGIS refinement iterations, and how many of the claimed
+    lasso witnesses the independent recurrence checker re-validated
+    (every NONTERMINATING verdict must carry one).
+    """
+    from repro.api import AnalysisConfig, analyze
+    from repro.benchsuite import get_suite
+    from repro.checking.generator import NONTERMINATING, ProgramGenerator
+
+    budget = 60 if quick else 200
+    generator = ProgramGenerator(seed)
+    gadgets = [
+        program
+        for program in generator.programs(budget)
+        if program.expected == NONTERMINATING
+    ]
+    gadgets = gadgets[:4] if quick else gadgets[:16]
+    wtc = [p for p in get_suite("wtc") if not p.terminating]
+    wtc = wtc[:2] if quick else wtc[:6]
+
+    config = AnalysisConfig(nonterm="only")
+    nonterminating = unknown = errors = 0
+    iterations = lassos_checked = lassos_valid = 0
+    started = time.perf_counter()
+    for kind, name, program in (
+        [("gadget", g.name, g.source) for g in gadgets]
+        + [("wtc", p.name, p.build()) for p in wtc]
+    ):
+        result = analyze(program, tool="termite", config=config, name=name)
+        iterations += result.iterations
+        if result.disproved:
+            nonterminating += 1
+            if result.lasso is not None:
+                lassos_checked += 1
+                lassos_valid += int(result.certificate_checked)
+        elif result.status.value == "unknown":
+            unknown += 1
+        else:
+            errors += 1
+    wall = time.perf_counter() - started
+
+    return {
+        "suite": "nonterm",
+        "wall_seconds": round(wall, 4),
+        "programs": len(gadgets) + len(wtc),
+        "gadgets": len(gadgets),
+        "wtc_programs": len(wtc),
+        "nonterminating": nonterminating,
+        "unknown": unknown,
+        "errors": errors,
+        "iterations": iterations,
+        "lassos_checked": lassos_checked,
+        "lassos_valid": lassos_valid,
+    }
+
+
 #: Suite name → runner, in the canonical (cheapest-first) order.  The
-#: ``service`` suite is opt-in (``repro bench service``): it forks a
-#: worker pool and proves the WTC slice end to end, so the default
-#: ``repro bench`` run keeps the historical five-suite document.
+#: ``service`` and ``nonterm`` suites are opt-in (``repro bench service
+#: nonterm``): one forks a worker pool, the other proves the
+#: nonterminating corpus slice end to end, so the default ``repro
+#: bench`` run keeps the historical five-suite document.
 SUITE_RUNNERS = {
     "kernel_rows": bench_kernel_rows,
     "simplex": bench_simplex,
@@ -493,6 +555,7 @@ SUITE_RUNNERS = {
     "table1_wtc": lambda quick, seed: bench_table1_slice(quick=quick),
     "cegis_ablation": bench_cegis_ablation,
     "service": bench_service,
+    "nonterm": bench_nonterm,
 }
 
 #: The suites ``repro bench`` runs when none are named.

@@ -12,10 +12,14 @@ to caller-side mutation: every lookup deserialises a fresh result.
 served on trust.  On every hit the synthesised ranking function is
 re-verified against a freshly built termination problem by the
 independent certificate checker of :mod:`repro.checking.checker` — the
-engine that shares no code with the LP/SMT synthesis loop.  A hit whose
-certificate the checker cannot re-validate is **dropped and recounted as
-a miss** (and ``revalidation_failures`` is incremented), so a corrupted
-or stale entry can cost throughput but never soundness.  Problems are
+engine that shares no code with the LP/SMT synthesis loop.  A cached
+``NONTERMINATING`` claim gets the same treatment: its lasso witness is
+replayed against a freshly built automaton by
+:func:`repro.checking.recurrence.check_recurrence`, and an entry with
+no lasso at all is unauditable and refused.  A hit whose certificate
+the checker cannot re-validate is **dropped and recounted as a miss**
+(and ``revalidation_failures`` is incremented), so a corrupted or stale
+entry can cost throughput but never soundness.  Problems/automata are
 memoised per key, so steady-state revalidation costs one checker pass,
 not a pipeline rebuild.
 
@@ -73,6 +77,10 @@ class _Entry:
     # revalidation so later hits pay one checker pass only.
     problem: object = None
     checkable: bool = field(default=False)
+    # The rebuilt ControlFlowAutomaton, memoised likewise for
+    # NONTERMINATING entries (lasso replay anchors to the automaton,
+    # not the large-block problem).
+    automaton: object = None
 
 
 class ResultCache:
@@ -132,6 +140,14 @@ class ResultCache:
                     self._stats.misses += 1
                     self._entries.pop(key, None)
                 return None
+        elif self.revalidate and result.status is AnalysisStatus.NONTERMINATING:
+            ok, revalidated = self._revalidate_lasso(request, entry, result)
+            if not ok:
+                with self._lock:
+                    self._stats.revalidation_failures += 1
+                    self._stats.misses += 1
+                    self._entries.pop(key, None)
+                return None
         with self._lock:
             self._stats.hits += 1
         result.provenance = Provenance(
@@ -182,6 +198,46 @@ class ResultCache:
                 result.ranking,
                 integer_mode=request.config.integer_mode,
             )
+        except Exception:
+            return False, False
+        with self._lock:
+            self._stats.revalidations += 1
+        if verdict.status != CertificateVerdict.VALID:
+            return False, False
+        return True, True
+
+    def _revalidate_lasso(
+        self,
+        request: AnalysisRequest,
+        entry: _Entry,
+        result: AnalysisResult,
+    ) -> Tuple[bool, bool]:
+        """Replay a cached NONTERMINATING claim's lasso witness.
+
+        Mirrors :meth:`_revalidate` for the other verdict: the automaton
+        is rebuilt once and memoised on the entry, and only a lasso the
+        independent recurrence checker marks VALID is served.  An entry
+        claiming NONTERMINATING without a lasso is unauditable — dropped.
+        """
+        from repro.api.pipeline import Analysis
+        from repro.checking.checker import CertificateVerdict
+        from repro.checking.recurrence import check_recurrence
+
+        if result.lasso is None:
+            return False, False
+        automaton = entry.automaton
+        if automaton is None:
+            try:
+                analysis = Analysis(
+                    request.program, config=request.config, name=request.name
+                )
+                automaton = analysis.automaton()
+            except Exception:
+                return False, False
+            with self._lock:
+                entry.automaton = automaton
+        try:
+            verdict = check_recurrence(automaton, result.lasso)
         except Exception:
             return False, False
         with self._lock:

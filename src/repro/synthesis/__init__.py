@@ -28,6 +28,7 @@ from repro.synthesis.engine import (
     MonodimResult,
     MonodimStatistics,
     MultidimResult,
+    SynthesisCancelled,
     eliminate_lexicographic,
 )
 from repro.synthesis.oracles import (
@@ -59,6 +60,7 @@ __all__ = [
     "MonodimResult",
     "MonodimStatistics",
     "MultidimResult",
+    "SynthesisCancelled",
     "eliminate_lexicographic",
     "CounterexampleOracle",
     "OracleRequest",

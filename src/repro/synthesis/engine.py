@@ -66,6 +66,16 @@ class MaxIterationsExceeded(RuntimeError):
     """
 
 
+class SynthesisCancelled(RuntimeError):
+    """The synthesis loop was cancelled through its ``should_stop`` hook.
+
+    Raised co-operatively (between iterations, never mid-solve) when a
+    caller racing several engines — e.g. termination against
+    nontermination in the combined ``nonterm="auto"`` mode — has already
+    obtained a verdict and asks the losers to stand down.
+    """
+
+
 @dataclass
 class MonodimStatistics:
     """Counters for one run of the mono-dimensional loop.
@@ -140,11 +150,13 @@ class CegisEngine:
         max_iterations: int = 200,
         lp_mode: str = "incremental",
         observers: Sequence[CegisObserver] = (),
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
         self.oracle = oracle
         self.strategy = strategy
         self.max_iterations = max_iterations
         self.lp_mode = lp_mode
+        self.should_stop = should_stop
         self._observers: List[CegisObserver] = list(observers)
 
     def add_observer(self, observer: CegisObserver) -> None:
@@ -239,6 +251,11 @@ class CegisEngine:
         self.oracle.reset(template, extra_constraints)
 
         while True:
+            if self.should_stop is not None and self.should_stop():
+                raise SynthesisCancelled(
+                    "synthesis cancelled before iteration %d"
+                    % (statistics.iterations + 1)
+                )
             statistics.iterations += 1
             if statistics.iterations > self.max_iterations:
                 raise MaxIterationsExceeded(

@@ -1,0 +1,116 @@
+"""The nontermination surface of the ``repro`` command line."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.api import AnalysisResult
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+NONTERM = "var x; while (x >= 0) { x = x + 1; }"
+TERM = "var x; while (x > 0) { x = x - 1; }"
+
+#: Every trace line is exactly this CegisEvent shape.
+TRACE_KEYS = {"kind", "component", "iteration", "payload"}
+
+
+def run_cli(*args, stdin=None):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(SRC) + os.pathsep + environment.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        env=environment,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+
+
+class TestProve:
+    def test_nonterminating_exits_5_with_lasso(self):
+        process = run_cli("prove", "-", "--nonterm", "auto", stdin=NONTERM)
+        assert process.returncode == 5, process.stderr
+        assert "nonterminating" in process.stdout
+        assert "lasso witness" in process.stdout
+
+    def test_json_result_round_trips_with_lasso(self):
+        process = run_cli(
+            "prove", "-", "--nonterm", "only", "--json", stdin=NONTERM
+        )
+        assert process.returncode == 5, process.stderr
+        result = AnalysisResult.from_json(process.stdout)
+        assert result.disproved
+        assert result.lasso is not None
+        assert AnalysisResult.from_json(result.to_json()) == result
+
+    def test_terminating_still_exits_0_under_auto(self):
+        process = run_cli("prove", "-", "--nonterm", "auto", stdin=TERM)
+        assert process.returncode == 0, process.stderr
+
+    def test_off_is_the_default(self):
+        process = run_cli("prove", "-", stdin=NONTERM)
+        assert process.returncode == 2
+
+    def test_invalid_mode_is_a_usage_error(self):
+        process = run_cli("prove", "-", "--nonterm", "race", stdin=NONTERM)
+        assert process.returncode == 2
+        assert "--nonterm" in process.stderr
+
+
+class TestTrace:
+    def test_trace_schema(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        process = run_cli(
+            "prove",
+            "-",
+            "--nonterm",
+            "auto",
+            "--trace",
+            str(trace),
+            stdin=NONTERM,
+        )
+        assert process.returncode == 5, process.stderr
+        lines = trace.read_text().splitlines()
+        assert lines, "trace file is empty"
+        events = [json.loads(line) for line in lines]
+        for event in events:
+            assert set(event) == TRACE_KEYS
+            assert isinstance(event["kind"], str)
+            assert isinstance(event["component"], int)
+            assert isinstance(event["iteration"], int)
+            assert isinstance(event["payload"], dict)
+        assert any(event["kind"].startswith("nonterm_") for event in events)
+        # Both race lanes flush their closing event; whichever lane loses
+        # the race writes last, so only require that each lane closed.
+        kinds = {event["kind"] for event in events}
+        assert "nonterm_end" in kinds or "cancelled" in kinds
+
+    def test_trace_on_termination_run_too(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        process = run_cli(
+            "prove", "-", "--trace", str(trace), stdin=TERM
+        )
+        assert process.returncode == 0, process.stderr
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events
+        assert all(set(event) == TRACE_KEYS for event in events)
+
+
+class TestCheck:
+    def test_check_validates_a_nontermination_claim(self):
+        process = run_cli("check", "-", "--nonterm", "only", stdin=NONTERM)
+        assert process.returncode == 0, process.stdout + process.stderr
+        assert "nonterminating" in process.stdout
+        assert "1 disproved" in process.stdout
+
+    def test_check_unknown_still_exits_2(self):
+        process = run_cli("check", "-", stdin=NONTERM)
+        assert process.returncode == 2

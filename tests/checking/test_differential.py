@@ -37,6 +37,19 @@ class BogusProver(Prover):
         )
 
 
+class BogusNontermProver(Prover):
+    """Deliberately unsound the other way: disproves everything, no lasso."""
+
+    name = "bogus_nonterm_test_prover"
+    summary = "test stub: claims NONTERMINATING without a witness"
+
+    def prove(self, problem, config):
+        return AnalysisResult(
+            tool=self.name,
+            status=AnalysisStatus.NONTERMINATING,
+        )
+
+
 @pytest.fixture
 def bogus_prover():
     register_prover(BogusProver())
@@ -44,6 +57,15 @@ def bogus_prover():
         yield BogusProver.name
     finally:
         _REGISTRY.pop(BogusProver.name, None)
+
+
+@pytest.fixture
+def bogus_nonterm_prover():
+    register_prover(BogusNontermProver())
+    try:
+        yield BogusNontermProver.name
+    finally:
+        _REGISTRY.pop(BogusNontermProver.name, None)
 
 
 class TestAuditSource:
@@ -75,6 +97,49 @@ class TestAuditSource:
         audit = audit_generated_program(program, tools=[bogus_prover])
         kinds = {violation.kind for violation in audit.violations}
         assert "proved_nonterminating" in kinds
+
+
+class TestTwoSidedGroundTruth:
+    def test_nonterm_claim_on_terminating_program(self, bogus_nonterm_prover):
+        program = ProgramGenerator(2).generate(0)  # a countdown
+        assert program.expected == "terminating"
+        audit = audit_generated_program(program, tools=[bogus_nonterm_prover])
+        kinds = {violation.kind for violation in audit.violations}
+        assert "nonterm_on_terminating" in kinds
+        assert "lasso_rejected" in kinds  # the claim carried no witness
+
+    def test_missing_lasso_is_rejected_even_without_ground_truth(
+        self, bogus_nonterm_prover
+    ):
+        audit = audit_source(
+            "var x; while (x >= 0) { x = x + 1; }",
+            tools=[bogus_nonterm_prover],
+        )
+        kinds = {violation.kind for violation in audit.violations}
+        assert kinds == {"lasso_rejected"}
+        assert "without a lasso witness" in audit.violations[0].detail
+
+    def test_real_nontermination_verdict_is_audited_clean(self):
+        audit = audit_source(
+            "var x; while (x >= 0) { x = x + 1; }",
+            tools=["termite"],
+            config=default_fuzz_config(),
+        )
+        assert not audit.violations
+        verdict = audit.lasso_verdicts["termite"]
+        assert verdict.status == "valid"
+
+    def test_report_counts_lassos(self):
+        report = fuzz(
+            seed=6,
+            count=8,
+            tools=["termite"],
+            config=default_fuzz_config(),
+        )
+        assert report.ok, report.summary()
+        document = report.to_dict()
+        assert document["lassos_valid"] <= document["lassos_checked"]
+        assert "lassos audited" in report.summary()
 
 
 class TestCampaign:

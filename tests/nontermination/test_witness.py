@@ -1,0 +1,80 @@
+"""The lasso witness: exact JSON round-trips and the describe() view."""
+
+import json
+from fractions import Fraction
+
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.nontermination.witness import (
+    CycleStep,
+    Lasso,
+    StemStep,
+    constraint_from_dict,
+    constraint_to_dict,
+)
+
+
+def _lasso() -> Lasso:
+    return Lasso(
+        cutpoint="loop_head_1",
+        rows=[
+            Constraint(
+                LinExpr({"x": Fraction(-1)}, Fraction(3, 2)), Relation.LE
+            ),
+            Constraint(LinExpr({"y": Fraction(1, 3)}), Relation.LT),
+        ],
+        initial={"x": Fraction(7), "y": Fraction(-2, 1)},
+        stem=[
+            StemStep(transition=0, choices={"y": Fraction(5, 2)}),
+            StemStep(transition=2, choices={}),
+        ],
+        cycle=[
+            CycleStep(
+                transition=3,
+                conjunct=1,
+                choices={"x": LinExpr({"x": Fraction(1)}, Fraction(1))},
+            ),
+            CycleStep(transition=4),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_exact_json_round_trip(self):
+        lasso = _lasso()
+        document = json.loads(json.dumps(lasso.to_dict()))
+        assert Lasso.from_dict(document) == lasso
+
+    def test_fractions_serialise_as_strings(self):
+        document = _lasso().to_dict()
+        assert document["initial"]["x"] == "7"
+        assert document["initial"]["y"] == "-2"
+        text = json.dumps(document)
+        assert "Fraction" not in text
+
+    def test_constraint_round_trip_preserves_relation(self):
+        for relation in (Relation.LE, Relation.LT, Relation.EQ):
+            constraint = Constraint(
+                LinExpr({"z": Fraction(5, 7)}, Fraction(-1, 2)), relation
+            )
+            data = json.loads(json.dumps(constraint_to_dict(constraint)))
+            assert constraint_from_dict(data) == constraint
+
+    def test_empty_stem_and_choices(self):
+        lasso = Lasso(
+            cutpoint="head",
+            rows=[Constraint(LinExpr({"x": Fraction(1)}), Relation.LE)],
+            initial={"x": Fraction(0)},
+            stem=[],
+            cycle=[CycleStep(transition=0)],
+        )
+        assert Lasso.from_dict(lasso.to_dict()) == lasso
+
+
+class TestDescribe:
+    def test_describe_counts_rows_and_steps(self):
+        text = _lasso().describe()
+        assert "2 rows" in text
+        assert "loop_head_1" in text
+        assert "stem 2 steps" in text
+        assert "cycle 2 steps" in text

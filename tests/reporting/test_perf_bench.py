@@ -13,6 +13,7 @@ from repro.reporting.perf import (
     SUITE_RUNNERS,
     bench_cegis_ablation,
     bench_kernel_rows,
+    bench_nonterm,
     bench_projection,
     bench_service,
     bench_simplex,
@@ -78,6 +79,14 @@ class TestSuites:
             assert variant["lp_rows"] > 0
             assert variant["oracle_queries"] >= variant["iterations"]
 
+    def test_nonterm_certifies_every_verdict(self):
+        report = bench_nonterm(quick=True)
+        assert report["suite"] == "nonterm"
+        assert report["nonterminating"] > 0
+        assert report["errors"] == 0
+        assert report["lassos_checked"] == report["nonterminating"]
+        assert report["lassos_valid"] == report["lassos_checked"]
+
     def test_deterministic_counters_across_runs(self):
         # Wall-clock varies; the seeded workload counters must not.
         first = bench_simplex(quick=True, seed=5)
@@ -89,7 +98,11 @@ class TestSuites:
 class TestSuiteSelection:
     def test_default_suites_match_the_committed_document(self):
         assert set(DEFAULT_SUITES) == EXPECTED_SUITES
-        assert set(DEFAULT_SUITES) | {"service"} == set(SUITE_RUNNERS)
+        # service and nonterm are opt-in suites: runnable by name, kept out
+        # of the default selection (and so out of CI's perf smoke).
+        assert set(DEFAULT_SUITES) | {"service", "nonterm"} == set(
+            SUITE_RUNNERS
+        )
 
     def test_run_suite_with_a_selection(self):
         document = run_suite(quick=True, suites=["kernel_rows"])

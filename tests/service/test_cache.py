@@ -136,6 +136,65 @@ class TestRevalidation:
         assert cache.stats().revalidations == 0
 
 
+class TestNonterminationRevalidation:
+    NONTERM = "var x; while (x >= 0) { x = x + 1; }"
+
+    def _nonterm_request(self) -> AnalysisRequest:
+        return _request(
+            self.NONTERM, config=AnalysisConfig(nonterm="only")
+        )
+
+    def test_lasso_replayed_on_every_hit(self):
+        cache = ResultCache()
+        request = self._nonterm_request()
+        result = _computed(request)
+        assert result.status is AnalysisStatus.NONTERMINATING
+        cache.store(request, result)
+        hit = cache.lookup(request)
+        assert hit is not None and hit.disproved
+        assert hit.lasso is not None
+        assert hit.provenance.revalidated is True
+        cache.lookup(request)
+        stats = cache.stats()
+        assert stats.revalidations == 2
+        assert stats.revalidation_failures == 0
+        # The rebuilt automaton is memoised on the entry.
+        entry = cache._entries[request.cache_key()]
+        assert entry.automaton is not None
+
+    def test_corrupted_lasso_is_not_served(self):
+        cache = ResultCache()
+        request = self._nonterm_request()
+        cache.store(request, _computed(request))
+        entry = cache._entries[request.cache_key()]
+        entry.result["lasso"]["cutpoint"] = "no_such_location"
+        assert cache.lookup(request) is None
+        stats = cache.stats()
+        assert stats.revalidation_failures == 1
+        assert len(cache) == 0
+
+    def test_nonterminating_claim_without_lasso_is_refused(self):
+        cache = ResultCache()
+        request = self._nonterm_request()
+        bare = AnalysisResult(
+            tool="termite",
+            program=self.NONTERM,
+            status=AnalysisStatus.NONTERMINATING,
+        )
+        cache.store(request, bare)
+        assert cache.lookup(request) is None
+        assert cache.stats().revalidation_failures == 1
+
+    def test_revalidation_can_be_disabled_for_lassos_too(self):
+        cache = ResultCache(revalidate=False)
+        request = self._nonterm_request()
+        cache.store(request, _computed(request))
+        hit = cache.lookup(request)
+        assert hit is not None
+        assert hit.provenance.revalidated is False
+        assert cache.stats().revalidations == 0
+
+
 class TestEviction:
     def test_lru_bound_holds(self):
         cache = ResultCache(max_entries=2, revalidate=False)

@@ -171,6 +171,26 @@ class TestSocketServer:
         assert stats["revalidation_failures"] == 0
         assert stats["hits"] >= 1
 
+    def test_nonterminating_verdict_served_and_revalidated(self, server):
+        params = {
+            "program": "var x; while (x >= 0) { x = x + 1; }",
+            "config": {"nonterm": "only"},
+            "name": "nt-smoke",
+        }
+        client = Client(server.host, server.port)
+        try:
+            first = client.call("analyze", params)
+            assert first["result"]["status"] == "nonterminating"
+            assert first["result"]["lasso"] is not None
+            assert first["result"]["provenance"]["cache"] == "miss"
+            second = client.call("analyze", params)
+            assert second["result"]["status"] == "nonterminating"
+            provenance = second["result"]["provenance"]
+            assert provenance["cache"] == "hit"
+            assert provenance["revalidated"] is True
+        finally:
+            client.close()
+
     def test_malformed_json_answers_and_keeps_the_connection(self, server):
         client = Client(server.host, server.port)
         try:
