@@ -32,6 +32,7 @@ from repro.api.config import (
     CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
+    KERNELS,
     NONTERM_MODES,
     SMT_MODES,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "DOMAINS",
     "CEX_ORACLES",
     "CEX_STRATEGIES",
+    "KERNELS",
     "NONTERM_MODES",
     "CAPABILITIES",
     "Prover",

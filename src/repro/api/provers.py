@@ -59,6 +59,7 @@ class TermiteProver(Prover):
             "cex-oracles",
             "cex-strategies",
             "lp-modes",
+            "kernels",
             "max-dimension",
             "events",
             "nontermination",
@@ -119,6 +120,7 @@ class TermiteProver(Prover):
                 max_iterations=config.max_iterations,
                 lp_statistics=lp_statistics,
                 lp_mode=config.lp_mode,
+                kernel=config.kernel,
                 oracle=config.cex_oracle,
                 cex_strategy=config.cex_strategy,
                 cex_batch=config.cex_batch,

@@ -45,10 +45,12 @@ as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
 import json
 import sys
 import time
+from dataclasses import replace
 
 from repro.api import (
     AnalysisConfig,
@@ -57,6 +59,7 @@ from repro.api import (
     CEX_STRATEGIES,
     ConfigError,
     DOMAINS,
+    KERNELS,
     NONTERM_MODES,
     RequestError,
     SMT_MODES,
@@ -89,6 +92,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument("--smt-mode", choices=list(SMT_MODES), default=None)
     group.add_argument("--lp-mode", choices=list(LP_MODES), default=None)
+    group.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        help="LP/projection row kernel: 'packed' (numpy int64 fast path "
+        "with exact overflow fallback), 'exact' (bignum rows) or 'auto'",
+    )
     group.add_argument("--domain", choices=list(DOMAINS), default=None)
     group.add_argument(
         "--oracle",
@@ -163,6 +173,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> AnalysisConfig:
     for flag, field in [
         ("smt_mode", "smt_mode"),
         ("lp_mode", "lp_mode"),
+        ("kernel", "kernel"),
         ("domain", "domain"),
         ("cex_oracle", "cex_oracle"),
         ("cex_strategy", "cex_strategy"),
@@ -220,37 +231,46 @@ def command_prove(arguments: argparse.Namespace) -> int:
     except RequestError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
-    trace_events = []
-    engine_observers = [trace_events.append] if arguments.trace else []
-    try:
-        result = analyze(request, engine_observers=engine_observers)
-    except Exception as error:  # surface a parse/analysis failure as exit 1
-        print("error: %s: %s" % (type(error).__name__, error), file=sys.stderr)
-        return 1
-
+    # The trace stream is opened *before* the engine runs and every event
+    # is written and flushed as it happens, inside a context manager.  An
+    # engine exception (or a cancelled nonterm race) therefore still
+    # leaves a closed file of complete, individually parseable JSON lines
+    # — buffering the events and dumping them after ``analyze`` returned
+    # used to leak the handle and truncate the last line on a crash.
+    trace_handle = None
     if arguments.trace:
         try:
-            with open(arguments.trace, "w") as handle:
-                for event in trace_events:
-                    handle.write(
-                        json.dumps(
-                            {
-                                "kind": event.kind,
-                                "component": event.component,
-                                "iteration": event.iteration,
-                                "payload": event.payload,
-                            },
-                            default=str,
-                            sort_keys=True,
-                        )
-                    )
-                    handle.write("\n")
+            trace_handle = open(arguments.trace, "w")
         except OSError as error:
             print(
                 "error: cannot write %s: %s" % (arguments.trace, error),
                 file=sys.stderr,
             )
             return 1
+
+    def _write_trace_event(event) -> None:
+        trace_handle.write(
+            json.dumps(
+                {
+                    "kind": event.kind,
+                    "component": event.component,
+                    "iteration": event.iteration,
+                    "payload": event.payload,
+                },
+                default=str,
+                sort_keys=True,
+            )
+        )
+        trace_handle.write("\n")
+        trace_handle.flush()
+
+    engine_observers = [_write_trace_event] if trace_handle is not None else []
+    try:
+        with trace_handle if trace_handle is not None else contextlib.nullcontext():
+            result = analyze(request, engine_observers=engine_observers)
+    except Exception as error:  # surface a parse/analysis failure as exit 1
+        print("error: %s: %s" % (type(error).__name__, error), file=sys.stderr)
+        return 1
 
     if arguments.json:
         print(result.to_json(indent=2))
@@ -549,11 +569,15 @@ def command_fuzz(arguments: argparse.Namespace) -> int:
 
     progress = verbose_progress if arguments.verbose else None
 
+    config = default_fuzz_config()
+    if arguments.kernel:
+        config = replace(config, kernel=arguments.kernel)
+
     report = fuzz(
         seed=arguments.seed,
         count=arguments.count,
         tools=tools,
-        config=default_fuzz_config(),
+        config=config,
         shrink=not arguments.no_shrink,
         jobs=arguments.jobs,
         timeout=arguments.timeout,
@@ -913,6 +937,15 @@ def add_table1_arguments(parser: argparse.ArgumentParser) -> None:
         "ablation baseline), 'audit' does both and cross-checks the "
         "optima (default: incremental)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="LP/projection row kernel: 'packed' (numpy int64 fast path "
+        "with exact overflow fallback), 'exact' (bignum rows), or "
+        "'auto' (default: packed on wide systems when numpy is "
+        "available)",
+    )
 
 
 def command_table1(arguments: argparse.Namespace) -> int:
@@ -942,6 +975,7 @@ def command_table1(arguments: argparse.Namespace) -> int:
         timeout=arguments.timeout,
         lp_mode=arguments.lp_mode,
         name_filter=arguments.name_filter,
+        kernel=arguments.kernel,
     )
     elapsed = time.perf_counter() - started
 
@@ -958,6 +992,7 @@ def command_table1(arguments: argparse.Namespace) -> int:
             "jobs": arguments.jobs,
             "timeout": arguments.timeout,
             "lp_mode": arguments.lp_mode,
+            "kernel": arguments.kernel,
             "wall_seconds": round(elapsed, 3),
         },
     )
@@ -1160,6 +1195,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-program budget covering all tools (runs through the "
         "crash-isolated engine; default: none)",
+    )
+    fuzz.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        metavar="KERNEL",
+        help="LP/projection row kernel for every prover under test "
+        "(choices: %s; default: the config default)" % ", ".join(KERNELS),
     )
     fuzz.add_argument(
         "--no-shrink",

@@ -180,6 +180,7 @@ class RankingLp:
         problem: TerminationProblem,
         statistics: Optional[LpStatistics] = None,
         mode: str = "incremental",
+        kernel: str = "auto",
     ):
         if mode not in LP_MODES:
             raise ValueError(
@@ -187,6 +188,12 @@ class RankingLp:
             )
         self.problem = problem
         self.mode = mode
+        #: Row-representation knob of the underlying simplex (see
+        #: :data:`repro.linalg.packed.KERNELS`).  Audit mode's shadow
+        #: solve always runs the exact kernel, so ``mode="audit"`` with
+        #: ``kernel="packed"`` cross-checks the packed fast path against
+        #: exact bignum arithmetic on every fresh instance.
+        self.kernel = kernel
         self.rows = problem.invariant_rows()
         self.stacked_rows = [problem.stacked_row(row) for row in self.rows]
         self.counterexamples: List[Vector] = []
@@ -282,7 +289,7 @@ class RankingLp:
         is accounted.
         """
         if self._state is None:
-            self._state = SimplexState(Sense.MAXIMIZE)
+            self._state = SimplexState(Sense.MAXIMIZE, kernel=self.kernel)
             for i in range(len(self.rows)):
                 self._state.declare(self._gamma_name(i), nonnegative=True)
         state = self._state
@@ -321,7 +328,7 @@ class RankingLp:
         return program
 
     def _solve_cold(self) -> LpResult:
-        outcome = self._build_cold_program().solve()
+        outcome = self._build_cold_program().solve(kernel=self.kernel)
         self.statistics.record_solve(outcome.pivots, warm=False)
         return outcome
 
@@ -333,9 +340,13 @@ class RankingLp:
         warm assignment must also be a feasible point of the cold program
         achieving that value.  The measured pivot difference is the saving
         the warm start bought on this instance.
+
+        The shadow solve always runs the **exact** kernel, whatever
+        ``self.kernel`` says: with ``kernel="packed"`` this is the
+        bit-identical packed-vs-exact cross-check of the int64 fast path.
         """
         program = self._build_cold_program()
-        cold_outcome = program.solve()
+        cold_outcome = program.solve(kernel="exact")
         if cold_outcome.status is not warm_outcome.status:
             raise RuntimeError(
                 "warm/cold status mismatch: %s vs %s"

@@ -51,6 +51,7 @@ def synthesize_monodim(
     max_iterations: int = 200,
     lp_statistics: Optional[LpStatistics] = None,
     lp_mode: str = "incremental",
+    kernel: str = "auto",
     oracle: str = "smt",
     cex_strategy: str = "extremal",
     cex_batch: int = 1,
@@ -81,6 +82,7 @@ def synthesize_monodim(
         make_strategy(cex_strategy, batch=cex_batch, seed=oracle_seed),
         max_iterations=max_iterations,
         lp_mode=lp_mode,
+        kernel=kernel,
         observers=observers,
     )
     return engine.synthesize_component(

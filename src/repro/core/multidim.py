@@ -33,6 +33,7 @@ def synthesize_multidim(
     max_iterations: int = 200,
     lp_statistics: Optional[LpStatistics] = None,
     lp_mode: str = "incremental",
+    kernel: str = "auto",
     oracle: str = "smt",
     cex_strategy: str = "extremal",
     cex_batch: int = 1,
@@ -62,6 +63,7 @@ def synthesize_multidim(
         make_strategy(cex_strategy, batch=cex_batch, seed=oracle_seed),
         max_iterations=max_iterations,
         lp_mode=lp_mode,
+        kernel=kernel,
         observers=observers,
         should_stop=should_stop,
     )

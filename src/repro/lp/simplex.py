@@ -26,6 +26,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.linalg.packed import PackedRow, pack_row, resolve_kernel
 from repro.linalg.sparse import SparseRow
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
@@ -207,23 +208,68 @@ class _Tableau:
     tests) compare exact values, so the pivot *sequence* — and therefore
     every pivot counter the warm-start machinery reports — is identical
     to the dense-``Fraction`` tableau this replaces.
+
+    With ``kernel="packed"`` rows are held as
+    :class:`~repro.linalg.packed.PackedRow` fixed-width int64 arrays:
+    every fused pivot/elimination runs as a vectorised numpy sweep, and
+    the Bland/ratio scans gather their per-row column values in one
+    batched pass over the tableau before comparing the surviving
+    candidates exactly.  Rows whose values outgrow int64 transparently
+    fall back to exact :class:`SparseRow` arithmetic (see the overflow
+    contract in :mod:`repro.linalg.packed`), so the pivot sequence is
+    bit-identical to the exact kernel's in either mode.
     """
 
-    def __init__(self, rows: List[SparseRow], num_cols: int, cost: SparseRow):
+    def __init__(
+        self,
+        rows: List[SparseRow],
+        num_cols: int,
+        cost: SparseRow,
+        kernel: str = "exact",
+    ):
+        self.kernel = kernel
+        if kernel == "packed":
+            width = num_cols + 1  # one slot per column plus the _RHS sentinel
+            rows = [pack_row(row, width) for row in rows]
+            cost = pack_row(cost, width)
         self.rows = rows
         self.num_rows = len(rows)
         self.num_cols = num_cols
         self.basis: List[int] = []
         self._cost = cost  # fused: value at _RHS is minus the objective
         self.pivot_count = 0
+        #: One-shot gather cache: the ratio test hands its entering-column
+        #: sweep to the pivot that immediately follows (rows are unchanged
+        #: in between), halving the per-pivot column gathers.
+        self._gathered: Optional[Tuple[int, List[int]]] = None
+
+    def _pack(self, row: SparseRow):
+        """Pack a freshly-built row when the tableau runs the packed kernel."""
+        if self.kernel != "packed":
+            return row
+        return pack_row(row, self.num_cols + 1)
 
     def install_cost(self, cost: List[Fraction]) -> None:
         """Install a new objective and price it out against the basis."""
-        priced = SparseRow.from_pairs(enumerate(cost))
+        priced = self._pack(SparseRow.from_pairs(enumerate(cost)))
         for row_index, basic_col in enumerate(self.basis):
             if priced.numerator_at(basic_col):
                 priced = priced.eliminate(basic_col, self.rows[row_index])
         self._cost = priced
+
+    def extend_cost(self, entries: Dict[int, Fraction]) -> None:
+        """Add objective terms on currently-*nonbasic* columns to the cost row.
+
+        For a nonbasic column ``j`` the reduced cost is ``c_j`` minus a
+        combination of *basic* costs; changing ``c_j`` alone therefore
+        shifts its reduced cost by exactly the new term while every other
+        reduced cost — and the objective value, since nonbasic columns
+        sit at zero — stays put.  This is the cheap per-batch repricing
+        the warm path uses when an iteration only appended fresh columns
+        (the δ of new counterexamples); callers must verify the columns
+        are nonbasic first.
+        """
+        self._cost = self._cost + self._pack(SparseRow.from_dict(entries))
 
     # -- incremental growth ----------------------------------------------------
 
@@ -237,7 +283,9 @@ class _Tableau:
         self.num_cols += 1
         column = self.num_cols - 1
         if cost:
-            self._cost = self._cost + SparseRow.from_pairs([(column, cost)])
+            self._cost = self._cost + self._pack(
+                SparseRow.from_pairs([(column, cost)])
+            )
         return column
 
     def append_row(self, row: SparseRow, basic_column: int) -> None:
@@ -245,6 +293,7 @@ class _Tableau:
         self.rows.append(row)
         self.basis.append(basic_column)
         self.num_rows += 1
+        self._gathered = None  # the cached sweep no longer covers every row
 
     def eliminate_against_basis(self, row: SparseRow) -> SparseRow:
         """Express a fresh fused row in terms of the current basis.
@@ -260,15 +309,62 @@ class _Tableau:
 
     # -- pivoting ------------------------------------------------------------
 
+    def _column(self, col: int) -> List[int]:
+        """Numerators of column *col* across every row, one batched sweep.
+
+        Under the packed kernel each row's value is a single dense-slot
+        read (``ndarray.item`` returns a Python int directly), skipping
+        the per-row ``numerator_at`` method-call overhead that dominates
+        the pivot scans on wide tableaus.
+        """
+        position = col + 1
+        column = []
+        append = column.append
+        for current in self.rows:
+            if type(current) is PackedRow:
+                dense = current._dense
+                append(
+                    dense.item(position) if position < dense.shape[0] else 0
+                )
+            else:
+                append(current.numerator_at(col))
+        return column
+
     def pivot(self, row: int, col: int) -> None:
-        """Pivot so that column *col* becomes basic in row *row*."""
+        """Pivot so that column *col* becomes basic in row *row*.
+
+        The pivot column is gathered once across the tableau, then every
+        row with a nonzero entry is eliminated through one fused merge
+        (the gathered value feeds the merge directly, so no row is asked
+        for the same entry twice).  Under the packed kernel every
+        elimination result is re-packed: a row whose values once exceeded
+        int64 (and fell back to an exact ``SparseRow``) returns to the
+        fast path as soon as GCD normalisation shrinks its entries back
+        into range, instead of staying exact for the rest of the solve.
+        """
+        cached = self._gathered
+        self._gathered = None
+        # The cached sweep predates the pivot row's normalisation, but the
+        # pivot row is skipped below, so only the unchanged rows are read.
+        column = cached[1] if cached and cached[0] == col else self._column(col)
         pivot_row = self.rows[row].pivot_normalized(col)
         self.rows[row] = pivot_row
+        packed = self.kernel == "packed"
+        p_c = pivot_row.numerator_at(col)
         for other in range(self.num_rows):
-            if other != row and self.rows[other].numerator_at(col):
-                self.rows[other] = self.rows[other].eliminate(col, pivot_row)
-        if self._cost.numerator_at(col):
-            self._cost = self._cost.eliminate(col, pivot_row)
+            s_c = column[other]
+            if other != row and s_c:
+                current = self.rows[other]
+                result = current._merge(
+                    pivot_row, p_c, -s_c, current.denominator * p_c
+                )
+                self.rows[other] = self._pack(result) if packed else result
+        s_c = self._cost.numerator_at(col)
+        if s_c:
+            result = self._cost._merge(
+                pivot_row, p_c, -s_c, self._cost.denominator * p_c
+            )
+            self._cost = self._pack(result) if packed else result
         self.basis[row] = col
         self.pivot_count += 1
 
@@ -309,32 +405,51 @@ class _Tableau:
                 break
             if entering is None:
                 return ("optimal", None)
-            # Ratio test on integers: within one row, rhs and coefficient
-            # share the denominator, so the ratio is the numerator quotient
-            # and cross-multiplication compares rows exactly.
-            leaving = None
-            best_rhs = best_coefficient = 0
-            for row in range(self.num_rows):
-                candidate = self.rows[row]
-                coefficient = candidate.numerator_at(entering)
-                if coefficient > 0:
-                    rhs = candidate.numerator_at(_RHS)
-                    if leaving is None:
-                        take = True
-                    else:
-                        lhs = rhs * best_coefficient
-                        rhs_cross = best_rhs * coefficient
-                        take = lhs < rhs_cross or (
-                            lhs == rhs_cross
-                            and self.basis[row] < self.basis[leaving]
-                        )
-                    if take:
-                        leaving = row
-                        best_rhs = rhs
-                        best_coefficient = coefficient
+            leaving = self._ratio_test(entering)
             if leaving is None:
                 return ("unbounded", entering)
             self.pivot(leaving, entering)
+
+    def _ratio_test(self, entering: int) -> Optional[int]:
+        """Bland ratio test: the leaving row for *entering*, or ``None``.
+
+        One batched sweep gathers every row's entering-column coefficient
+        and fused rhs (an O(1) slot read per row under the packed
+        kernel), then only the rows with a positive coefficient survive
+        into the exact cross-multiplied comparison.  Within one row, rhs
+        and coefficient share the row denominator, so the ratio is the
+        numerator quotient and cross multiplication compares rows
+        exactly — the selected pivot is identical in both kernels.
+        """
+        rows = self.rows
+        column = self._column(entering)
+        self._gathered = (entering, column)
+        leaving = None
+        best_rhs = best_coefficient = 0
+        for row, coefficient in enumerate(column):
+            if coefficient <= 0:
+                continue
+            current = rows[row]
+            # Lazy rhs read — only rows surviving the sign test pay it.
+            rhs = (
+                current._dense.item(0)
+                if type(current) is PackedRow
+                else current.numerator_at(_RHS)
+            )
+            if leaving is None:
+                take = True
+            else:
+                lhs = rhs * best_coefficient
+                rhs_cross = best_rhs * coefficient
+                take = lhs < rhs_cross or (
+                    lhs == rhs_cross
+                    and self.basis[row] < self.basis[leaving]
+                )
+            if take:
+                leaving = row
+                best_rhs = rhs
+                best_coefficient = coefficient
+        return leaving
 
     def dual_optimize(self, allowed_columns: Optional[set] = None) -> str:
         """Run the dual simplex until the basis is primal feasible.
@@ -347,14 +462,19 @@ class _Tableau:
         ratio enters) rules out cycling.
         """
         while True:
-            leaving = None
-            for row in range(self.num_rows):
-                if self.rows[row].numerator_at(_RHS) < 0 and (
-                    leaving is None or self.basis[row] < self.basis[leaving]
-                ):
-                    leaving = row
-            if leaving is None:
+            # Batched leaving-row sweep: one pass gathers every row's
+            # fused-rhs sign (an O(1) slot read under the packed kernel),
+            # then Bland's dual rule picks the smallest basic index among
+            # the negative ones.
+            basis = self.basis
+            negative = [
+                row
+                for row, rhs in enumerate(self._column(_RHS))
+                if rhs < 0
+            ]
+            if not negative:
                 return "optimal"
+            leaving = min(negative, key=basis.__getitem__)
             # The entering ratio is reduced[col] / (-coefficient); the cost
             # and pivot row denominators are constant across candidates, so
             # comparing numerator cross-products picks the same column.
@@ -386,7 +506,9 @@ class _Tableau:
         return direction
 
 
-def _two_phase(standard: _StandardForm) -> Tuple[bool, _Tableau, int]:
+def _two_phase(
+    standard: _StandardForm, kernel: str = "exact"
+) -> Tuple[bool, _Tableau, int]:
     """Phase 1: find a basic feasible solution for *standard*.
 
     Returns ``(feasible, tableau, artificial_start)``; on success the
@@ -420,7 +542,7 @@ def _two_phase(standard: _StandardForm) -> Tuple[bool, _Tableau, int]:
         for position in range(len(needy_rows))
     ]
     tableau = _Tableau(rows, num_cols + len(needy_rows),
-                       SparseRow.from_pairs(phase1_cost))
+                       SparseRow.from_pairs(phase1_cost), kernel=kernel)
     tableau.basis = [
         artificial_of_row.get(row_index, standard.basis_candidate[row_index])
         for row_index in range(num_rows)
@@ -457,13 +579,16 @@ def solve_lp(
     sense: Sense = Sense.MINIMIZE,
     variables: Optional[Sequence[str]] = None,
     nonnegative: FrozenSet[str] = frozenset(),
+    kernel: str = "exact",
 ) -> LpResult:
     """Solve ``optimise objective subject to constraints`` exactly.
 
     ``variables`` fixes the set (and order) of variables appearing in the
     result; when omitted it is inferred from the constraints and objective.
     Variables in ``nonnegative`` are treated as implicitly ``≥ 0`` (single
-    standard-form column instead of a split pair).
+    standard-form column instead of a split pair).  ``kernel`` selects the
+    row representation (see :data:`repro.linalg.packed.KERNELS`); the
+    result — statuses, optima, pivot counts — is identical either way.
     """
     if variables is None:
         names = set(objective.variables())
@@ -479,7 +604,8 @@ def solve_lp(
     )
 
     num_cols = standard.num_columns
-    feasible, tableau, artificial_start = _two_phase(standard)
+    kernel = resolve_kernel(kernel, num_cols + 1)
+    feasible, tableau, artificial_start = _two_phase(standard, kernel)
     if not feasible:
         return LpResult(status=LpStatus.INFEASIBLE, pivots=tableau.pivot_count)
 
@@ -535,10 +661,28 @@ class SimplexState:
     ``total_pivots`` / ``last_solve_pivots`` expose the counters the
     evaluation harness aggregates into
     :class:`~repro.core.lp_instance.LpStatistics`.
+
+    Appending a *batch* of constraints between solves costs one
+    dual-simplex basis-repair pass for the whole batch, not one per row:
+    every pending row is installed first, and a single
+    :meth:`_Tableau.dual_optimize` run restores primal feasibility for
+    all of them (``dual_repair_passes`` / ``last_repair_passes`` count
+    the passes so the ``cex_batch`` ablation can assert this).  When the
+    objective change since the last solve only *added* terms on columns
+    that are still nonbasic — the shape of every batched counterexample
+    iteration, whose fresh δ columns carry the new objective terms — the
+    repricing is a constant-size cost-row update instead of a full
+    re-elimination against the basis (``incremental_repricings``).
+
+    ``kernel`` selects the row representation (``"auto"`` resolves
+    against the tableau width at the first cold solve; see
+    :mod:`repro.linalg.packed`).  Pivot sequences and results are
+    identical across kernels.
     """
 
-    def __init__(self, sense: Sense = Sense.MINIMIZE):
+    def __init__(self, sense: Sense = Sense.MINIMIZE, kernel: str = "auto"):
         self.sense = sense
+        self.kernel = kernel
         self._objective = LinExpr()
         self._declared: Dict[str, bool] = {}  # name -> nonnegative, in order
         self._constraints: List[Constraint] = []
@@ -557,6 +701,9 @@ class SimplexState:
         self.total_pivots = 0
         self.last_solve_pivots = 0
         self.last_solve_warm = False
+        self.dual_repair_passes = 0
+        self.last_repair_passes = 0
+        self.incremental_repricings = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -659,7 +806,9 @@ class SimplexState:
             nonnegative,
         )
         num_cols = standard.num_columns
-        feasible, tableau, _ = _two_phase(standard)
+        feasible, tableau, _ = _two_phase(
+            standard, resolve_kernel(self.kernel, num_cols + 1)
+        )
         if not feasible:
             self._record(tableau.pivot_count, warm=False)
             self._infeasible = True
@@ -698,10 +847,9 @@ class SimplexState:
         # 2. New constraints become slack-form rows (an equality contributes
         # one ≤ row per direction), eliminated against the current basis;
         # a negative right-hand side is precisely what the dual simplex
-        # repairs next.
-        changed = bool(self._pending_constraints) or bool(
-            self._pending_variables
-        )
+        # repairs next.  The whole batch is installed before any repair
+        # pivot runs, so a ``cex_batch = k`` iteration pays one repair
+        # pass, not k.
         for constraint in self._pending_constraints:
             expressions = [constraint.expr]
             if constraint.relation is Relation.EQ:
@@ -713,13 +861,16 @@ class SimplexState:
                 entries[slack] = _ONE
                 entries[_RHS] = -expr.constant_term
                 row = tableau.eliminate_against_basis(
-                    SparseRow.from_dict(entries)
+                    tableau._pack(SparseRow.from_dict(entries))
                 )
                 tableau.append_row(row, slack)
         self._commit_pending()
 
         # 3. Restore primal feasibility under the previously-priced
-        # objective (for which the basis is dual feasible).
+        # objective (for which the basis is dual feasible): one multi-row
+        # dual-simplex repair pass for the whole appended batch.
+        self.dual_repair_passes += 1
+        self.last_repair_passes = 1
         status = tableau.dual_optimize(self._allowed)
         if status == "infeasible":
             self._record(tableau.pivot_count - start_pivots, warm=True)
@@ -729,15 +880,48 @@ class SimplexState:
                 pivots=tableau.pivot_count - start_pivots,
             )
 
-        # 4. Price the current objective and re-optimise with primal pivots.
-        if changed or self._objective != self._priced_objective:
-            tableau.install_cost(self._cost_vector(tableau.num_cols))
+        # 4. Price the current objective and re-optimise with primal
+        # pivots.  Appending rows leaves the maintained reduced-cost row
+        # valid (the new slack is basic with cost zero, so no existing
+        # reduced cost moves), so repricing is only needed when the
+        # objective itself changed since it was last priced.
+        if self._objective != self._priced_objective:
+            self._reprice(tableau)
         status, entering = tableau.optimize(allowed_columns=self._allowed)
         self._priced_objective = self._objective
         self._warm_ready = status == "optimal"
         pivots = tableau.pivot_count - start_pivots
         self._record(pivots, warm=True)
         return self._extract(status, entering, pivots)
+
+    def _reprice(self, tableau: _Tableau) -> None:
+        """Price the current objective against the tableau's basis.
+
+        When the change since the last pricing only *adds* terms on
+        columns that are currently nonbasic — the batched-refinement
+        shape, where each iteration's objective gains one fresh δ per
+        appended counterexample — the cost row is patched in place
+        (:meth:`_Tableau.extend_cost`) instead of being rebuilt and
+        re-eliminated against every basic column.
+        """
+        previous = (
+            self._priced_objective
+            if self.sense is Sense.MINIMIZE
+            else -self._priced_objective
+        )
+        delta = self._minimized_objective() - previous
+        if not delta.terms:
+            # Constant-only change: the constant lives outside the tableau
+            # (it is re-added at extraction), so the priced row is intact.
+            self.incremental_repricings += 1
+            return
+        entries = _sparse_terms(delta.terms, self._plus, self._minus)
+        basic = set(tableau.basis)
+        if all(column not in basic for column in entries):
+            tableau.extend_cost(entries)
+            self.incremental_repricings += 1
+            return
+        tableau.install_cost(self._cost_vector(tableau.num_cols))
 
     def _record(self, pivots: int, warm: bool) -> None:
         self.total_pivots += pivots
@@ -788,6 +972,9 @@ class SimplexState:
 def check_feasibility(
     constraints: Sequence[Constraint],
     variables: Optional[Sequence[str]] = None,
+    kernel: str = "exact",
 ) -> LpResult:
     """Feasibility check: solve with the zero objective."""
-    return solve_lp(LinExpr(), constraints, Sense.MINIMIZE, variables)
+    return solve_lp(
+        LinExpr(), constraints, Sense.MINIMIZE, variables, kernel=kernel
+    )

@@ -31,11 +31,13 @@ Three layers keep the row count down, cheapest first:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.linalg.packed import pack_row, resolve_kernel
 from repro.linalg.sparse import SparseRow
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
@@ -61,8 +63,10 @@ class ProjectionStatistics:
     and Kohler-pruned rows count, because those are exactly the rows the
     per-step LP pruning of the previous implementation would have
     entailment-checked; ``rows_eliminated`` the number of rows dropped
-    by any cheap layer.  The counters are process-wide and therefore
-    approximate under concurrent analyses in one process.
+    by any cheap layer.  The module-level :data:`statistics` handle is
+    **thread-local**: every thread folds into its own instance, so
+    concurrent analyses (e.g. the ``nonterm=auto`` race) can never
+    corrupt each other's counters or mis-attribute saved LP calls.
     """
 
     variables_eliminated: int = 0
@@ -98,13 +102,54 @@ class ProjectionStatistics:
         }
 
 
-#: Process-wide counters; :func:`repro.api.pipeline` snapshots them around
-#: a run to attribute saved LP calls to that run's ``LpStatistics``.
-statistics = ProjectionStatistics()
+_THREAD_STATE = threading.local()
+
+
+def _current_statistics() -> ProjectionStatistics:
+    """This thread's counter instance (created lazily per thread)."""
+    stats = getattr(_THREAD_STATE, "statistics", None)
+    if stats is None:
+        stats = ProjectionStatistics()
+        _THREAD_STATE.statistics = stats
+    return stats
+
+
+class _ThreadLocalStatistics:
+    """Forwarding proxy onto the calling thread's :class:`ProjectionStatistics`.
+
+    Preserves the historical module-level ``statistics.xxx += 1`` /
+    ``statistics.snapshot()`` interface while keeping every thread's
+    counters isolated: attribute reads and writes resolve against the
+    calling thread's own instance, so two provers racing in one process
+    (``nonterm=auto``) cannot interleave increments or fold each other's
+    ``lp_calls_saved`` into their results.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(_current_statistics(), name)
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(_current_statistics(), name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<thread-local %r>" % (_current_statistics(),)
+
+
+#: Per-thread counters behind one module-level handle;
+#: :func:`repro.api.pipeline` snapshots them around a run to attribute
+#: saved LP calls to that run's ``LpStatistics``.
+statistics = _ThreadLocalStatistics()
 
 
 def lp_calls_saved_since(snapshot: Tuple[int, ...]) -> int:
-    """LP calls saved since *snapshot* (from :meth:`ProjectionStatistics.snapshot`)."""
+    """LP calls saved since *snapshot* (from :meth:`ProjectionStatistics.snapshot`).
+
+    Both the snapshot and this read resolve against the calling thread's
+    counters, so the difference is meaningful only when taken on the
+    thread that performed the projections.
+    """
     return statistics.lp_calls_saved - snapshot[3]
 
 
@@ -116,8 +161,16 @@ def lp_calls_saved_since(snapshot: Tuple[int, ...]) -> int:
 def _index_rows(
     constraints: Sequence[Constraint],
     index_of: Optional[Dict[str, int]] = None,
+    kernel: str = "exact",
 ) -> Tuple[List[str], List[Tuple[SparseRow, Relation]]]:
-    """Map a constraint system onto primitive-integer sparse rows."""
+    """Map a constraint system onto primitive-integer sparse rows.
+
+    With ``kernel`` resolving to ``"packed"`` the rows are packed into
+    fixed-width int64 arrays (slot 0 carries the :data:`_CONST`
+    sentinel), so the FM combinations, dominance keys and Kohler sign
+    tests downstream all run on packed columns; rows whose entries
+    exceed int64 stay exact individually.
+    """
     if index_of is None:
         names = sorted(
             {name for c in constraints for name in c.expr.terms}
@@ -125,6 +178,8 @@ def _index_rows(
         index_of = {name: i for i, name in enumerate(names)}
     else:
         names = sorted(index_of, key=index_of.get)
+    width = len(names) + 1
+    packed = resolve_kernel(kernel, width) == "packed"
     rows: List[Tuple[SparseRow, Relation]] = []
     for constraint in constraints:
         pairs: List[Tuple[int, Fraction]] = [
@@ -135,6 +190,8 @@ def _index_rows(
         if constant:
             pairs.append((_CONST, constant))
         row = SparseRow.from_pairs(pairs).normalized_direction()
+        if packed:
+            row = pack_row(row, width)
         rows.append((row, constraint.relation))
     return names, rows
 
@@ -319,10 +376,10 @@ def _eliminate_index(
 
 
 def eliminate_variable(
-    constraints: Sequence[Constraint], variable: str
+    constraints: Sequence[Constraint], variable: str, kernel: str = "auto"
 ) -> List[Constraint]:
     """Project *variable* out of a conjunction of non-strict constraints."""
-    names, indexed = _index_rows(constraints)
+    names, indexed = _index_rows(constraints, kernel=kernel)
     if variable not in names:
         return list(constraints)
     index = names.index(variable)
@@ -343,15 +400,19 @@ def fourier_motzkin(
     constraints: Sequence[Constraint],
     eliminate: Iterable[str],
     simplify: bool = True,
+    kernel: str = "auto",
 ) -> List[Constraint]:
     """Eliminate every variable in *eliminate* from the conjunction.
 
     With *simplify* the cheap syntactic/Kohler layers run after every
     step and the exact LP-based :func:`remove_redundant` once at the end
     (or mid-flight when a step still left the system more than
-    :data:`_LP_PRUNE_GROWTH` times its input size).
+    :data:`_LP_PRUNE_GROWTH` times its input size).  ``kernel`` selects
+    the row representation (see :data:`repro.linalg.packed.KERNELS`);
+    the default picks the packed int64 kernel automatically on systems
+    wide enough for it to win.
     """
-    names, indexed = _index_rows(constraints)
+    names, indexed = _index_rows(constraints, kernel=kernel)
     index_of = {name: i for i, name in enumerate(names)}
     targets = [index_of[v] for v in eliminate if v in index_of]
     rows: List[_HistRow] = [
@@ -377,12 +438,13 @@ def fourier_motzkin(
                     [
                         _row_constraint(row, relation, names)
                         for row, relation, _ in rows
-                    ]
+                    ],
+                    kernel=kernel,
                 )
                 # Histories no longer track original rows after an LP
                 # prune; restart Kohler counting from the survivors
                 # (the variable indexing stays stable).
-                _, indexed = _index_rows(pruned, index_of)
+                _, indexed = _index_rows(pruned, index_of, kernel=kernel)
                 rows = [
                     (row, relation, frozenset([position]))
                     for position, (row, relation) in enumerate(indexed)
@@ -392,7 +454,7 @@ def fourier_motzkin(
         _row_constraint(row, relation, names) for row, relation, _ in rows
     ]
     if simplify:
-        result = remove_redundant(result)
+        result = remove_redundant(result, kernel=kernel)
     return result
 
 
@@ -400,6 +462,7 @@ def project_constraints(
     constraints: Sequence[Constraint],
     keep: Sequence[str],
     simplify: bool = True,
+    kernel: str = "auto",
 ) -> List[Constraint]:
     """Project the conjunction onto the variables in *keep*."""
     keep_set = set(keep)
@@ -407,11 +470,12 @@ def project_constraints(
     for constraint in constraints:
         mentioned |= constraint.variables()
     eliminate = sorted(mentioned - keep_set)
-    return fourier_motzkin(constraints, eliminate, simplify)
+    return fourier_motzkin(constraints, eliminate, simplify, kernel=kernel)
 
 
 def remove_redundant(
     constraints: Sequence[Constraint],
+    kernel: str = "auto",
 ) -> List[Constraint]:
     """Drop constraints implied by the others (LP-based, exact).
 
@@ -435,7 +499,7 @@ def remove_redundant(
         unique.append(normal)
 
     # Syntactic dominance: same homogeneous direction, weaker bound.
-    names, indexed = _index_rows(unique)
+    names, indexed = _index_rows(unique, kernel=kernel)
     survivors = _prune_syntactic(
         [
             (row, relation, frozenset([position]))
@@ -460,7 +524,7 @@ def remove_redundant(
         others = result + unique[index + 1 :]
         context = [c.weaken() for c in others]
         statistics.lp_calls += 1
-        outcome = solve_lp(candidate.expr, context, Sense.MAXIMIZE)
+        outcome = solve_lp(candidate.expr, context, Sense.MAXIMIZE, kernel=kernel)
         if outcome.is_optimal and outcome.objective is not None and (
             outcome.objective <= 0
         ):
@@ -471,7 +535,9 @@ def remove_redundant(
 
 
 def entails(
-    constraints: Sequence[Constraint], candidate: Constraint
+    constraints: Sequence[Constraint],
+    candidate: Constraint,
+    kernel: str = "auto",
 ) -> bool:
     """Whether the conjunction of *constraints* implies *candidate*.
 
@@ -482,8 +548,10 @@ def entails(
     if candidate.is_equality():
         upper = Constraint(candidate.expr, Relation.LE)
         lower = Constraint(-candidate.expr, Relation.LE)
-        return entails(constraints, upper) and entails(constraints, lower)
-    outcome = solve_lp(candidate.expr, context, Sense.MAXIMIZE)
+        return entails(constraints, upper, kernel) and entails(
+            constraints, lower, kernel
+        )
+    outcome = solve_lp(candidate.expr, context, Sense.MAXIMIZE, kernel=kernel)
     if outcome.is_infeasible:
         return True
     if outcome.is_unbounded:

@@ -1,10 +1,10 @@
 """The measured-performance micro-suite behind ``repro bench``.
 
-Five suites, cheapest first, each returning a plain dict that serialises
-into ``BENCH_kernel.json``.  The goal is a *committed* performance
-trajectory: every claim about the sparse scaled-integer kernel — and
-about the CEGIS oracle/strategy ablation — is a number in the
-repository, not an assertion in a docstring.
+Seven suites, cheapest first, each returning a plain dict that
+serialises into ``BENCH_kernel.json``.  The goal is a *committed*
+performance trajectory: every claim about the sparse scaled-integer
+kernel — and about the CEGIS oracle/strategy ablation — is a number in
+the repository, not an assertion in a docstring.
 
 * ``kernel_rows`` — the raw row kernel: fused axpy/eliminate/dot on
   :class:`~repro.linalg.sparse.SparseRow` versus the same operations
@@ -21,6 +21,12 @@ repository, not an assertion in a docstring.
   oracle × strategy variant (extremal / arbitrary / random; SMT, DD
   enumeration, sampling), reporting iterations, LP rows and wall time —
   the paper's §4.2 ablation as one committed number series.
+* ``kernel_packed`` — the packed int64 row kernel versus the exact
+  bignum path on identical wide LP and Fourier–Motzkin workloads,
+  asserting bit-identical outcomes before reporting the speedups.
+* ``cex_batch_ablation`` — the batched-counterexample knob
+  (``cex_batch`` ∈ {1, 2, 4, 8}) over the WTC slice: iterations, LP
+  rows, dual-repair passes and wall time per batch size.
 
 Reachable as ``repro bench``, ``python -m repro bench`` and
 ``python benchmarks/perf_kernel.py``.
@@ -325,6 +331,270 @@ def bench_cegis_ablation(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
+def _kernel_lp_instances(quick: bool, seed: int):
+    """Seeded wide LPs in the packed kernel's winning regime.
+
+    Box constraints plus a handful of dense ±1/±2 coupling rows — half of
+    them origin-infeasible demand rows, so phase 1 has real work and the
+    solve runs thousands of pivots.  Small coefficients keep the
+    subdeterminants (and hence every tableau entry) inside int64 for the
+    whole solve: zero overflow fallbacks, which is exactly the regime the
+    packed representation is built for.  Dense large-coefficient rows
+    would blow past int64 mid-solve and measure the fallback path
+    instead.
+    """
+    from repro.linexpr.constraint import Constraint, Relation
+    from repro.linexpr.expr import LinExpr
+
+    rng = random.Random(seed)
+    instances = 1 if quick else 2
+    variables = 120 if quick else 200
+    coupling = 12
+    density = 0.7
+    built = []
+    for _ in range(instances):
+        names = ["x%d" % i for i in range(variables)]
+        constraints = []
+        for name in names:
+            constraints.append(
+                Constraint(LinExpr({name: Fraction(-1)}), Relation.LE)
+            )
+            constraints.append(
+                Constraint(
+                    LinExpr({name: Fraction(1)}, Fraction(-rng.randint(5, 25))),
+                    Relation.LE,
+                )
+            )
+        for index in range(coupling):
+            terms = {
+                name: Fraction(rng.choice((-2, -1, 1, 2)))
+                for name in names
+                if rng.random() < density
+            }
+            if not terms:
+                terms = {names[0]: Fraction(1)}
+            if index % 2 == 0:
+                # Demand row (sum ≥ rhs): the origin violates it, forcing
+                # genuine phase-1 pivoting.
+                constraints.append(
+                    Constraint(
+                        LinExpr(
+                            {name: -c for name, c in terms.items()},
+                            Fraction(rng.randint(2, variables // 2)),
+                        ),
+                        Relation.LE,
+                    )
+                )
+            else:
+                constraints.append(
+                    Constraint(
+                        LinExpr(
+                            terms,
+                            Fraction(-rng.randint(variables, 4 * variables)),
+                        ),
+                        Relation.LE,
+                    )
+                )
+        objective = LinExpr(
+            {name: Fraction(rng.randint(1, 3)) for name in names}
+        )
+        built.append((objective, constraints))
+    return built
+
+
+def _kernel_projection_systems(quick: bool, seed: int):
+    """Seeded wide constraint systems for the packed FM comparison.
+
+    Wide systems with small ±1/±2 coefficients: the eliminations *and*
+    the redundancy LPs (which dominate FM wall time and inherit the
+    kernel) both stay inside int64, so the packed rows never fall back.
+    """
+    from repro.linexpr.constraint import Constraint, Relation
+    from repro.linexpr.expr import LinExpr
+
+    rng = random.Random(seed + 1)
+    systems = 1 if quick else 2
+    rows = 36 if quick else 40
+    eliminated = 3 if quick else 4
+    names = ["v%d" % i for i in range(120)]
+    built = []
+    for _ in range(systems):
+        constraints = []
+        for _ in range(rows):
+            terms = {
+                name: Fraction(rng.choice((-2, -1, 1, 2)))
+                for name in rng.sample(names, 12)
+            }
+            constraints.append(
+                Constraint(
+                    LinExpr(terms, Fraction(rng.randint(-9, 9))), Relation.LE
+                )
+            )
+        built.append((constraints, names[:eliminated]))
+    return built
+
+
+def bench_kernel_packed(quick: bool = False, seed: int = 0) -> Dict:
+    """Packed int64 kernel vs the exact bignum path, apples to apples.
+
+    Runs the same seeded wide LP batch and the same wide Fourier–Motzkin
+    projections under ``kernel="packed"`` and ``kernel="exact"`` and
+    asserts **exact agreement** — identical statuses, optima, pivot
+    counts and projected constraint sets — before reporting the
+    speedups.  A disagreement raises instead of reporting a number: the
+    packed kernel is a pure performance change or it is a bug.
+    """
+    from repro.linalg.packed import (
+        numpy_available,
+        overflow_fallbacks,
+        reset_overflow_fallbacks,
+    )
+    from repro.lp.problem import Sense
+    from repro.lp.simplex import solve_lp
+    from repro.polyhedra.projection import fourier_motzkin
+
+    if not numpy_available():
+        return {
+            "suite": "kernel_packed",
+            "wall_seconds": 0.0,
+            "skipped": "numpy unavailable (exact kernel only)",
+        }
+
+    lps = _kernel_lp_instances(quick, seed)
+    projections = _kernel_projection_systems(quick, seed)
+    reset_overflow_fallbacks()
+
+    timings = {"packed": 0.0, "exact": 0.0}
+    lp_outcomes: Dict[str, List] = {"packed": [], "exact": []}
+    for kernel in ("exact", "packed"):
+        started = time.perf_counter()
+        for objective, constraints in lps:
+            outcome = solve_lp(
+                objective, constraints, Sense.MAXIMIZE, kernel=kernel
+            )
+            lp_outcomes[kernel].append(
+                (outcome.status, outcome.objective, outcome.pivots)
+            )
+        timings[kernel] = time.perf_counter() - started
+    if lp_outcomes["packed"] != lp_outcomes["exact"]:
+        raise AssertionError("packed and exact kernels disagree on an LP")
+
+    projection_timings = {"packed": 0.0, "exact": 0.0}
+    projection_results: Dict[str, List] = {"packed": [], "exact": []}
+    for kernel in ("exact", "packed"):
+        started = time.perf_counter()
+        for constraints, eliminate in projections:
+            projected = fourier_motzkin(constraints, eliminate, kernel=kernel)
+            projection_results[kernel].append(
+                sorted(str(constraint) for constraint in projected)
+            )
+        projection_timings[kernel] = time.perf_counter() - started
+    if projection_results["packed"] != projection_results["exact"]:
+        raise AssertionError(
+            "packed and exact kernels disagree on a projection"
+        )
+
+    pivots = sum(entry[2] for entry in lp_outcomes["packed"])
+    return {
+        "suite": "kernel_packed",
+        "wall_seconds": round(
+            timings["packed"]
+            + timings["exact"]
+            + projection_timings["packed"]
+            + projection_timings["exact"],
+            4,
+        ),
+        "lps_solved": len(lps),
+        "pivots": pivots,
+        "simplex_packed_seconds": round(timings["packed"], 4),
+        "simplex_exact_seconds": round(timings["exact"], 4),
+        "simplex_speedup": round(timings["exact"] / timings["packed"], 2)
+        if timings["packed"]
+        else None,
+        "projections": len(projections),
+        "projection_packed_seconds": round(projection_timings["packed"], 4),
+        "projection_exact_seconds": round(projection_timings["exact"], 4),
+        "projection_speedup": round(
+            projection_timings["exact"] / projection_timings["packed"], 2
+        )
+        if projection_timings["packed"]
+        else None,
+        "overflow_fallbacks": overflow_fallbacks(),
+        "verdicts_identical": True,
+    }
+
+
+#: The row-batch sizes of the ``cex_batch_ablation`` suite.
+CEX_BATCH_POINTS = (1, 2, 4, 8)
+
+
+def bench_cex_batch_ablation(quick: bool = False, seed: int = 0) -> Dict:
+    """Batched refinement: ``cex_batch`` ∈ {1, 2, 4, 8} over the WTC slice.
+
+    Each iteration of a ``cex_batch = k`` run appends up to ``k``
+    counterexample rows and pays **one** dual-simplex repair pass (the
+    multi-row repair of ``SimplexState``) instead of ``k``.  The DD
+    enumeration oracle supplies many candidates per query, which is the
+    regime batching targets.  Every point must prove the same programs —
+    batching changes the cost, never the verdict.
+    """
+    from repro.api import AnalysisConfig, analyze
+    from repro.benchsuite import get_suite
+
+    programs = [p for p in get_suite("wtc") if p.terminating]
+    programs = programs[:2] if quick else programs[:4]
+
+    points: List[Dict] = []
+    total = 0.0
+    proved_by_batch = []
+    for batch in CEX_BATCH_POINTS:
+        config = AnalysisConfig(
+            check_certificates=False,
+            cex_oracle="dd",
+            cex_batch=batch,
+            oracle_seed=seed,
+        )
+        proved = iterations = lp_rows = 0
+        pivots = warm = 0
+        started = time.perf_counter()
+        for program in programs:
+            result = analyze(
+                program.build(), tool="termite", config=config,
+                name=program.name,
+            )
+            proved += int(result.proved)
+            iterations += result.iterations
+            lp_rows += result.lp_statistics.cex_rows
+            pivots += result.lp_statistics.pivots
+            warm += result.lp_statistics.warm_solves
+        wall = time.perf_counter() - started
+        total += wall
+        proved_by_batch.append(proved)
+        points.append(
+            {
+                "cex_batch": batch,
+                "programs": len(programs),
+                "proved": proved,
+                "iterations": iterations,
+                "lp_rows": lp_rows,
+                "pivots": pivots,
+                "warm_solves": warm,
+                "wall_seconds": round(wall, 4),
+            }
+        )
+    if len(set(proved_by_batch)) != 1:
+        raise AssertionError(
+            "cex_batch changed a verdict: proved counts %r" % proved_by_batch
+        )
+
+    return {
+        "suite": "cex_batch_ablation",
+        "wall_seconds": round(total, 4),
+        "programs": len(programs),
+        "points": points,
+    }
+
+
 def _percentile(values: List[float], fraction: float) -> float:
     """The *fraction* percentile (nearest-rank) of *values*, seconds."""
     if not values:
@@ -554,6 +824,8 @@ SUITE_RUNNERS = {
     "projection": bench_projection,
     "table1_wtc": lambda quick, seed: bench_table1_slice(quick=quick),
     "cegis_ablation": bench_cegis_ablation,
+    "kernel_packed": bench_kernel_packed,
+    "cex_batch_ablation": bench_cex_batch_ablation,
     "service": bench_service,
     "nonterm": bench_nonterm,
 }
@@ -565,6 +837,8 @@ DEFAULT_SUITES = (
     "projection",
     "table1_wtc",
     "cegis_ablation",
+    "kernel_packed",
+    "cex_batch_ablation",
 )
 
 

@@ -38,6 +38,25 @@ def _group_objective(group: WitnessGroup):
     return (0, min(values))
 
 
+def _group_canonical_key(group: WitnessGroup):
+    """A total order on witness groups independent of oracle pool order.
+
+    Keys only on the witness *content* (kind and exact vector entries),
+    so two runs whose oracles enumerate the same candidate set in
+    different orders still sample identically under the same seed.
+    """
+    return tuple(
+        (
+            witness.kind,
+            tuple(
+                (entry.numerator, entry.denominator)
+                for entry in witness.vector
+            ),
+        )
+        for witness in group
+    )
+
+
 class RefinementStrategy:
     """Selection policy over the oracle's candidate witness groups."""
 
@@ -66,7 +85,16 @@ class ExtremalStrategy(RefinementStrategy):
     wants_extremal = True
 
     def select(self, groups: Sequence[WitnessGroup]) -> List[WitnessGroup]:
-        ordered = sorted(groups, key=_group_objective)
+        # Canonical tiebreak: equally violating groups would otherwise be
+        # picked by oracle enumeration order, which batched selection
+        # must not depend on.
+        ordered = sorted(
+            groups,
+            key=lambda group: (
+                _group_objective(group),
+                _group_canonical_key(group),
+            ),
+        )
         return ordered[: self.batch]
 
 
@@ -94,7 +122,12 @@ class RandomStrategy(RefinementStrategy):
     def select(self, groups: Sequence[WitnessGroup]) -> List[WitnessGroup]:
         if len(groups) <= self.batch:
             return list(groups)
-        return self._rng.sample(list(groups), self.batch)
+        # Sample from a canonically ordered pool: the oracle's enumeration
+        # order is an implementation detail (hash ordering, solver model
+        # order), and sampling from it directly would let ``oracle_seed``
+        # pin the RNG without pinning the run.
+        ordered = sorted(groups, key=_group_canonical_key)
+        return self._rng.sample(ordered, self.batch)
 
 
 def make_strategy(name, batch: int = 1, seed: int = 0) -> RefinementStrategy:

@@ -104,6 +104,80 @@ class TestTrace:
         assert all(set(event) == TRACE_KEYS for event in events)
 
 
+class TestTraceStreaming:
+    """The trace stream survives an engine that dies mid-iteration.
+
+    Events are written and flushed one at a time inside a context
+    manager, so a crash (or a cancelled race lane) still leaves a closed
+    file of complete, individually parseable JSON lines — the buffered
+    implementation used to leak the handle and truncate the final line.
+    """
+
+    def test_race_killed_early_leaves_complete_lines(self, tmp_path):
+        # The nonterm lane wins quickly and cancels termination synthesis
+        # mid-iteration; every line already on disk must parse.
+        trace = tmp_path / "trace.jsonl"
+        process = run_cli(
+            "prove",
+            "-",
+            "--nonterm",
+            "auto",
+            "--max-iterations",
+            "1",
+            "--trace",
+            str(trace),
+            stdin=NONTERM,
+        )
+        assert process.returncode == 5, process.stderr
+        text = trace.read_text()
+        assert text.endswith("\n"), "final trace line is truncated"
+        for line in text.splitlines():
+            event = json.loads(line)  # every line parses individually
+            assert set(event) == TRACE_KEYS
+
+    def test_engine_crash_still_closes_and_flushes_the_trace(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        trace = tmp_path / "trace.jsonl"
+
+        class _Event:
+            kind = "candidate"
+            component = 0
+            iteration = 1
+            payload = {"objective": "1"}
+
+        def exploding_analyze(request, engine_observers=()):
+            for observer in engine_observers:
+                observer(_Event())
+                observer(_Event())
+            raise RuntimeError("engine died mid-iteration")
+
+        monkeypatch.setattr(cli, "analyze", exploding_analyze)
+        parser = cli.build_parser()
+        arguments = parser.parse_args(
+            ["prove", str(tmp_path / "prog.imp"), "--trace", str(trace)]
+        )
+        (tmp_path / "prog.imp").write_text(TERM)
+        code = cli.command_prove(arguments)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "engine died mid-iteration" in captured.err
+        text = trace.read_text()
+        lines = text.splitlines()
+        assert len(lines) == 2  # both events hit the disk before the crash
+        assert text.endswith("\n")
+        for line in lines:
+            assert set(json.loads(line)) == TRACE_KEYS
+
+    def test_unwritable_trace_path_fails_before_analysis(self, tmp_path):
+        trace = tmp_path / "missing" / "trace.jsonl"
+        process = run_cli("prove", "-", "--trace", str(trace), stdin=TERM)
+        assert process.returncode == 1
+        assert "cannot write" in process.stderr
+
+
 class TestCheck:
     def test_check_validates_a_nontermination_claim(self):
         process = run_cli("check", "-", "--nonterm", "only", stdin=NONTERM)

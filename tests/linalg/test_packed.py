@@ -1,0 +1,265 @@
+"""Differential tests: the packed int64 kernel vs the exact SparseRow path.
+
+Two families of guarantees are under test:
+
+* **Value equality.**  Every fused :class:`~repro.linalg.packed.PackedRow`
+  operation must agree exactly with the same operation on the exact
+  :class:`~repro.linalg.sparse.SparseRow` representation — including when
+  the int64 guard trips and the packed op transparently falls back.
+* **The overflow contract.**  Products driven to the ±2**63 boundary must
+  engage the fallback (counted by :func:`overflow_fallbacks`) and never
+  silently wrap: the result of an overflowing op equals the exact result,
+  bit for bit.
+"""
+
+import os
+from fractions import Fraction
+from math import gcd
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import packed as packed_module
+from repro.linalg.packed import (
+    KERNELS,
+    PACKED_MIN_WIDTH,
+    PackedRow,
+    numpy_available,
+    overflow_fallbacks,
+    pack_row,
+    reset_overflow_fallbacks,
+    resolve_kernel,
+)
+from repro.linalg.sparse import SparseRow
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="packed kernel requires numpy"
+)
+
+INT64_MAX = 2**63 - 1
+WIDTH = 12
+
+entries = st.integers(-50, 50)
+denominators = st.integers(1, 20)
+sparse_rows = st.builds(
+    lambda values, den: SparseRow.from_pairs(
+        [(i - 1, Fraction(v, den)) for i, v in enumerate(values)]
+    ),
+    st.lists(entries, min_size=WIDTH - 1, max_size=WIDTH - 1),
+    denominators,
+)
+scalars = st.integers(-40, 40)
+
+
+def _check_invariants(row):
+    assert row.denominator > 0
+    numerators = row.numerators
+    assert all(n != 0 for n in numerators)
+    divisor = row.denominator
+    for numerator in numerators:
+        divisor = gcd(divisor, numerator)
+    if not numerators:
+        assert row.denominator == 1
+    else:
+        assert divisor == 1
+    # np.int64 must never leak out of the packed module.
+    for value in (*row.indices, *row.numerators, row.denominator):
+        assert type(value) is int
+
+
+class TestPackingRoundTrip:
+    @given(sparse_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_pack_unpack_identity(self, row):
+        packed = PackedRow.from_sparse(row, WIDTH)
+        assert packed is not None
+        _check_invariants(packed)
+        assert packed == row
+        assert row == packed.to_sparse()
+        assert hash(packed) == hash(row)
+        assert packed.indices == row.indices
+        assert packed.numerators == row.numerators
+        assert packed.denominator == row.denominator
+        for index in range(-1, WIDTH - 1):
+            assert packed.get(index) == row.get(index)
+            assert packed.numerator_at(index) == row.numerator_at(index)
+
+    def test_row_beyond_int64_does_not_pack(self):
+        huge = SparseRow.from_pairs([(0, Fraction(2**63))])
+        assert PackedRow.from_sparse(huge, WIDTH) is None
+        assert pack_row(huge, WIDTH) is huge  # transparent pass-through
+
+    def test_boundary_numerator_packs_exactly(self):
+        edge = SparseRow.from_pairs([(0, Fraction(INT64_MAX))])
+        packed = PackedRow.from_sparse(edge, WIDTH)
+        assert packed is not None
+        assert packed.numerator_at(0) == INT64_MAX
+
+    def test_index_outside_universe_does_not_pack(self):
+        wide = SparseRow.from_pairs([(WIDTH - 1, Fraction(1))])
+        assert PackedRow.from_sparse(wide, WIDTH) is None
+
+
+class TestDifferentialOps:
+    @given(sparse_rows, sparse_rows, scalars, scalars)
+    @settings(max_examples=80, deadline=None)
+    def test_combine_int_matches_exact(self, a, b, ca, cb):
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        result = pa.combine_int(ca, pb, cb)
+        expected = a.combine_int(ca, b, cb)
+        assert result == expected
+        if isinstance(result, PackedRow):
+            _check_invariants(result)
+
+    @given(sparse_rows, sparse_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_dot_matches_exact(self, a, b):
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        assert pa.dot(pb) == a.dot(b)
+        assert pa.dot_numerator(pb) == a.dot_numerator(b)
+
+    @given(sparse_rows, sparse_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_eliminate_matches_exact(self, a, pivot):
+        pivot_index = next(
+            (i for i in pivot.support() if i >= 0), None
+        )
+        if pivot_index is None:
+            return
+        pa, pp = pack_row(a, WIDTH), pack_row(pivot, WIDTH)
+        assert pa.eliminate(pivot_index, pp) == a.eliminate(pivot_index, pivot)
+
+    @given(sparse_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_direction_matches_exact(self, a):
+        pa = pack_row(a, WIDTH)
+        assert pa.normalized_direction() == a.normalized_direction()
+
+    @given(sparse_rows, st.builds(Fraction, scalars, st.integers(1, 12)))
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_matches_exact(self, a, factor):
+        pa = pack_row(a, WIDTH)
+        assert pa.scaled(factor) == a.scaled(factor)
+
+    @given(sparse_rows, sparse_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_packed_sparse_operands(self, a, b):
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        expected = a.combine_int(3, b, -2)
+        # Packed-first with an exact partner, and the other way round:
+        # both must land on the exact result.
+        assert pa.combine_int(3, b, -2) == expected
+        assert a.combine_int(3, pb, -2) == expected
+
+
+# Rows built from *consecutive* integers keep their magnitude through the
+# constructor's GCD normalisation (gcd(n, n + 1) == 1); the lower bound
+# guarantees 2 * (max_a + max_b) exceeds the int64 guard.
+big_numerators = st.integers(2**62 + 1, INT64_MAX - 4)
+
+
+class TestOverflowBoundary:
+    """Products driven toward ±2**63: the guard must engage, never wrap."""
+
+    @given(big_numerators, big_numerators, st.integers(2, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_overflow_falls_back_exactly(self, na, nb, scale):
+        a = SparseRow.from_pairs([(0, Fraction(na)), (3, Fraction(-(na + 1)))])
+        b = SparseRow.from_pairs([(0, Fraction(nb)), (5, Fraction(nb + 1))])
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        assert isinstance(pa, PackedRow) and isinstance(pb, PackedRow)
+        reset_overflow_fallbacks()
+        result = pa.combine_int(scale, pb, -scale)
+        assert overflow_fallbacks() >= 1
+        assert isinstance(result, SparseRow)  # fell back to the exact path
+        assert result == a.combine_int(scale, b, -scale)
+
+    @given(big_numerators, big_numerators)
+    @settings(max_examples=40, deadline=None)
+    def test_dot_overflow_falls_back_exactly(self, na, nb):
+        a = SparseRow.from_pairs([(i, Fraction(na + i)) for i in range(4)])
+        b = SparseRow.from_pairs([(i, Fraction(-(nb + i))) for i in range(4)])
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        reset_overflow_fallbacks()
+        assert pa.dot_numerator(pb) == a.dot_numerator(b)
+        assert overflow_fallbacks() >= 1
+
+    def test_boundary_sum_just_fits(self):
+        # |sa| * max_a + |sb| * max_b == INT64_MAX exactly: no fallback.
+        half = INT64_MAX // 2
+        a = SparseRow.from_pairs([(0, Fraction(half))])
+        b = SparseRow.from_pairs([(0, Fraction(INT64_MAX - half))])
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        reset_overflow_fallbacks()
+        result = pa.combine_int(1, pb, 1)
+        assert overflow_fallbacks() == 0
+        assert isinstance(result, PackedRow)
+        assert result == a.combine_int(1, b, 1)
+
+    def test_boundary_sum_just_overflows(self):
+        a = SparseRow.from_pairs([(0, Fraction(INT64_MAX))])
+        b = SparseRow.from_pairs([(1, Fraction(1))])
+        pa, pb = pack_row(a, WIDTH), pack_row(b, WIDTH)
+        reset_overflow_fallbacks()
+        result = pa.combine_int(1, pb, 1)  # bound: INT64_MAX + 1 > INT64_MAX
+        assert overflow_fallbacks() == 1
+        assert result == a.combine_int(1, b, 1)
+
+    @given(st.lists(st.tuples(scalars, scalars), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_op_sequence_differential_with_forced_fallbacks(self, steps):
+        """A chain of merges through the overflow region stays exact."""
+        seed_exact = SparseRow.from_pairs([(0, Fraction(2**62)), (1, Fraction(3))])
+        seed_packed = pack_row(seed_exact, WIDTH)
+        other_exact = SparseRow.from_pairs([(0, Fraction(2**61)), (2, Fraction(-7))])
+        other_packed = pack_row(other_exact, WIDTH)
+        exact, mixed = seed_exact, seed_packed
+        for ca, cb in steps:
+            exact = exact.combine_int(ca, other_exact, cb)
+            mixed = mixed.combine_int(ca, other_packed, cb)
+            assert mixed == exact
+
+
+class TestResolveKernel:
+    def test_exact_always_exact(self):
+        assert resolve_kernel("exact", 10_000) == "exact"
+
+    def test_packed_insists(self):
+        assert resolve_kernel("packed", 2) == "packed"
+
+    def test_auto_threshold(self):
+        assert resolve_kernel("auto", PACKED_MIN_WIDTH - 1) == "exact"
+        assert resolve_kernel("auto", PACKED_MIN_WIDTH) == "packed"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("fast", 100)
+
+    def test_kernel_names_stable(self):
+        assert KERNELS == ("auto", "packed", "exact")
+
+
+class TestNoNumpyLane:
+    def test_env_var_disables_numpy(self):
+        """REPRO_NO_NUMPY must force the exact path in a fresh process."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.linalg.packed import numpy_available, resolve_kernel\n"
+            "assert not numpy_available()\n"
+            "assert resolve_kernel('auto', 10_000) == 'exact'\n"
+            "try:\n"
+            "    resolve_kernel('packed', 100)\n"
+            "except RuntimeError as error:\n"
+            "    assert 'repro[fast]' in str(error)\n"
+            "else:\n"
+            "    raise AssertionError('packed resolved without numpy')\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        src = os.path.join(os.path.dirname(packed_module.__file__), "..", "..")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        completed = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert completed.returncode == 0, completed.stderr

@@ -1,0 +1,131 @@
+"""Thread isolation of the FM projection statistics.
+
+The module-level ``projection.statistics`` handle is a thread-local
+proxy: concurrent projections (the ``nonterm=auto`` race runs two
+provers in one process) must never interleave counter increments or
+fold each other's ``lp_calls_saved`` into their results.  These tests
+run identical projection workloads concurrently and assert every thread
+observed exactly the counters of its *own* work — byte-identical to a
+solo run of the same workload.
+"""
+
+import threading
+from fractions import Fraction
+
+from repro.api import AnalysisConfig, AnalysisRequest, analyze
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr
+from repro.polyhedra import projection
+from repro.polyhedra.projection import fourier_motzkin, lp_calls_saved_since
+
+NESTED = """
+var i, j, n;
+assume(n >= 0 and n <= 1000);
+i = 0;
+while (i < n) {
+    j = 0;
+    while (j < n) { j = j + 1; }
+    i = i + 1;
+}
+"""
+
+
+def _workload():
+    """A projection with redundancy: exercises every counter."""
+    names = ["a", "b", "c", "d", "e"]
+    constraints = []
+    for lo, hi, name in [(0, 10, n) for n in names]:
+        constraints.append(
+            Constraint(LinExpr({name: Fraction(-1)}, Fraction(lo)), Relation.LE)
+        )
+        constraints.append(
+            Constraint(LinExpr({name: Fraction(1)}, Fraction(-hi)), Relation.LE)
+        )
+    constraints.append(
+        Constraint(
+            LinExpr({"a": Fraction(1), "b": Fraction(1)}, Fraction(-15)),
+            Relation.LE,
+        )
+    )
+    constraints.append(
+        Constraint(
+            LinExpr({"a": Fraction(1), "b": Fraction(1)}, Fraction(-40)),
+            Relation.LE,  # dominated: counts one saved LP call
+        )
+    )
+    fourier_motzkin(constraints, ["a", "b", "c"])
+
+
+class TestCounterIsolation:
+    def test_concurrent_projections_see_only_their_own_work(self):
+        repeats = 5
+        barrier = threading.Barrier(2)
+        observed = {}
+
+        def run(label):
+            snapshot = projection.statistics.snapshot()
+            barrier.wait()
+            for _ in range(repeats):
+                _workload()
+            after = projection.statistics.snapshot()
+            observed[label] = tuple(b - a for a, b in zip(snapshot, after))
+
+        threads = [
+            threading.Thread(target=run, args=(name,))
+            for name in ("first", "second")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Solo baseline on this (third) thread.
+        solo_before = projection.statistics.snapshot()
+        for _ in range(repeats):
+            _workload()
+        solo = tuple(
+            b - a
+            for a, b in zip(solo_before, projection.statistics.snapshot())
+        )
+
+        assert observed["first"] == solo
+        assert observed["second"] == solo
+        # The workload is non-trivial (the counters actually moved).
+        assert any(delta > 0 for delta in solo)
+
+    def test_other_threads_do_not_disturb_a_snapshot(self):
+        snapshot = projection.statistics.snapshot()
+        worker = threading.Thread(target=_workload)
+        worker.start()
+        worker.join()
+        assert lp_calls_saved_since(snapshot) == 0
+        assert projection.statistics.snapshot() == snapshot
+
+
+class TestConcurrentProvers:
+    def test_two_provers_fold_identical_lp_savings(self):
+        """Two concurrent analyses must report the same savings as one."""
+        config = AnalysisConfig()
+        request = AnalysisRequest(program=NESTED, tool="termite", config=config)
+        solo = analyze(request).lp_statistics.redundancy_lp_saved
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def run(label):
+            barrier.wait()
+            results[label] = analyze(
+                AnalysisRequest(program=NESTED, tool="termite", config=config)
+            ).lp_statistics.redundancy_lp_saved
+
+        threads = [
+            threading.Thread(target=run, args=(name,))
+            for name in ("first", "second")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert results["first"] == solo
+        assert results["second"] == solo

@@ -27,6 +27,8 @@ EXPECTED_SUITES = {
     "projection",
     "table1_wtc",
     "cegis_ablation",
+    "kernel_packed",
+    "cex_batch_ablation",
 }
 
 

@@ -172,3 +172,55 @@ class TestEliminateLexicographic:
             ["a", "b", "c"], lambda remaining: ("c", list(range(len(remaining)))), 4
         )
         assert proved and len(components) == 1 and not remaining
+
+
+class TestSeedDeterminism:
+    """``oracle_seed`` must fully pin the run, including event payloads."""
+
+    def _event_stream(self, problem, seed):
+        from repro.synthesis.oracles import make_oracle
+        from repro.synthesis.strategies import make_strategy
+
+        events = []
+        engine = CegisEngine(
+            make_oracle("dd", seed=seed),
+            make_strategy("random", batch=2, seed=seed),
+            max_iterations=200,
+            observers=[events.append],
+        )
+        engine.synthesize_lexicographic(LexicographicTemplate(problem))
+        return [
+            (event.kind, event.component, event.iteration, repr(event.payload))
+            for event in events
+        ]
+
+    def test_same_seed_identical_event_streams(self, example1_automaton):
+        problem = build_problem(example1_automaton)
+        first = self._event_stream(problem, seed=13)
+        second = self._event_stream(problem, seed=13)
+        assert first == second
+
+    def test_same_seed_identical_streams_sampling_oracle(
+        self, lexicographic_automaton
+    ):
+        from repro.synthesis.oracles import make_oracle
+        from repro.synthesis.strategies import make_strategy
+
+        problem = build_problem(lexicographic_automaton)
+        streams = []
+        for _ in range(2):
+            events = []
+            engine = CegisEngine(
+                make_oracle("sampling", seed=5),
+                make_strategy("random", batch=2, seed=5),
+                max_iterations=200,
+                observers=[events.append],
+            )
+            engine.synthesize_lexicographic(LexicographicTemplate(problem))
+            streams.append(
+                [
+                    (e.kind, e.component, e.iteration, repr(e.payload))
+                    for e in events
+                ]
+            )
+        assert streams[0] == streams[1]

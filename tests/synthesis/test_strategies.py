@@ -62,6 +62,47 @@ class TestRandom:
     def test_small_pool_returned_whole(self):
         assert RandomStrategy(batch=5, seed=0).select(GROUPS) == list(GROUPS)
 
+    def test_seed_pins_selection_across_pool_orders(self):
+        """The oracle's enumeration order must not influence sampling.
+
+        The strategy sorts the pool by a canonical content key before
+        sampling, so the same seed picks the same *witnesses* no matter
+        how the oracle happened to order its candidates.
+        """
+        import itertools
+
+        baseline = None
+        for permutation in itertools.permutations(GROUPS):
+            chosen = RandomStrategy(batch=2, seed=7).select(list(permutation))
+            picked = sorted(g[0].objective_value for g in chosen)
+            if baseline is None:
+                baseline = picked
+            assert picked == baseline
+
+
+class TestBatchedExtremalDeterminism:
+    def test_objective_ties_break_canonically(self):
+        """Equally violating groups must not be picked by pool order."""
+        import itertools
+
+        tied = [
+            [
+                Witness(
+                    vector=Vector([Fraction(value)]),
+                    kind="vertex",
+                    objective_value=Fraction(-2),
+                )
+            ]
+            for value in (3, 1, 2)
+        ]
+        baseline = None
+        for permutation in itertools.permutations(tied):
+            chosen = ExtremalStrategy(batch=2).select(list(permutation))
+            vectors = [g[0].vector for g in chosen]
+            if baseline is None:
+                baseline = vectors
+            assert vectors == baseline
+
 
 class TestFactory:
     def test_batch_validation(self):
