@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -65,6 +66,13 @@ class AnalysisRequest:
     through the prover registry at construction, so a request never
     carries an alias spelling.  ``request_id`` is an opaque caller-chosen
     correlation id; it does not affect the cache key.
+
+    ``deadline_seconds`` is the caller's wall-clock budget for this one
+    request.  The service honours it on both front doors — capped by
+    the server's own ``--timeout``, never extending it — and answers
+    ``REQUEST_TIMEOUT`` past it.  Like ``name`` and ``request_id`` it is
+    delivery metadata and does not affect the cache key: the same
+    analysis under a tighter deadline is still the same analysis.
     """
 
     program: str
@@ -72,6 +80,7 @@ class AnalysisRequest:
     config: AnalysisConfig = field(default_factory=AnalysisConfig)
     name: str = "program"
     request_id: Optional[str] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         from repro.api.registry import canonical_name
@@ -101,6 +110,18 @@ class AnalysisRequest:
             self.request_id is None or isinstance(self.request_id, str),
             "request_id must be None or a str, got %r" % (self.request_id,),
         )
+        if self.deadline_seconds is not None:
+            _require(
+                isinstance(self.deadline_seconds, (int, float))
+                and not isinstance(self.deadline_seconds, bool)
+                and math.isfinite(self.deadline_seconds)
+                and self.deadline_seconds > 0,
+                "deadline_seconds must be a positive finite number, got %r"
+                % (self.deadline_seconds,),
+            )
+            object.__setattr__(
+                self, "deadline_seconds", float(self.deadline_seconds)
+            )
 
     # -- content addressing ------------------------------------------------------
 
@@ -132,13 +153,18 @@ class AnalysisRequest:
 
     def to_dict(self) -> dict:
         """Plain-JSON dictionary; inverse of :meth:`from_dict`."""
-        return {
+        document = {
             "program": self.program,
             "tool": self.tool,
             "config": self.config.to_dict(),
             "name": self.name,
             "request_id": self.request_id,
         }
+        # Only stamped when set: requests written by older callers and
+        # deadline-free requests share one wire shape.
+        if self.deadline_seconds is not None:
+            document["deadline_seconds"] = self.deadline_seconds
+        return document
 
     @classmethod
     def from_dict(cls, data: dict) -> "AnalysisRequest":
@@ -151,7 +177,14 @@ class AnalysisRequest:
             raise RequestError(
                 "request must be a dict, got %r" % type(data).__name__
             )
-        known = {"program", "tool", "config", "name", "request_id"}
+        known = {
+            "program",
+            "tool",
+            "config",
+            "name",
+            "request_id",
+            "deadline_seconds",
+        }
         unknown = sorted(set(data) - known)
         if unknown:
             raise RequestError("unknown request keys: %s" % ", ".join(unknown))

@@ -83,13 +83,21 @@ class Provenance:
       cache hit is served; vacuously true for proved results with no
       proof obligations);
     * ``worker_pid`` — the pid of the process that produced the payload
-      (a pool worker on a miss, the serving process on a hit).
+      (a pool worker on a miss, the serving process on a hit);
+    * ``degraded`` — the load-shedding degradations the service applied
+      before computing (empty when the request ran exactly as asked).
+      Under overload pressure the admission gate may drop a
+      ``nonterm="auto"`` race to termination-only
+      (``"nonterm:auto->off"``) or force a non-default kernel back to
+      ``"kernel:...->auto"``; every such trade is stamped here so a
+      caller can always tell a full answer from a degraded one.
     """
 
     cache: str = "miss"
     key: str = ""
     revalidated: bool = False
     worker_pid: int = 0
+    degraded: tuple = ()
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_DISPOSITIONS:
@@ -97,6 +105,7 @@ class Provenance:
                 "cache must be one of %s, got %r"
                 % (", ".join(CACHE_DISPOSITIONS), self.cache)
             )
+        object.__setattr__(self, "degraded", tuple(self.degraded))
 
     def to_dict(self) -> dict:
         return {
@@ -104,6 +113,7 @@ class Provenance:
             "key": self.key,
             "revalidated": self.revalidated,
             "worker_pid": self.worker_pid,
+            "degraded": list(self.degraded),
         }
 
     @classmethod
@@ -113,6 +123,7 @@ class Provenance:
             key=data.get("key", ""),
             revalidated=data.get("revalidated", False),
             worker_pid=data.get("worker_pid", 0),
+            degraded=tuple(data.get("degraded", ())),
         )
 
 

@@ -633,15 +633,20 @@ def command_serve(arguments: argparse.Namespace) -> int:
         cache_entries=arguments.cache_entries,
         revalidate=not arguments.no_revalidate,
         max_program_bytes=arguments.max_program_bytes,
+        cache_dir=arguments.cache_dir,
+        cache_disk_bytes=arguments.cache_disk_bytes,
     )
     if arguments.stdio:
-        return serve_stdio(**common)
+        return serve_stdio(timeout=arguments.timeout, **common)
 
     server = ServiceServer(
         host=arguments.host,
         port=arguments.port,
         jobs=arguments.jobs,
         timeout=arguments.timeout,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
+        fault_plan=arguments.fault_plan,
         **common,
     )
 
@@ -659,7 +664,7 @@ def command_serve(arguments: argparse.Namespace) -> int:
 
 
 def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
-    from repro.service.cache import DEFAULT_MAX_ENTRIES
+    from repro.service.cache import DEFAULT_MAX_DISK_BYTES, DEFAULT_MAX_ENTRIES
     from repro.service.protocol import DEFAULT_MAX_PROGRAM_BYTES
 
     door = parser.add_argument_group("front door (give exactly one)")
@@ -726,6 +731,44 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="B",
         help="reject programs larger than B bytes with a "
         "PROGRAM_TOO_LARGE error (default: %d)" % DEFAULT_MAX_PROGRAM_BYTES,
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the result cache to DIR (one checksummed JSON file "
+        "per key, atomically written); a restarted server serves warm "
+        "traffic from it after checker revalidation (default: memory only)",
+    )
+    parser.add_argument(
+        "--cache-disk-bytes",
+        type=int,
+        default=DEFAULT_MAX_DISK_BYTES,
+        metavar="B",
+        help="LRU byte bound of the --cache-dir tier (default: %d)"
+        % DEFAULT_MAX_DISK_BYTES,
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission gate: concurrent computes before requests queue "
+        "(default: --jobs)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission gate: queued requests before load is shed with "
+        "the OVERLOADED error (default: 4x --jobs)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=argparse.SUPPRESS,  # chaos testing only: "seedN[:kill=P,...]"
     )
 
 

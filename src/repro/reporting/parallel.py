@@ -250,12 +250,19 @@ def _pool_worker_loop(connection, handler: Callable[[Any], Any]) -> None:
         pass
 
 
-class _PooledWorker:
-    __slots__ = ("process", "connection")
+#: A worker dying sooner than this after spawn counts as a "fast death"
+#: for the exponential respawn backoff (a crash-looping request class).
+_FAST_DEATH_SECONDS = 5.0
 
-    def __init__(self, process, connection):
+
+class _PooledWorker:
+    __slots__ = ("process", "connection", "slot", "spawned")
+
+    def __init__(self, process, connection, slot, spawned):
         self.process = process
         self.connection = connection
+        self.slot = slot
+        self.spawned = spawned
 
     @property
     def pid(self) -> Optional[int]:
@@ -282,6 +289,23 @@ class WorkerPool:
     * **thread safety** — :meth:`submit` may be called from many threads
       concurrently (the asyncio server does); each call exclusively
       leases one worker for the duration of the request.
+
+    Supervision (the overload-hardening additions):
+
+    * **respawn budgets** — each of the ``jobs`` worker slots may be
+      respawned at most ``respawn_budget`` times; a slot that exhausts
+      its budget is lost, and once every slot is lost :meth:`submit`
+      fails fast with a ``kind="crash"`` envelope instead of blocking
+      forever on an empty pool;
+    * **exponential backoff** — a slot whose workers keep dying within
+      :data:`_FAST_DEATH_SECONDS` of spawning is respawned after an
+      exponentially growing delay (on a background timer, never blocking
+      the caller), so a crash-looping request class cannot turn the
+      parent into a fork bomb;
+    * **hung-worker watchdog** — even with ``timeout=None``, a request
+      older than ``hung_deadline`` SIGKILLs its worker and reports
+      ``kind="timeout"``; a wedged worker can never hold a lease
+      forever.
     """
 
     def __init__(
@@ -289,20 +313,33 @@ class WorkerPool:
         handler: Callable[[Any], Any],
         jobs: int = 2,
         context=None,
+        respawn_budget: int = 32,
+        respawn_backoff: float = 0.05,
+        respawn_backoff_max: float = 2.0,
+        hung_deadline: Optional[float] = None,
     ):
         self._handler = handler
         self._context = context if context is not None else _default_context()
         self._jobs = max(1, int(jobs))
+        self.respawn_budget = max(0, int(respawn_budget))
+        self.respawn_backoff = max(0.0, float(respawn_backoff))
+        self.respawn_backoff_max = max(0.0, float(respawn_backoff_max))
+        self.hung_deadline = hung_deadline
         self._lock = threading.Lock()
         self._closed = False
         self._workers: List[_PooledWorker] = []
         self._idle: "queue.Queue[_PooledWorker]" = queue.Queue()
-        for _ in range(self._jobs):
-            self._idle.put(self._spawn())
+        self._slot_respawns = [0] * self._jobs
+        self._slot_streak = [0] * self._jobs
+        self._slot_lost = [False] * self._jobs
+        self._hung_kills = 0
+        self._timers: List[threading.Timer] = []
+        for slot in range(self._jobs):
+            self._idle.put(self._spawn(slot))
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def _spawn(self) -> _PooledWorker:
+    def _spawn(self, slot: int) -> _PooledWorker:
         parent_end, child_end = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_pool_worker_loop,
@@ -311,24 +348,71 @@ class WorkerPool:
         )
         process.start()
         child_end.close()
-        worker = _PooledWorker(process, parent_end)
+        worker = _PooledWorker(process, parent_end, slot, time.monotonic())
         with self._lock:
             self._workers.append(worker)
         return worker
 
-    def _retire(self, worker: _PooledWorker) -> None:
+    def _retire(self, worker: _PooledWorker, sigkill: bool = False) -> None:
         with self._lock:
             if worker in self._workers:
                 self._workers.remove(worker)
-        worker.process.terminate()
-        worker.process.join(_TERMINATE_GRACE)
-        if worker.process.is_alive():
+        if sigkill:
             worker.process.kill()
             worker.process.join()
+        else:
+            worker.process.terminate()
+            worker.process.join(_TERMINATE_GRACE)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
         try:
             worker.connection.close()
         except Exception:
             pass
+
+    def _schedule_respawn(self, worker: _PooledWorker) -> None:
+        """Refill *worker*'s slot — now, after a backoff, or never.
+
+        Never blocks the caller: a backoff delay runs on a daemon timer
+        so the response that triggered the respawn returns immediately.
+        """
+        slot = worker.slot
+        now = time.monotonic()
+        with self._lock:
+            if self._closed or self._slot_lost[slot]:
+                return
+            if self._slot_respawns[slot] >= self.respawn_budget:
+                self._slot_lost[slot] = True
+                return
+            self._slot_respawns[slot] += 1
+            if now - worker.spawned < _FAST_DEATH_SECONDS:
+                self._slot_streak[slot] += 1
+            else:
+                self._slot_streak[slot] = 0
+            streak = self._slot_streak[slot]
+        delay = 0.0
+        if streak > 0 and self.respawn_backoff > 0:
+            delay = min(
+                self.respawn_backoff_max,
+                self.respawn_backoff * (2.0 ** (streak - 1)),
+            )
+        if delay <= 0.0:
+            self._idle.put(self._spawn(slot))
+            return
+
+        def _respawn_later() -> None:
+            with self._lock:
+                if self._closed:
+                    return
+            self._idle.put(self._spawn(slot))
+
+        timer = threading.Timer(delay, _respawn_later)
+        timer.daemon = True
+        with self._lock:
+            self._timers = [t for t in self._timers if t.is_alive()]
+            self._timers.append(timer)
+        timer.start()
 
     @property
     def jobs(self) -> int:
@@ -339,13 +423,43 @@ class WorkerPool:
         with self._lock:
             return [worker.pid for worker in self._workers if worker.pid]
 
+    def capacity(self) -> int:
+        """Worker slots that are still serviceable (live or respawnable)."""
+        with self._lock:
+            return sum(1 for lost in self._slot_lost if not lost)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "jobs": self._jobs,
+                "workers_alive": len(self._workers),
+                "slots_lost": sum(1 for lost in self._slot_lost if lost),
+                "respawns": sum(self._slot_respawns),
+                "respawn_budget": self.respawn_budget,
+                "hung_kills": self._hung_kills,
+            }
+
     # -- execution ---------------------------------------------------------------
 
     def submit(self, message: Any, timeout: Optional[float] = None) -> TaskResult:
         """Run *message* through one worker; always returns an envelope."""
-        worker = self._idle.get()
+        worker = self._lease()
+        if worker is None:
+            with self._lock:
+                closed = self._closed
+            return TaskResult(
+                kind="crash",
+                message="pool is shut down"
+                if closed
+                else "no workers left: every slot exhausted its respawn "
+                "budget of %d" % self.respawn_budget,
+            )
         started = time.monotonic()
         replace = False
+        hung_kill = False
+        # The watchdog: even an unbounded request may not hold a lease
+        # past `hung_deadline` — the worker is SIGKILLed instead.
+        effective = timeout if timeout is not None else self.hung_deadline
         try:
             try:
                 worker.connection.send(message)
@@ -357,11 +471,20 @@ class WorkerPool:
                     elapsed=time.monotonic() - started,
                 )
             try:
-                if not worker.connection.poll(timeout):
+                if not worker.connection.poll(effective):
                     replace = True
-                    return TaskResult(
-                        kind="timeout", elapsed=time.monotonic() - started
-                    )
+                    elapsed = time.monotonic() - started
+                    if timeout is None:
+                        hung_kill = True
+                        with self._lock:
+                            self._hung_kills += 1
+                        return TaskResult(
+                            kind="timeout",
+                            message="hung-worker watchdog fired after %.1fs "
+                            "(worker SIGKILLed)" % elapsed,
+                            elapsed=elapsed,
+                        )
+                    return TaskResult(kind="timeout", elapsed=elapsed)
                 result = worker.connection.recv()
             except (EOFError, OSError):
                 replace = True
@@ -376,11 +499,28 @@ class WorkerPool:
             return result
         finally:
             if replace:
-                self._retire(worker)
+                self._retire(worker, sigkill=hung_kill)
                 if not self._closed:
-                    self._idle.put(self._spawn())
+                    self._schedule_respawn(worker)
             else:
                 self._idle.put(worker)
+
+    def _lease(self) -> Optional[_PooledWorker]:
+        """One idle worker, or ``None`` once the pool has no capacity.
+
+        Polls rather than blocking forever: the pool can lose capacity
+        (respawn budgets exhausting) while a caller waits.
+        """
+        while True:
+            with self._lock:
+                if self._closed or not any(
+                    not lost for lost in self._slot_lost
+                ):
+                    return None
+            try:
+                return self._idle.get(timeout=0.1)
+            except queue.Empty:
+                continue
 
     # -- shutdown ----------------------------------------------------------------
 
@@ -393,6 +533,10 @@ class WorkerPool:
             self._closed = True
             workers = list(self._workers)
             self._workers = []
+            timers = list(self._timers)
+            self._timers = []
+        for timer in timers:
+            timer.cancel()
         for worker in workers:
             try:
                 worker.connection.send(None)

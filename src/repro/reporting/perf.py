@@ -813,11 +813,244 @@ def bench_nonterm(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
+def bench_service_chaos(quick: bool = False, seed: int = 0) -> Dict:
+    """The service's robustness claims, exercised under injected faults.
+
+    Three phases against real socket servers:
+
+    * **chaos** — concurrent retrying clients
+      (:func:`repro.service.client.call_with_retry`) drive the
+      terminating WTC slice through a server running a seeded
+      :class:`~repro.service.faults.FaultPlan` (workers killed
+      mid-request, workers delayed, disk-cache files corrupted and
+      truncated, responses cut off mid-line).  The committed claims:
+      **every request is eventually answered** and **zero unsound
+      verdicts** are ever served (every program in the slice terminates;
+      any ``nonterminating`` answer would be unsound).
+    * **restart** — the server is stopped and a fresh one is pointed at
+      the same ``--cache-dir``; surviving disk entries must serve as
+      revalidated hits (``disk_hits >= 1``) and every corrupted one must
+      be dropped, never served (``revalidation_failures == 0``).
+    * **overload** — twice the admission capacity in concurrent clients
+      against a one-worker server; the gate must shed
+      (``OVERLOADED``/-32005 with a ``retry_after_seconds`` hint) while
+      the p99 of *accepted* requests stays bounded by the queue depth
+      instead of growing with offered load.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api.config import AnalysisConfig
+    from repro.api.request import AnalysisRequest
+    from repro.benchsuite import get_suite
+    from repro.service import run_server_in_thread
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        call_with_retry,
+    )
+
+    programs = [
+        p for p in get_suite("wtc") if p.terminating and p.source is not None
+    ]
+    programs = programs[:2] if quick else programs[:3]
+    variants = 2 if quick else 3
+    clients = 2 if quick else 4
+    plan = (
+        "seed%d:kill=0.15,delay=0.1,corrupt=0.25,truncate=0.15,drop=0.15,"
+        "delay_seconds=0.5" % seed
+    )
+
+    requests = [
+        AnalysisRequest(
+            program=program.source,
+            config=AnalysisConfig(oracle_seed=seed + variant),
+            name="%s@%d" % (program.name, variant),
+        )
+        for program in programs
+        for variant in range(variants)
+    ]
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    started = time.perf_counter()
+    lock = threading.Lock()
+    answered = 0
+    unsound = 0
+    retries = 0
+    failures: List[BaseException] = []
+
+    def _chaos_client(index: int, host: str, port: int) -> None:
+        nonlocal answered, unsound, retries
+        rng = random.Random(seed * 1000 + index)
+
+        def _count_retry(attempt, wait, error):
+            nonlocal retries
+            with lock:
+                retries += 1
+
+        client = ServiceClient(host, port, read_timeout=120.0)
+        try:
+            for request in requests:
+                params = request.to_dict()
+                try:
+                    result = call_with_retry(
+                        lambda: client.analyze(params),
+                        max_attempts=10,
+                        base_delay=0.05,
+                        rng=rng,
+                        on_retry=_count_retry,
+                    )
+                except BaseException as error:
+                    with lock:
+                        failures.append(error)
+                    return
+                with lock:
+                    answered += 1
+                    # Every program in the slice terminates; a served
+                    # "nonterminating" would be an unsound verdict.
+                    if result["status"] == "nonterminating":
+                        unsound += 1
+        finally:
+            client.close()
+
+    try:
+        server = run_server_in_thread(
+            port=0,
+            jobs=2,
+            timeout=30.0,
+            cache_dir=cache_dir,
+            cache_disk_bytes=4 * 1024 * 1024,
+            fault_plan=plan,
+            max_queue=64,  # the chaos phase measures faults, not shedding
+        )
+        try:
+            threads = [
+                threading.Thread(
+                    target=_chaos_client, args=(i, server.host, server.port)
+                )
+                for i in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            chaos_stats = server.cache_stats()
+        finally:
+            server.stop()
+        if failures:
+            raise RuntimeError(
+                "chaos client gave up: %s" % failures[0]
+            ) from failures[0]
+
+        # -- restart: the disk tier must survive (and stay sound) ------------
+        server = run_server_in_thread(
+            port=0, jobs=2, cache_dir=cache_dir,
+            cache_disk_bytes=4 * 1024 * 1024,
+        )
+        try:
+            client = ServiceClient(server.host, server.port)
+            warm_latencies: List[float] = []
+            restart_hits = 0
+            try:
+                for request in requests:
+                    call_started = time.perf_counter()
+                    result = call_with_retry(
+                        lambda: client.analyze(request.to_dict()),
+                        max_attempts=4,
+                    )
+                    warm_latencies.append(time.perf_counter() - call_started)
+                    if result["provenance"]["cache"] == "hit":
+                        restart_hits += 1
+            finally:
+                client.close()
+            restart_stats = server.cache_stats()["stats"]
+        finally:
+            server.stop()
+
+        # -- overload: shed fast, keep accepted latency bounded --------------
+        overload_clients = 4  # 2x the (max_inflight=1) + (max_queue=1) line
+        accepted: List[float] = []
+        shed = 0
+        hinted = 0
+        server = run_server_in_thread(
+            port=0, jobs=1, cache=False, max_inflight=1, max_queue=1,
+            timeout=60.0,
+        )
+        try:
+            def _overload_client(index: int) -> None:
+                nonlocal shed, hinted
+                client = ServiceClient(
+                    server.host, server.port, read_timeout=120.0
+                )
+                try:
+                    for request in requests[: 3 if quick else 4]:
+                        call_started = time.perf_counter()
+                        try:
+                            client.analyze(request.to_dict())
+                        except ServiceError as error:
+                            if error.code != -32005:
+                                raise
+                            with lock:
+                                shed += 1
+                                if error.retry_after_seconds is not None:
+                                    hinted += 1
+                            continue
+                        with lock:
+                            accepted.append(
+                                time.perf_counter() - call_started
+                            )
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=_overload_client, args=(i,))
+                for i in range(overload_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            server.stop()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    wall = time.perf_counter() - started
+
+    return {
+        "suite": "service_chaos",
+        "wall_seconds": round(wall, 4),
+        "fault_plan": plan,
+        "clients": clients,
+        "requests_total": clients * len(requests),
+        "answered": answered,
+        "retries": retries,
+        "unsound_results": unsound,
+        "faults_injected": chaos_stats.get("faults", {}),
+        "disk_drops": chaos_stats["stats"]["disk_drops"]
+        + restart_stats["disk_drops"],
+        "revalidation_failures": chaos_stats["stats"]["revalidation_failures"]
+        + restart_stats["revalidation_failures"],
+        "pool": chaos_stats.get("pool", {}),
+        "restart_requests": len(requests),
+        "restart_cache_hits": restart_hits,
+        "restart_disk_hits": restart_stats["disk_hits"],
+        "warm_p99_seconds": round(_percentile(warm_latencies, 0.99), 4),
+        "overload_clients": overload_clients,
+        "overload_accepted": len(accepted),
+        "overload_shed": shed,
+        "overload_retry_after_hinted": hinted,
+        "overload_accepted_p99_seconds": round(
+            _percentile(accepted, 0.99), 4
+        ),
+    }
+
+
 #: Suite name → runner, in the canonical (cheapest-first) order.  The
-#: ``service`` and ``nonterm`` suites are opt-in (``repro bench service
-#: nonterm``): one forks a worker pool, the other proves the
-#: nonterminating corpus slice end to end, so the default ``repro
-#: bench`` run keeps the historical five-suite document.
+#: ``service``, ``nonterm`` and ``service_chaos`` suites are opt-in
+#: (``repro bench service nonterm service_chaos``): the first forks a
+#: worker pool, the second proves the nonterminating corpus slice end to
+#: end, and the third injects faults into live servers, so the default
+#: ``repro bench`` run keeps the historical five-suite document.
 SUITE_RUNNERS = {
     "kernel_rows": bench_kernel_rows,
     "simplex": bench_simplex,
@@ -828,6 +1061,7 @@ SUITE_RUNNERS = {
     "cex_batch_ablation": bench_cex_batch_ablation,
     "service": bench_service,
     "nonterm": bench_nonterm,
+    "service_chaos": bench_service_chaos,
 }
 
 #: The suites ``repro bench`` runs when none are named.

@@ -22,11 +22,28 @@ analyses over a tiny wire protocol instead:
   asyncio socket server dispatching onto the pre-forked crash-isolated
   :class:`~repro.reporting.parallel.WorkerPool`, with per-request
   timeouts and graceful drain on SIGTERM).
+* :mod:`repro.service.admission` — overload hardening: the bounded
+  in-flight/queue :class:`AdmissionGate` (sheds with ``OVERLOADED``,
+  degrades under pressure) and the per-tool :class:`CircuitBreaker`.
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  harness (``repro serve --fault-plan``) behind the ``service_chaos``
+  bench suite.
+* :mod:`repro.service.client` — a minimal line client plus
+  :func:`~repro.service.client.call_with_retry`, the jittered
+  exponential-backoff helper every well-behaved caller should use.
 
 See ``docs/SERVICE.md`` for the protocol reference and deployment notes.
 """
 
+from repro.service.admission import (
+    AdmissionGate,
+    CircuitBreaker,
+    Overloaded,
+    ShuttingDown,
+)
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.client import ServiceClient, call_with_retry
+from repro.service.faults import FaultInjector, FaultPlan, FaultPlanError
 from repro.service.protocol import (
     ANALYSIS_ERROR,
     INTERNAL_ERROR,
@@ -34,6 +51,7 @@ from repro.service.protocol import (
     INVALID_REQUEST,
     JSONRPC_VERSION,
     METHOD_NOT_FOUND,
+    OVERLOADED,
     PARSE_ERROR,
     PROGRAM_TOO_LARGE,
     ProtocolError,
@@ -74,6 +92,16 @@ __all__ = [
     "WORKER_CRASH",
     "PROGRAM_TOO_LARGE",
     "SHUTTING_DOWN",
+    "OVERLOADED",
+    "AdmissionGate",
+    "CircuitBreaker",
+    "Overloaded",
+    "ShuttingDown",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultInjector",
+    "ServiceClient",
+    "call_with_retry",
     "AnalysisService",
     "InlineExecutor",
     "PoolExecutor",

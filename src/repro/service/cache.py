@@ -27,10 +27,27 @@ Unproved cached results (``unknown``) carry no certificate; they are
 served as hits with ``provenance.revalidated = False``.  Error and
 timeout results are never cached at all — failures are assumed
 transient.
+
+**The disk tier.**  With a ``cache_dir`` the cache also persists every
+store as one content-addressed file per key (``<cache_dir>/<key>.json``)
+so a restarted server answers warm traffic immediately.  Writes are
+crash-safe: the document goes to a temporary file in the same directory,
+is ``fsync``\\ ed, then atomically ``os.replace``\\ d into place — a
+``kill -9`` mid-write leaves either the old entry or the new one, never
+a torn file.  Each file carries a SHA-256 checksum of its payload;
+loads that fail to parse, fail the checksum, or disagree with their
+filename key are **deleted and counted** (``disk_drops``), and a loaded
+proved entry still passes the full checker gate above before it is ever
+served — which is exactly why persistence is safe here: a stale,
+corrupted or tampered disk entry costs a miss, never soundness.  The
+tier is LRU-bounded by total bytes (oldest files evicted first) and
+loaded lazily: restart cost is one ``listdir``, not a full read.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import threading
 from collections import OrderedDict
@@ -42,6 +59,12 @@ from repro.api.result import AnalysisResult, AnalysisStatus, Provenance
 
 #: Default bound on resident entries (LRU eviction beyond it).
 DEFAULT_MAX_ENTRIES = 4096
+
+#: Default bound on the disk tier's total size (bytes).
+DEFAULT_MAX_DISK_BYTES = 64 * 1024 * 1024
+
+#: Schema tag written into every disk entry.
+_DISK_SCHEMA = 1
 
 
 @dataclass
@@ -56,6 +79,12 @@ class CacheStats:
     revalidation_failures: int = 0
     entries: int = 0
     problems_resident: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    disk_drops: int = 0
+    disk_evictions: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +96,12 @@ class CacheStats:
             "revalidation_failures": self.revalidation_failures,
             "entries": self.entries,
             "problems_resident": self.problems_resident,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_drops": self.disk_drops,
+            "disk_evictions": self.disk_evictions,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
         }
 
 
@@ -95,21 +130,41 @@ class ResultCache:
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         revalidate: bool = True,
+        cache_dir: Optional[str] = None,
+        max_disk_bytes: int = DEFAULT_MAX_DISK_BYTES,
+        fault_injector=None,
     ):
         self.max_entries = max(1, int(max_entries))
         self.revalidate = revalidate
+        self.cache_dir = cache_dir
+        self.max_disk_bytes = max(1, int(max_disk_bytes))
+        self._fault_injector = fault_injector
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._stats = CacheStats()
+        # key → file size, oldest first; built lazily on first disk use.
+        self._disk_lock = threading.Lock()
+        self._disk_index: Optional["OrderedDict[str, int]"] = None
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
 
     # -- statistics --------------------------------------------------------------
 
     def stats(self) -> CacheStats:
+        if self.cache_dir is not None:
+            with self._disk_lock:
+                index = self._disk_index_locked()
+                disk_entries = len(index)
+                disk_bytes = sum(index.values())
+        else:
+            disk_entries = disk_bytes = 0
         with self._lock:
             self._stats.entries = len(self._entries)
             self._stats.problems_resident = sum(
                 1 for entry in self._entries.values() if entry.problem is not None
             )
+            self._stats.disk_entries = disk_entries
+            self._stats.disk_bytes = disk_bytes
             return CacheStats(**self._stats.to_dict())
 
     # -- the read path -----------------------------------------------------------
@@ -125,6 +180,8 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
+        if entry is None and self.cache_dir is not None:
+            entry = self._disk_load(key)
         if entry is None:
             with self._lock:
                 self._stats.misses += 1
@@ -139,6 +196,7 @@ class ResultCache:
                     self._stats.revalidation_failures += 1
                     self._stats.misses += 1
                     self._entries.pop(key, None)
+                self._disk_discard(key)
                 return None
         elif self.revalidate and result.status is AnalysisStatus.NONTERMINATING:
             ok, revalidated = self._revalidate_lasso(request, entry, result)
@@ -147,6 +205,7 @@ class ResultCache:
                     self._stats.revalidation_failures += 1
                     self._stats.misses += 1
                     self._entries.pop(key, None)
+                self._disk_discard(key)
                 return None
         with self._lock:
             self._stats.hits += 1
@@ -268,7 +327,186 @@ class ResultCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
+        if self.cache_dir is not None:
+            self._disk_store(key, document)
         return True
+
+    # -- the disk tier -----------------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key + ".json")
+
+    def _disk_index_locked(self) -> "OrderedDict[str, int]":
+        """The key → size map, oldest first.  Requires ``_disk_lock``."""
+        if self._disk_index is None:
+            found = []
+            try:
+                names = os.listdir(self.cache_dir)
+            except OSError:
+                names = []
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    status = os.stat(os.path.join(self.cache_dir, name))
+                except OSError:
+                    continue
+                found.append((status.st_mtime, name[: -len(".json")],
+                              status.st_size))
+            found.sort()
+            self._disk_index = OrderedDict(
+                (key, size) for _, key, size in found
+            )
+        return self._disk_index
+
+    def _disk_store(self, key: str, document: dict) -> None:
+        """Persist one entry: write-to-temp, fsync, atomic rename."""
+        payload = json.dumps(document, sort_keys=True)
+        wrapper = json.dumps(
+            {
+                "schema": _DISK_SCHEMA,
+                "key": key,
+                "sha256": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+                "result": document,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self._disk_path(key)
+        temp = os.path.join(
+            self.cache_dir, ".%s.%d.tmp" % (key[:16], os.getpid())
+        )
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(wrapper)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+        except OSError:
+            # Disk trouble degrades persistence, never a response.
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            return
+        with self._disk_lock:
+            index = self._disk_index_locked()
+            index.pop(key, None)
+            index[key] = len(wrapper)
+            with self._lock:
+                self._stats.disk_stores += 1
+            while sum(index.values()) > self.max_disk_bytes and len(index) > 1:
+                victim, _ = index.popitem(last=False)
+                try:
+                    os.unlink(self._disk_path(victim))
+                except OSError:
+                    pass
+                with self._lock:
+                    self._stats.disk_evictions += 1
+        if self._fault_injector is not None:
+            if self._fault_injector.decide("corrupt_cache"):
+                self.corrupt_disk_entry(key)
+            elif self._fault_injector.decide("truncate_cache"):
+                self.corrupt_disk_entry(key, truncate=True)
+
+    def _disk_load(self, key: str) -> Optional[_Entry]:
+        """Promote a persisted entry into memory, or drop it if damaged.
+
+        Integrity checks here (parse, schema, filename/key agreement,
+        payload checksum) catch corruption and tampering; the checker
+        gate in :meth:`lookup` still stands between a loaded *proved*
+        entry and the caller.
+        """
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        document = None
+        try:
+            wrapper = json.loads(raw.decode("utf-8"))
+            if (
+                isinstance(wrapper, dict)
+                and wrapper.get("schema") == _DISK_SCHEMA
+                and wrapper.get("key") == key
+                and isinstance(wrapper.get("result"), dict)
+            ):
+                payload = json.dumps(wrapper["result"], sort_keys=True)
+                digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+                if digest == wrapper.get("sha256"):
+                    document = wrapper["result"]
+        except (ValueError, UnicodeDecodeError):
+            document = None
+        if document is not None:
+            try:
+                AnalysisResult.from_dict(document)
+            except Exception:
+                document = None
+        if document is None:
+            self._disk_discard(key)
+            with self._lock:
+                self._stats.disk_drops += 1
+            return None
+        # Touch the file so restart-time LRU ordering tracks use.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._disk_lock:
+            index = self._disk_index_locked()
+            size = index.pop(key, len(raw))
+            index[key] = size
+        entry = _Entry(result=document)
+        with self._lock:
+            self._stats.disk_hits += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        return entry
+
+    def _disk_discard(self, key: str) -> None:
+        if self.cache_dir is None:
+            return
+        try:
+            os.unlink(self._disk_path(key))
+        except OSError:
+            pass
+        with self._disk_lock:
+            if self._disk_index is not None:
+                self._disk_index.pop(key, None)
+
+    def corrupt_disk_entry(self, key: str, truncate: bool = False) -> bool:
+        """Damage *key*'s disk file (fault injection and tests only).
+
+        ``truncate`` cuts the document in half mid-JSON; otherwise
+        garbage bytes are splatted into the middle of the document.
+        Both must be caught by the load-path integrity checks.  Returns
+        whether a file was hit.
+        """
+        if self.cache_dir is None:
+            return False
+        path = self._disk_path(key)
+        try:
+            size = os.path.getsize(path)
+            if truncate:
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(1, size // 2))
+            else:
+                with open(path, "r+b") as handle:
+                    handle.seek(max(0, size // 2))
+                    handle.write(b"\xde\xad\xbe\xef")
+        except OSError:
+            return False
+        return True
+
+    def disk_keys(self) -> list:
+        """The keys currently persisted (oldest first; for tests/bench)."""
+        if self.cache_dir is None:
+            return []
+        with self._disk_lock:
+            return list(self._disk_index_locked())
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,217 @@
+"""A minimal line client for the analysis service, with retry built in.
+
+The service sheds load deliberately: ``OVERLOADED`` (-32005) is not a
+failure, it is the server telling a caller *when to come back*
+(``data.retry_after_seconds``).  A well-behaved client therefore needs
+exactly one piece of cleverness — :func:`call_with_retry` — and this
+module packages it next to a deliberately small blocking client so the
+bench harness, the CI smoke jobs and user scripts all retry the same
+way instead of re-inventing (and mis-inventing) backoff.
+
+Retryable errors and their waits:
+
+* ``OVERLOADED`` (-32005) — wait the server-provided
+  ``retry_after_seconds`` (plus jitter);
+* ``REQUEST_TIMEOUT`` (-32001) and ``WORKER_CRASH`` (-32002) — wait a
+  jittered exponential backoff (the crash was already cleaned up server
+  side; an immediate retry usually lands on a fresh worker);
+* connection drops mid-call — reconnect and retry the same way (the
+  request is idempotent: results are content-addressed).
+
+Everything else (parse errors, invalid params, ``SHUTTING_DOWN``,
+analysis errors) is returned/raised immediately — retrying a request
+that is *wrong* only adds load.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from typing import Any, Callable, Optional
+
+from repro.service.protocol import (
+    OVERLOADED,
+    REQUEST_TIMEOUT,
+    WORKER_CRASH,
+)
+
+#: Error codes that mean "try the identical request again later".
+RETRYABLE_CODES = (REQUEST_TIMEOUT, WORKER_CRASH, OVERLOADED)
+
+
+class ServiceError(Exception):
+    """A JSON-RPC error response, raised by the client helpers."""
+
+    def __init__(self, code: int, message: str, data: Optional[dict] = None):
+        super().__init__("[%d] %s" % (code, message))
+        self.code = code
+        self.message = message
+        self.data = data or {}
+
+    @property
+    def retry_after_seconds(self) -> Optional[float]:
+        value = self.data.get("retry_after_seconds")
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+class ServiceUnavailable(Exception):
+    """The transport died (connection refused/reset) — retryable."""
+
+
+class ServiceClient:
+    """A blocking newline-delimited JSON-RPC client over TCP.
+
+    Reconnects lazily: a dropped connection surfaces as
+    :class:`ServiceUnavailable` on the call that hit it, and the next
+    call dials fresh — which is exactly the shape
+    :func:`call_with_retry` expects.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connect_timeout: float = 10.0,
+        read_timeout: Optional[float] = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- transport ---------------------------------------------------------------
+
+    def _connected(self):
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as error:
+                raise ServiceUnavailable(
+                    "cannot connect to %s:%d: %s" % (self.host, self.port, error)
+                ) from None
+            sock.settimeout(self.read_timeout)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self._file
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._file = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- calls -------------------------------------------------------------------
+
+    def call(self, method: str, params: Optional[dict] = None) -> Any:
+        """One request/response; raises :class:`ServiceError` on a JSON-RPC
+        error and :class:`ServiceUnavailable` on a dead transport."""
+        self._next_id += 1
+        payload = {
+            "jsonrpc": "2.0",
+            "id": self._next_id,
+            "method": method,
+            "params": params if params is not None else {},
+        }
+        try:
+            stream = self._connected()
+            stream.write(json.dumps(payload).encode("utf-8") + b"\n")
+            stream.flush()
+            line = stream.readline()
+        except (OSError, ValueError) as error:
+            self.close()
+            raise ServiceUnavailable("transport failed: %s" % error) from None
+        if not line:
+            # EOF mid-call: the server hung up (drain, crash, or an
+            # injected drop_connection fault).
+            self.close()
+            raise ServiceUnavailable("connection closed by server")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            # A torn response line (injected drop faults cut lines in
+            # half) — the transport can no longer be trusted to frame.
+            self.close()
+            raise ServiceUnavailable("torn response line: %s" % error) from None
+        error_obj = response.get("error")
+        if error_obj is not None:
+            raise ServiceError(
+                int(error_obj.get("code", 0)),
+                str(error_obj.get("message", "")),
+                error_obj.get("data"),
+            )
+        return response.get("result")
+
+    def analyze(self, params: dict) -> dict:
+        return self.call("analyze", params)
+
+    def cache_stats(self) -> dict:
+        return self.call("cache_stats")
+
+
+def call_with_retry(
+    call: Callable[[], Any],
+    max_attempts: int = 6,
+    base_delay: float = 0.1,
+    max_delay: float = 10.0,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, float, Exception], None]] = None,
+) -> Any:
+    """Run *call* until it succeeds or retries are exhausted.
+
+    *call* is any zero-argument callable (typically a
+    ``functools.partial`` over :meth:`ServiceClient.call`).  Retried
+    failures are :class:`ServiceError` with a code in
+    :data:`RETRYABLE_CODES` and :class:`ServiceUnavailable`; anything
+    else propagates immediately.
+
+    Waits are **jittered exponential backoff** — uniformly drawn from
+    ``(delay/2, delay]`` where ``delay = min(max_delay, base_delay *
+    2**attempt)`` — except that an ``OVERLOADED`` response carrying
+    ``retry_after_seconds`` takes the *server's* estimate (jittered the
+    same way) instead: the server knows its queue depth; the client
+    does not.
+
+    *on_retry* (if given) is called with ``(attempt, wait_seconds,
+    error)`` before each sleep — the bench uses it to count sheds.
+    """
+    rng = rng if rng is not None else random.Random()
+    last: Optional[Exception] = None
+    for attempt in range(max_attempts):
+        try:
+            return call()
+        except ServiceError as error:
+            if error.code not in RETRYABLE_CODES:
+                raise
+            last = error
+            delay = min(max_delay, base_delay * (2.0 ** attempt))
+            hinted = error.retry_after_seconds
+            if error.code == OVERLOADED and hinted is not None:
+                delay = min(max_delay, hinted)
+        except ServiceUnavailable as error:
+            last = error
+            delay = min(max_delay, base_delay * (2.0 ** attempt))
+        if attempt == max_attempts - 1:
+            break
+        wait = delay / 2.0 + rng.random() * (delay / 2.0)
+        if on_retry is not None:
+            on_retry(attempt, wait, last)
+        sleep(wait)
+    assert last is not None
+    raise last

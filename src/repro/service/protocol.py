@@ -48,6 +48,13 @@ name                   code    raised when
 ``WORKER_CRASH``       -32002  the worker died mid-request (and was respawned)
 ``PROGRAM_TOO_LARGE``  -32003  the program exceeds ``max_program_bytes``
 ``SHUTTING_DOWN``      -32004  request arrived after ``shutdown``
+``OVERLOADED``         -32005  load was shed: the admission gate's
+                               in-flight and queue bounds are both
+                               saturated, or the tool's circuit breaker
+                               is open after repeated worker crashes.
+                               ``data.retry_after_seconds`` tells the
+                               caller when to retry (see
+                               :func:`repro.service.client.call_with_retry`)
 =====================  ======  ==============================================
 
 Every failure mode yields a *response* — a connection is never silently
@@ -73,6 +80,7 @@ REQUEST_TIMEOUT = -32001
 WORKER_CRASH = -32002
 PROGRAM_TOO_LARGE = -32003
 SHUTTING_DOWN = -32004
+OVERLOADED = -32005
 
 #: Default cap on one program's UTF-8 size (1 MiB), way beyond any real
 #: mini-language program; the gate exists to bound a request's memory.
@@ -279,29 +287,44 @@ class ServiceProtocol:
                 INVALID_PARAMS, 'params must carry a "requests" array'
             )
         parsed = [self.parse_request(entry) for entry in requests]
-        results = []
-        for request in parsed:
-            try:
-                result = self.executor.run(request)
-            except ProtocolError as error:
-                # Keep the batch rectangular: a member-level failure is
-                # an error result in its slot, not a batch-level error.
-                from repro.api.result import AnalysisResult, AnalysisStatus
+        # Fan the members out across the worker pool (bounded by the
+        # executor's fan-out width, itself bounded by the admission
+        # gate); slot order is the request order regardless of
+        # completion order.
+        fanout = max(1, int(getattr(self.executor, "fanout", 1)))
+        if fanout <= 1 or len(parsed) <= 1:
+            results = [self._run_batch_member(request) for request in parsed]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
 
-                status = (
-                    AnalysisStatus.TIMEOUT
-                    if error.code == REQUEST_TIMEOUT
-                    else AnalysisStatus.ERROR
-                )
-                result = AnalysisResult(
-                    tool=request.tool,
-                    program=request.name,
-                    status=status,
-                    error=error.message,
-                    timed_out=error.code == REQUEST_TIMEOUT,
-                )
-            results.append(result.to_dict())
+            with ThreadPoolExecutor(
+                max_workers=min(fanout, len(parsed)),
+                thread_name_prefix="repro-batch",
+            ) as threads:
+                results = list(threads.map(self._run_batch_member, parsed))
         return {"results": results}
+
+    def _run_batch_member(self, request: AnalysisRequest) -> dict:
+        try:
+            result = self.executor.run(request)
+        except ProtocolError as error:
+            # Keep the batch rectangular: a member-level failure is
+            # an error result in its slot, not a batch-level error.
+            from repro.api.result import AnalysisResult, AnalysisStatus
+
+            status = (
+                AnalysisStatus.TIMEOUT
+                if error.code == REQUEST_TIMEOUT
+                else AnalysisStatus.ERROR
+            )
+            result = AnalysisResult(
+                tool=request.tool,
+                program=request.name,
+                status=status,
+                error=error.message,
+                timed_out=error.code == REQUEST_TIMEOUT,
+            )
+        return result.to_dict()
 
     def _method_list_provers(self, params: Any) -> dict:
         from repro.api.registry import prover_capabilities, prover_summaries

@@ -100,9 +100,12 @@ class TestSuites:
 class TestSuiteSelection:
     def test_default_suites_match_the_committed_document(self):
         assert set(DEFAULT_SUITES) == EXPECTED_SUITES
-        # service and nonterm are opt-in suites: runnable by name, kept out
-        # of the default selection (and so out of CI's perf smoke).
-        assert set(DEFAULT_SUITES) | {"service", "nonterm"} == set(
+        # service, nonterm and service_chaos are opt-in suites: runnable
+        # by name, kept out of the default selection (and so out of CI's
+        # perf smoke).
+        assert set(DEFAULT_SUITES) | {
+            "service", "nonterm", "service_chaos"
+        } == set(
             SUITE_RUNNERS
         )
 

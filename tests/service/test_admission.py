@@ -1,0 +1,216 @@
+"""The admission gate and the circuit breaker (no sockets involved).
+
+Contract under test: load beyond both bounds is shed immediately with a
+retry hint, queued waiters make progress as slots free, a drain wakes
+and refuses every waiter, and the breaker opens only on *consecutive*
+crashes, probes half-open, and backs its cooldown off exponentially.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionGate,
+    CircuitBreaker,
+    Overloaded,
+    ShuttingDown,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestAdmissionGate:
+    def test_admit_and_release_tracks_inflight(self):
+        gate = AdmissionGate(max_inflight=2, max_queue=1)
+        first = gate.admit()
+        second = gate.admit()
+        assert gate.stats()["inflight"] == 2
+        first.release()
+        second.release()
+        assert gate.stats()["inflight"] == 0
+        assert gate.stats()["admitted"] == 2
+
+    def test_release_is_idempotent(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        ticket = gate.admit()
+        ticket.release()
+        ticket.release()
+        assert gate.stats()["inflight"] == 0
+        # The slot really is free again.
+        gate.admit().release()
+
+    def test_sheds_when_both_bounds_are_saturated(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        ticket = gate.admit()
+        with pytest.raises(Overloaded) as caught:
+            gate.admit()
+        assert caught.value.retry_after_seconds > 0
+        assert gate.stats()["shed"] == 1
+        ticket.release()
+
+    def test_queued_waiter_gets_the_freed_slot(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1)
+        ticket = gate.admit()
+        admitted = []
+
+        def waiter():
+            inner = gate.admit()
+            admitted.append(inner.waited)
+            inner.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        for _ in range(100):
+            if gate.stats()["queued"] == 1:
+                break
+            time.sleep(0.01)
+        assert gate.stats()["queued"] == 1
+        ticket.release()
+        thread.join(5.0)
+        assert admitted == [True]
+
+    def test_unqueued_admission_did_not_wait(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1)
+        assert gate.admit().waited is False
+
+    def test_admission_timeout_sheds(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1)
+        ticket = gate.admit()
+        with pytest.raises(Overloaded):
+            gate.admit(timeout=0.05)
+        ticket.release()
+
+    def test_close_refuses_new_and_wakes_queued(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=2)
+        ticket = gate.admit()
+        outcomes = []
+
+        def waiter():
+            try:
+                gate.admit()
+                outcomes.append("admitted")
+            except ShuttingDown:
+                outcomes.append("refused")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        for _ in range(100):
+            if gate.stats()["queued"] == 1:
+                break
+            time.sleep(0.01)
+        gate.close()
+        thread.join(5.0)
+        assert outcomes == ["refused"]
+        with pytest.raises(ShuttingDown):
+            gate.admit()
+        # In-flight work is untouched by the drain.
+        ticket.release()
+
+    def test_pressure_tiers(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1)
+        assert gate.pressure_tier() == 0
+        ticket = gate.admit()
+        # A lone in-flight request is NOT pressure (it is us).
+        assert gate.pressure_tier() == 0
+        thread = threading.Thread(target=lambda: gate.admit().release())
+        thread.start()
+        for _ in range(100):
+            if gate.stats()["queued"] == 1:
+                break
+            time.sleep(0.01)
+        assert gate.pressure_tier() == 2  # queue of 1 is also full
+        assert gate.stats()["pressure"] == "shedding"
+        ticket.release()
+        thread.join(5.0)
+
+    def test_retry_after_tracks_service_time_ewma(self):
+        clock = FakeClock()
+        gate = AdmissionGate(max_inflight=1, max_queue=4, clock=clock)
+        for _ in range(20):
+            ticket = gate.admit()
+            clock.advance(2.0)
+            ticket.release()
+        # EWMA has converged near 2s; an empty line retries in ~2 waves.
+        assert 2.0 <= gate.retry_after_seconds() <= 8.0
+        assert abs(gate.stats()["avg_service_seconds"] - 2.0) < 0.1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_crashes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=5.0, clock=clock
+        )
+        for _ in range(2):
+            breaker.record_crash("termite")
+        breaker.check("termite")  # two crashes: still closed
+        breaker.record_crash("termite")
+        with pytest.raises(Overloaded) as caught:
+            breaker.check("termite")
+        assert caught.value.retry_after_seconds <= 5.0
+        assert "termite" in breaker.stats()["open_tools"]
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_crash("termite")
+        breaker.record_success("termite")
+        breaker.record_crash("termite")
+        breaker.check("termite")  # never two in a row
+
+    def test_tools_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_crash("termite")
+        with pytest.raises(Overloaded):
+            breaker.check("termite")
+        breaker.check("rankfinder")
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        breaker.record_crash("termite")
+        clock.advance(6.0)
+        breaker.check("termite")  # the probe goes through
+        with pytest.raises(Overloaded):
+            breaker.check("termite")  # concurrent callers still blocked
+        breaker.record_success("termite")
+        breaker.check("termite")  # closed again
+
+    def test_failed_probe_doubles_the_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        breaker.record_crash("termite")
+        clock.advance(6.0)
+        breaker.check("termite")
+        breaker.record_crash("termite")  # the probe crashed
+        clock.advance(6.0)
+        with pytest.raises(Overloaded):
+            breaker.check("termite")  # 10s cooldown now, 6s elapsed
+        clock.advance(5.0)
+        breaker.check("termite")
+
+    def test_neutral_outcome_releases_the_probe_without_opening(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        breaker.record_crash("termite")
+        clock.advance(6.0)
+        breaker.check("termite")
+        breaker.record_neutral("termite")  # e.g. the probe timed out
+        # The next caller may probe again — the circuit is not wedged.
+        breaker.check("termite")

@@ -1,0 +1,134 @@
+"""The retry helper: which failures retry, how long it waits, when it
+gives up.  All with a stubbed sleep — no sockets, no real time."""
+
+import random
+
+import pytest
+
+from repro.service.client import (
+    RETRYABLE_CODES,
+    ServiceError,
+    ServiceUnavailable,
+    call_with_retry,
+)
+from repro.service.protocol import (
+    ANALYSIS_ERROR,
+    INVALID_PARAMS,
+    OVERLOADED,
+    REQUEST_TIMEOUT,
+    SHUTTING_DOWN,
+    WORKER_CRASH,
+)
+
+
+class Flaky:
+    """Fails ``failures`` times with *error*, then returns ``"ok"``."""
+
+    def __init__(self, error, failures):
+        self.error = error
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+def run(call, **kwargs):
+    sleeps = []
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("sleep", sleeps.append)
+    result = call_with_retry(call, **kwargs)
+    return result, sleeps
+
+
+class TestRetryableCodes:
+    def test_the_three_codes(self):
+        assert set(RETRYABLE_CODES) == {
+            REQUEST_TIMEOUT,
+            WORKER_CRASH,
+            OVERLOADED,
+        }
+
+    @pytest.mark.parametrize("code", sorted(RETRYABLE_CODES))
+    def test_retries_then_succeeds(self, code):
+        call = Flaky(ServiceError(code, "transient"), failures=2)
+        result, sleeps = run(call)
+        assert result == "ok"
+        assert call.calls == 3
+        assert len(sleeps) == 2
+
+    def test_connection_drop_is_retried(self):
+        call = Flaky(ServiceUnavailable("gone"), failures=1)
+        result, _ = run(call)
+        assert result == "ok"
+
+    @pytest.mark.parametrize(
+        "code", [INVALID_PARAMS, ANALYSIS_ERROR, SHUTTING_DOWN]
+    )
+    def test_non_retryable_raises_immediately(self, code):
+        call = Flaky(ServiceError(code, "wrong"), failures=1)
+        with pytest.raises(ServiceError):
+            run(call)
+        assert call.calls == 1
+
+
+class TestBackoff:
+    def test_waits_grow_exponentially_with_jitter(self):
+        call = Flaky(ServiceError(WORKER_CRASH, "boom"), failures=4)
+        result, sleeps = run(call, base_delay=0.1, max_attempts=6)
+        assert result == "ok"
+        # Jittered into (delay/2, delay]; delays 0.1, 0.2, 0.4, 0.8.
+        for wait, ceiling in zip(sleeps, (0.1, 0.2, 0.4, 0.8)):
+            assert ceiling / 2.0 < wait <= ceiling
+
+    def test_overloaded_honours_the_server_hint(self):
+        error = ServiceError(
+            OVERLOADED, "shed", data={"retry_after_seconds": 3.0}
+        )
+        call = Flaky(error, failures=1)
+        result, sleeps = run(call, base_delay=0.1)
+        assert result == "ok"
+        assert 1.5 < sleeps[0] <= 3.0  # the hint, jittered — not 0.1
+
+    def test_max_delay_caps_the_wait(self):
+        error = ServiceError(
+            OVERLOADED, "shed", data={"retry_after_seconds": 500.0}
+        )
+        call = Flaky(error, failures=1)
+        _, sleeps = run(call, max_delay=2.0)
+        assert sleeps[0] <= 2.0
+
+    def test_exhaustion_raises_the_last_error(self):
+        call = Flaky(ServiceError(REQUEST_TIMEOUT, "slow"), failures=99)
+        with pytest.raises(ServiceError) as caught:
+            run(call, max_attempts=3)
+        assert caught.value.code == REQUEST_TIMEOUT
+        assert call.calls == 3
+
+    def test_on_retry_sees_every_attempt(self):
+        seen = []
+        call = Flaky(ServiceError(WORKER_CRASH, "boom"), failures=2)
+        call_with_retry(
+            call,
+            rng=random.Random(0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, wait, error: seen.append(
+                (attempt, type(error).__name__)
+            ),
+        )
+        assert seen == [(0, "ServiceError"), (1, "ServiceError")]
+
+    def test_no_sleep_after_the_final_attempt(self):
+        call = Flaky(ServiceError(WORKER_CRASH, "boom"), failures=99)
+        sleeps = []
+        with pytest.raises(ServiceError):
+            call_with_retry(
+                call,
+                max_attempts=2,
+                rng=random.Random(0),
+                sleep=sleeps.append,
+            )
+        assert len(sleeps) == 1

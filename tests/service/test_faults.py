@@ -1,0 +1,93 @@
+"""The fault-injection plan language and the seeded injector."""
+
+import pytest
+
+from repro.service.faults import (
+    INERT_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+)
+
+
+class TestFaultPlanParse:
+    def test_none_and_off_are_inert(self):
+        assert FaultPlan.parse(None).inert
+        assert FaultPlan.parse("off").inert
+        assert FaultPlan.parse("").inert
+
+    def test_seed_preset_mix(self):
+        plan = FaultPlan.parse("seed7")
+        assert plan.seed == 7
+        assert not plan.inert
+        assert plan.kill_worker > 0 and plan.corrupt_cache > 0
+
+    def test_explicit_rates_start_from_zero(self):
+        plan = FaultPlan.parse("seed3:kill=0.5,delay=0.25")
+        assert plan.seed == 3
+        assert plan.kill_worker == 0.5
+        assert plan.delay_worker == 0.25
+        assert plan.corrupt_cache == 0.0  # unnamed faults stay off
+
+    def test_delay_seconds_is_tunable(self):
+        plan = FaultPlan.parse("seed0:delay=1,delay_seconds=0.25")
+        assert plan.delay_seconds == 0.25
+
+    def test_bad_specs_raise(self):
+        for spec in ("banana", "seedX", "seed0:kill", "seed0:nosuch=0.5",
+                     "seed0:kill=lots"):
+            with pytest.raises(FaultPlanError):
+                FaultPlan.parse(spec)
+
+    def test_out_of_range_rate_raises(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(kill_worker=1.5)
+
+    def test_describe_round_trips_the_active_faults(self):
+        plan = FaultPlan.parse("seed2:kill=0.5")
+        assert "seed2" in plan.describe()
+        assert "kill_worker=0.5" in plan.describe()
+
+
+class TestFaultInjector:
+    def test_inert_injector_never_fires(self):
+        for _ in range(100):
+            assert not INERT_INJECTOR.decide("kill_worker")
+        assert INERT_INJECTOR.log.total == 0
+        assert not INERT_INJECTOR.active
+
+    def test_schedule_is_deterministic_per_seed(self):
+        plan = FaultPlan.parse("seed5")
+        first = [FaultInjector(plan).decide("kill_worker") for _ in range(1)]
+        runs = [
+            [FaultInjector(plan).decide("kill_worker") for _ in range(50)]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert first[0] == runs[0][0]
+
+    def test_decisions_are_logged(self):
+        injector = FaultInjector(FaultPlan(seed=1, kill_worker=1.0))
+        assert injector.decide("kill_worker")
+        assert injector.log.kill_worker == 1
+        assert injector.log.total == 1
+
+    def test_annotate_stamps_kill_marker(self):
+        injector = FaultInjector(FaultPlan(seed=0, kill_worker=1.0))
+        document = injector.annotate_worker_message({"program": "p"})
+        assert document["__fault__"] == "kill"
+        assert document["program"] == "p"
+
+    def test_annotate_stamps_delay_marker(self):
+        injector = FaultInjector(
+            FaultPlan(seed=0, delay_worker=1.0, delay_seconds=0.5)
+        )
+        document = injector.annotate_worker_message({"program": "p"})
+        assert document["__fault__"] == "delay"
+        assert document["__fault_delay__"] == 0.5
+
+    def test_annotate_leaves_the_original_untouched(self):
+        injector = FaultInjector(FaultPlan(seed=0, kill_worker=1.0))
+        original = {"program": "p"}
+        injector.annotate_worker_message(original)
+        assert original == {"program": "p"}

@@ -6,9 +6,11 @@ dropped connection — and the follow-up request on the same server
 succeeds, i.e. no failure mode poisons a worker.
 """
 
+import functools
 import io
 import json
 import os
+import random
 import signal
 import socket
 import threading
@@ -18,9 +20,13 @@ import pytest
 
 from repro.reporting.parallel import WorkerPool
 from repro.service import (
+    OVERLOADED,
     PARSE_ERROR,
     REQUEST_TIMEOUT,
+    SHUTTING_DOWN,
     WORKER_CRASH,
+    ServiceClient,
+    call_with_retry,
     run_server_in_thread,
     serve_stdio,
 )
@@ -207,7 +213,7 @@ class TestSocketServer:
 
 class TestFailureIsolation:
     def test_timeout_then_recovery(self):
-        running = run_server_in_thread(port=0, jobs=1, timeout=0.05)
+        running = run_server_in_thread(port=0, jobs=1, timeout=0.005)
         try:
             client = Client(running.host, running.port)
             try:
@@ -318,3 +324,512 @@ class TestStdio:
         reply = json.loads(output.getvalue())
         assert reply["result"]["provenance"]["cache"] == "bypass"
         assert replies[0]["result"]["provenance"]["cache"] == "miss"
+
+
+# ---------------------------------------------------------------------------
+# worker supervision (respawn budgets, backoff, hung-worker watchdog)
+# ---------------------------------------------------------------------------
+
+
+class TestSupervision:
+    def test_respawn_budget_exhaustion_fails_fast(self):
+        with WorkerPool(
+            _echo_handler, jobs=1, respawn_budget=2, respawn_backoff=0.01
+        ) as pool:
+            for _ in range(3):
+                assert pool.submit("die").kind == "crash"
+            final = pool.submit("after")
+            assert final.kind == "crash"
+            assert "respawn budget" in final.message
+            assert pool.capacity() == 0
+            stats = pool.stats()
+            assert stats["slots_lost"] == 1
+            assert stats["respawns"] == 2
+
+    def test_backoff_respawn_still_recovers(self):
+        with WorkerPool(
+            _echo_handler, jobs=1, respawn_budget=8, respawn_backoff=0.05
+        ) as pool:
+            assert pool.submit("die").kind == "crash"
+            follow_up = pool.submit("after")  # waits through the backoff
+            assert follow_up.ok
+
+    def test_hung_worker_watchdog_fires_without_a_timeout(self):
+        with WorkerPool(_echo_handler, jobs=1, hung_deadline=0.3) as pool:
+            result = pool.submit("sleep")  # no per-request timeout at all
+            assert result.kind == "timeout"
+            assert "watchdog" in result.message
+            assert pool.stats()["hung_kills"] == 1
+            assert pool.submit("after").ok  # the slot was reclaimed
+
+    def test_explicit_timeout_beats_the_watchdog(self):
+        with WorkerPool(_echo_handler, jobs=1, hung_deadline=60.0) as pool:
+            started = time.monotonic()
+            result = pool.submit("sleep", timeout=0.2)
+            assert result.kind == "timeout"
+            assert time.monotonic() - started < 10.0
+            assert pool.stats()["hung_kills"] == 0
+
+
+# ---------------------------------------------------------------------------
+# admission control on the wire
+# ---------------------------------------------------------------------------
+
+
+#: Every pool request sleeps this long: compute takes a known while.
+_SLOW_PLAN = "seed0:delay=1,delay_seconds=0.8"
+
+
+class TestOverloadControl:
+    def test_load_beyond_both_bounds_is_shed_with_retry_after(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, max_inflight=1, max_queue=0,
+            fault_plan=_SLOW_PLAN,
+        )
+        try:
+            slow_replies = []
+
+            def slow_caller():
+                client = Client(running.host, running.port)
+                try:
+                    slow_replies.append(
+                        client.call("analyze", {"program": COUNTDOWN})
+                    )
+                finally:
+                    client.close()
+
+            thread = threading.Thread(target=slow_caller)
+            thread.start()
+            time.sleep(0.3)  # let the slow request occupy the only slot
+            client = Client(running.host, running.port)
+            try:
+                shed = client.call("analyze", {"program": PAIR})
+            finally:
+                client.close()
+            thread.join(30.0)
+            assert shed["error"]["code"] == OVERLOADED
+            assert shed["error"]["data"]["retry_after_seconds"] > 0
+            # The in-flight request was untouched by the shedding.
+            assert slow_replies[0]["result"]["status"] == "terminating"
+        finally:
+            running.stop()
+
+    def test_pressure_degrades_and_stamps_provenance(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, max_inflight=1, max_queue=2,
+            fault_plan=_SLOW_PLAN,
+        )
+        try:
+            replies = []
+            lock = threading.Lock()
+
+            def caller(program, config):
+                client = Client(running.host, running.port)
+                try:
+                    params = {"program": program}
+                    if config:
+                        params["config"] = config
+                    reply = client.call("analyze", params)
+                    with lock:
+                        replies.append(reply)
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(
+                    target=caller, args=(COUNTDOWN, None)
+                ),
+            ]
+            threads[0].start()
+            time.sleep(0.3)  # in flight; the next two will queue
+            for program in (PAIR, "var z; while (z > 3) { z = z - 2; }"):
+                thread = threading.Thread(
+                    target=caller, args=(program, {"nonterm": "auto"})
+                )
+                threads.append(thread)
+                thread.start()
+                time.sleep(0.1)
+            for thread in threads:
+                thread.join(60.0)
+            assert len(replies) == 3
+            assert all("result" in r for r in replies)
+            degraded = [
+                r["result"]["provenance"]["degraded"]
+                for r in replies
+                if r["result"]["provenance"]["degraded"]
+            ]
+            # The queued request admitted while the other still waited
+            # ran under pressure: its nonterm race was shed — and said so.
+            assert degraded
+            assert all(d == ["nonterm:auto->off"] for d in degraded)
+        finally:
+            running.stop()
+
+    def test_circuit_breaker_opens_after_consecutive_crashes(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, fault_plan="seed0:kill=1"
+        )
+        try:
+            client = Client(running.host, running.port)
+            try:
+                programs = [
+                    COUNTDOWN,
+                    PAIR,
+                    "var a; while (a > 1) { a = a - 1; }",
+                    "var b; while (b > 2) { b = b - 1; }",
+                ]
+                codes = [
+                    client.call("analyze", {"program": p})["error"]["code"]
+                    for p in programs
+                ]
+            finally:
+                client.close()
+            assert codes[:3] == [WORKER_CRASH] * 3
+            assert codes[3] == OVERLOADED  # the breaker is open now
+        finally:
+            running.stop()
+
+    def test_respawn_budget_exhaustion_answers_overloaded(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, respawn_budget=1, fault_plan="seed0:kill=1"
+        )
+        try:
+            client = Client(running.host, running.port)
+            try:
+                codes = [
+                    client.call("analyze", {"program": p})["error"]["code"]
+                    for p in (COUNTDOWN, PAIR, COUNTDOWN)
+                ]
+            finally:
+                client.close()
+            # The first kill still had a respawn in the budget: a plain
+            # crash.  The second kill exhausts the last slot, so the very
+            # crash that emptied the pool — and everything after it — is
+            # answered as OVERLOADED rather than a retryable crash.
+            assert codes[0] == WORKER_CRASH
+            assert codes[1:] == [OVERLOADED] * 2
+        finally:
+            running.stop()
+
+    def test_cache_hits_are_served_even_while_shedding(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, max_inflight=1, max_queue=0,
+            fault_plan=_SLOW_PLAN,
+        )
+        try:
+            client = Client(running.host, running.port)
+            try:
+                warm = client.call("analyze", {"program": PAIR})
+                assert warm["result"]["provenance"]["cache"] == "miss"
+            finally:
+                client.close()
+
+            def slow_caller():
+                inner = Client(running.host, running.port)
+                try:
+                    inner.call("analyze", {"program": COUNTDOWN})
+                finally:
+                    inner.close()
+
+            thread = threading.Thread(target=slow_caller)
+            thread.start()
+            time.sleep(0.3)
+            client = Client(running.host, running.port)
+            try:
+                # The compute line is full — but a hit needs no compute.
+                hit = client.call("analyze", {"program": PAIR})
+                assert hit["result"]["provenance"]["cache"] == "hit"
+            finally:
+                client.close()
+            thread.join(30.0)
+        finally:
+            running.stop()
+
+
+# ---------------------------------------------------------------------------
+# per-request deadlines (both doors)
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_deadline_on_the_socket_door(self):
+        running = run_server_in_thread(port=0, jobs=1)
+        try:
+            client = Client(running.host, running.port)
+            try:
+                bounded = client.call(
+                    "analyze",
+                    {"program": PAIR, "deadline_seconds": 0.005},
+                )
+                assert bounded["error"]["code"] == REQUEST_TIMEOUT
+                # Same request without the deadline: computes fine.
+                free = client.call("analyze", {"program": PAIR})
+                assert free["result"]["status"] == "terminating"
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+    def test_deadline_is_capped_by_the_server_budget(self):
+        running = run_server_in_thread(port=0, jobs=1, timeout=0.005)
+        try:
+            client = Client(running.host, running.port)
+            try:
+                reply = client.call(
+                    "analyze",
+                    {"program": PAIR, "deadline_seconds": 120.0},
+                )
+                assert reply["error"]["code"] == REQUEST_TIMEOUT
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+    def test_deadline_on_the_stdio_door(self):
+        source = io.StringIO(
+            json.dumps(
+                {
+                    "jsonrpc": "2.0",
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {
+                        "program": PAIR,
+                        "deadline_seconds": 0.002,
+                    },
+                }
+            )
+            + "\n"
+            + json.dumps(
+                {
+                    "jsonrpc": "2.0",
+                    "id": 2,
+                    "method": "analyze",
+                    "params": {"program": COUNTDOWN},
+                }
+            )
+            + "\n"
+        )
+        output = io.StringIO()
+        assert serve_stdio(source, output) == 0
+        replies = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert replies[0]["error"]["code"] == REQUEST_TIMEOUT
+        assert replies[1]["result"]["status"] == "terminating"
+
+    def test_invalid_deadline_is_rejected(self):
+        running = run_server_in_thread(port=0, jobs=1)
+        try:
+            client = Client(running.host, running.port)
+            try:
+                reply = client.call(
+                    "analyze",
+                    {"program": COUNTDOWN, "deadline_seconds": -1},
+                )
+                assert reply["error"]["code"] == -32602  # INVALID_PARAMS
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+
+# ---------------------------------------------------------------------------
+# graceful drain under load
+# ---------------------------------------------------------------------------
+
+
+class TestDrainUnderLoad:
+    def test_queued_refused_inflight_finish_idle_dropped(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, max_inflight=1, max_queue=4,
+            fault_plan="seed0:delay=1,delay_seconds=1.0",
+        )
+        try:
+            idle = Client(running.host, running.port)  # never sends
+            replies = {}
+            lock = threading.Lock()
+
+            def caller(tag, program):
+                client = Client(running.host, running.port)
+                try:
+                    reply = client.call("analyze", {"program": program})
+                    with lock:
+                        replies[tag] = reply
+                finally:
+                    client.close()
+
+            inflight = threading.Thread(
+                target=caller, args=("inflight", COUNTDOWN)
+            )
+            inflight.start()
+            time.sleep(0.3)  # the slow request holds the only slot
+            queued = threading.Thread(target=caller, args=("queued", PAIR))
+            queued.start()
+            time.sleep(0.3)  # now parked in the admission queue
+
+            running.server.request_stop()
+            inflight.join(20.0)
+            queued.join(20.0)
+            assert not inflight.is_alive() and not queued.is_alive()
+
+            # In-flight work finished normally within the grace period...
+            assert replies["inflight"]["result"]["status"] == "terminating"
+            # ...the queued admission was woken and refused...
+            assert replies["queued"]["error"]["code"] == SHUTTING_DOWN
+            # ...and the idle connection was dropped, not kept alive.
+            idle.sock.settimeout(10.0)
+            assert idle.stream.readline() == b""
+            idle.close()
+
+            running.thread.join(20.0)
+            assert not running.thread.is_alive()
+        finally:
+            running.stop()
+
+
+# ---------------------------------------------------------------------------
+# framing recovery (oversized lines must not kill the connection)
+# ---------------------------------------------------------------------------
+
+
+class TestFramingRecovery:
+    def test_oversized_line_answers_and_the_connection_keeps_serving(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, max_program_bytes=1024
+        )
+        try:
+            client = Client(running.host, running.port)
+            try:
+                # Way past the frame cap (2 * max_program_bytes + 64 KiB),
+                # in one line with no newline until the very end.
+                client.stream.write(b"x" * 200_000 + b"\n")
+                client.stream.flush()
+                reply = json.loads(client.stream.readline())
+                assert reply["error"]["code"] == PARSE_ERROR
+                assert "frame limit" in reply["error"]["message"]
+                # The same connection still frames and serves correctly.
+                good = client.call("analyze", {"program": COUNTDOWN})
+                assert good["result"]["status"] == "terminating"
+                # And recovery is repeatable, not one-shot.
+                client.stream.write(b"y" * 150_000 + b"\n")
+                client.stream.flush()
+                again = json.loads(client.stream.readline())
+                assert again["error"]["code"] == PARSE_ERROR
+                final = client.call("list_provers")
+                assert "termite" in final["result"]["provers"]
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+
+# ---------------------------------------------------------------------------
+# analyze_batch fan-out
+# ---------------------------------------------------------------------------
+
+
+class TestBatchFanout:
+    def test_members_fan_out_and_stay_positionally_aligned(self):
+        running = run_server_in_thread(
+            port=0, jobs=2, fault_plan="seed0:delay=1,delay_seconds=0.3"
+        )
+        try:
+            client = Client(running.host, running.port)
+            try:
+                names = ["m0", "m1", "m2", "m3"]
+                requests = [
+                    {
+                        "program": COUNTDOWN,
+                        "name": name,
+                        "config": {"oracle_seed": index},
+                    }
+                    for index, name in enumerate(names)
+                ]
+                reply = client.call("analyze_batch", {"requests": requests})
+                results = reply["result"]["results"]
+                assert [r["program"] for r in results] == names
+                assert all(r["status"] == "terminating" for r in results)
+                # Both pool workers actually served members concurrently.
+                pids = {r["provenance"]["worker_pid"] for r in results}
+                assert len(pids) == 2
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+    def test_failing_member_keeps_the_batch_rectangular(self):
+        running = run_server_in_thread(port=0, jobs=2)
+        try:
+            client = Client(running.host, running.port)
+            try:
+                reply = client.call(
+                    "analyze_batch",
+                    {
+                        "requests": [
+                            {"program": COUNTDOWN, "name": "good"},
+                            {"program": "while {", "name": "broken"},
+                            {"program": PAIR, "name": "also-good"},
+                        ]
+                    },
+                )
+                results = reply["result"]["results"]
+                assert [r["program"] for r in results] == [
+                    "good", "broken", "also-good",
+                ]
+                assert results[0]["status"] == "terminating"
+                assert results[1]["status"] == "error"
+                assert results[2]["status"] == "terminating"
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+
+# ---------------------------------------------------------------------------
+# the retry client against real injected faults
+# ---------------------------------------------------------------------------
+
+
+class TestRetryClientAgainstFaults:
+    def test_rides_out_worker_kills(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, fault_plan="seed1:kill=0.3"
+        )
+        try:
+            client = ServiceClient(running.host, running.port)
+            try:
+                for index in range(4):
+                    result = call_with_retry(
+                        functools.partial(
+                            client.analyze,
+                            {"program": COUNTDOWN, "name": "r%d" % index},
+                        ),
+                        max_attempts=10,
+                        base_delay=0.02,
+                        rng=random.Random(index),
+                    )
+                    assert result["status"] == "terminating"
+            finally:
+                client.close()
+        finally:
+            running.stop()
+
+    def test_rides_out_dropped_connections(self):
+        running = run_server_in_thread(
+            port=0, jobs=1, fault_plan="seed2:drop=0.5"
+        )
+        try:
+            client = ServiceClient(running.host, running.port)
+            try:
+                for index in range(4):
+                    result = call_with_retry(
+                        functools.partial(
+                            client.analyze, {"program": COUNTDOWN}
+                        ),
+                        max_attempts=10,
+                        base_delay=0.02,
+                        rng=random.Random(index),
+                    )
+                    assert result["status"] == "terminating"
+            finally:
+                client.close()
+        finally:
+            running.stop()
