@@ -405,7 +405,16 @@ class WorkerPool:
             with self._lock:
                 if self._closed:
                     return
-            self._idle.put(self._spawn(slot))
+            replacement = self._spawn(slot)
+            with self._lock:
+                closed = self._closed
+            if closed:
+                # shutdown() raced the spawn and has already drained
+                # _workers; retire the fresh child ourselves so it is
+                # never leaked.
+                self._retire(replacement)
+                return
+            self._idle.put(replacement)
 
         timer = threading.Timer(delay, _respawn_later)
         timer.daemon = True

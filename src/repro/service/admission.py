@@ -179,6 +179,11 @@ class AdmissionGate:
                             budget = deadline - self._clock()
                             if budget <= 0:
                                 self._shed += 1
+                                # We may have swallowed a _release wakeup
+                                # racing this timeout; pass it on so a
+                                # sibling waiter is not left asleep with a
+                                # slot free.
+                                self._slot_freed.notify()
                                 raise Overloaded(
                                     "queued past its admission budget",
                                     self._retry_after_locked(),

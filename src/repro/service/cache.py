@@ -373,7 +373,9 @@ class ResultCache:
         ).encode("utf-8")
         path = self._disk_path(key)
         temp = os.path.join(
-            self.cache_dir, ".%s.%d.tmp" % (key[:16], os.getpid())
+            self.cache_dir,
+            ".%s.%d.%d.tmp"
+            % (key, os.getpid(), threading.get_ident()),
         )
         try:
             with open(temp, "wb") as handle:

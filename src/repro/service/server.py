@@ -209,64 +209,78 @@ class _CachingExecutor:
                     str(error),
                     data={"retry_after_seconds": error.retry_after_seconds},
                 ) from None
-        ticket = None
-        if self.gate is not None:
-            try:
-                ticket = self.gate.admit()
-            except Overloaded as error:
-                raise ProtocolError(
-                    OVERLOADED,
-                    str(error),
-                    data={"retry_after_seconds": error.retry_after_seconds},
-                ) from None
-            except ShuttingDown:
-                raise ProtocolError(
-                    SHUTTING_DOWN, "service is shutting down"
-                ) from None
+        # check() may have granted this request the half-open probe; any
+        # exit that never reaches a record_* call below must release it
+        # (record_neutral) or the tool stays "probe in flight" forever.
+        settled = self.breaker is None
         try:
-            if ticket is not None and ticket.waited and self.cache is not None:
-                # We may have queued a while: a duplicate request could
-                # have computed and stored meanwhile.  One more lookup
-                # here turns a whole burst of identical requests into
-                # one compute plus hits.
-                hit = self.cache.lookup(request)
-                if hit is not None:
-                    hit.program = request.name
-                    return hit
-            effective, degradations = request, ()
-            if self.gate is not None and self.gate.pressure_tier() >= 1:
-                effective, degradations = degrade_request(request)
-                if degradations:
-                    self.gate.note_degraded()
-                    if self.cache is not None:
-                        hit = self.cache.lookup(effective)
-                        if hit is not None:
-                            hit.program = request.name
-                            hit.provenance.degraded = degradations
-                            return hit
+            ticket = None
+            if self.gate is not None:
+                try:
+                    ticket = self.gate.admit()
+                except Overloaded as error:
+                    raise ProtocolError(
+                        OVERLOADED,
+                        str(error),
+                        data={"retry_after_seconds": error.retry_after_seconds},
+                    ) from None
+                except ShuttingDown:
+                    raise ProtocolError(
+                        SHUTTING_DOWN, "service is shutting down"
+                    ) from None
             try:
-                result, pid = self._compute(effective)
-            except ProtocolError as error:
+                if (
+                    ticket is not None
+                    and ticket.waited
+                    and self.cache is not None
+                ):
+                    # We may have queued a while: a duplicate request could
+                    # have computed and stored meanwhile.  One more lookup
+                    # here turns a whole burst of identical requests into
+                    # one compute plus hits.
+                    hit = self.cache.lookup(request)
+                    if hit is not None:
+                        hit.program = request.name
+                        return hit
+                effective, degradations = request, ()
+                if self.gate is not None and self.gate.pressure_tier() >= 1:
+                    effective, degradations = degrade_request(request)
+                    if degradations:
+                        self.gate.note_degraded()
+                        if self.cache is not None:
+                            hit = self.cache.lookup(effective)
+                            if hit is not None:
+                                hit.program = request.name
+                                hit.provenance.degraded = degradations
+                                return hit
+                try:
+                    result, pid = self._compute(effective)
+                except ProtocolError as error:
+                    if self.breaker is not None:
+                        if error.code == WORKER_CRASH:
+                            self.breaker.record_crash(request.tool)
+                        elif error.code == ANALYSIS_ERROR:
+                            # The worker answered: it is healthy.
+                            self.breaker.record_success(request.tool)
+                        else:
+                            self.breaker.record_neutral(request.tool)
+                        settled = True
+                    raise
                 if self.breaker is not None:
-                    if error.code == WORKER_CRASH:
-                        self.breaker.record_crash(request.tool)
-                    elif error.code == ANALYSIS_ERROR:
-                        # The worker answered: it is healthy.
-                        self.breaker.record_success(request.tool)
-                    else:
-                        self.breaker.record_neutral(request.tool)
-                raise
-            if self.breaker is not None:
-                self.breaker.record_success(request.tool)
-            # Store *before* releasing the ticket: a queued duplicate
-            # woken by the release must find the entry already there.
-            disposition = "bypass"
-            if self.cache is not None:
-                self.cache.store(effective, result)
-                disposition = "miss"
+                    self.breaker.record_success(request.tool)
+                    settled = True
+                # Store *before* releasing the ticket: a queued duplicate
+                # woken by the release must find the entry already there.
+                disposition = "bypass"
+                if self.cache is not None:
+                    self.cache.store(effective, result)
+                    disposition = "miss"
+            finally:
+                if ticket is not None:
+                    ticket.release()
         finally:
-            if ticket is not None:
-                ticket.release()
+            if not settled:
+                self.breaker.record_neutral(request.tool)
         result.provenance = Provenance(
             cache=disposition,
             key=effective.cache_key(),

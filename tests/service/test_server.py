@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from repro.api.request import AnalysisRequest
 from repro.reporting.parallel import WorkerPool
 from repro.service import (
     OVERLOADED,
@@ -30,6 +31,9 @@ from repro.service import (
     run_server_in_thread,
     serve_stdio,
 )
+from repro.service.admission import AdmissionGate, CircuitBreaker
+from repro.service.protocol import ProtocolError
+from repro.service.server import InlineExecutor
 
 COUNTDOWN = "var x; while (x > 0) { x = x - 1; }"
 PAIR = "var x, y; assume(y >= 1); while (x > 0) { x = x - y; }"
@@ -510,6 +514,30 @@ class TestOverloadControl:
             assert codes[1:] == [OVERLOADED] * 2
         finally:
             running.stop()
+
+    def test_half_open_probe_released_when_admission_sheds(self):
+        # Regression: the half-open probe granted by breaker.check() used
+        # to leak when gate.admit() shed the request — every later call
+        # for the tool then failed fast forever ("a probe is already in
+        # flight") with nothing left in flight to close the circuit.
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=lambda: now[0]
+        )
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        executor = InlineExecutor(gate=gate, breaker=breaker)
+        breaker.record_crash("termite")
+        now[0] = 6.0  # cooldown elapsed: the next check grants the probe
+        held = gate.admit()  # saturate the gate so the probe is shed
+        request = AnalysisRequest(program=COUNTDOWN)
+        with pytest.raises(ProtocolError) as caught:
+            executor.run(request)
+        assert caught.value.code == OVERLOADED
+        held.release()
+        # The shed probe was released with the request: the tool can be
+        # probed again and the retry computes instead of failing fast.
+        result = executor.run(request)
+        assert result.status.value == "terminating"
 
     def test_cache_hits_are_served_even_while_shedding(self):
         running = run_server_in_thread(
