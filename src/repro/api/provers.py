@@ -178,6 +178,7 @@ class TermiteProver(Prover):
             budget=config.nonterm_budget,
             observers=(observer,) if observer is not None else (),
             should_stop=should_stop,
+            kernel=config.kernel,
         )
         elapsed = time.perf_counter() - start
         if outcome.success:

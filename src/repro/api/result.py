@@ -91,6 +91,9 @@ class Provenance:
       (``"nonterm:auto->off"``) or force a non-default kernel back to
       ``"kernel:...->auto"``; every such trade is stamped here so a
       caller can always tell a full answer from a degraded one.
+    * ``kernel`` — which LP kernel actually ran the pivots
+      (``lp_statistics.kernel_chosen`` of the payload: ``"packed"``,
+      ``"exact"``, ``"mixed"`` or ``""`` when no pivot was recorded).
     """
 
     cache: str = "miss"
@@ -98,6 +101,7 @@ class Provenance:
     revalidated: bool = False
     worker_pid: int = 0
     degraded: tuple = ()
+    kernel: str = ""
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_DISPOSITIONS:
@@ -114,6 +118,7 @@ class Provenance:
             "revalidated": self.revalidated,
             "worker_pid": self.worker_pid,
             "degraded": list(self.degraded),
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -124,6 +129,7 @@ class Provenance:
             revalidated=data.get("revalidated", False),
             worker_pid=data.get("worker_pid", 0),
             degraded=tuple(data.get("degraded", ())),
+            kernel=data.get("kernel", ""),
         )
 
 

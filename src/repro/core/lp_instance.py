@@ -73,6 +73,17 @@ class LpStatistics:
     oracle_queries: int = 0
     cex_rows: int = 0
     flat_directions: int = 0
+    #: Kernel observability (attributed by the analysis pipeline from the
+    #: thread-local :func:`repro.linalg.packed.kernel_counters`): how many
+    #: kernel resolutions picked the stacked int64 path vs the exact
+    #: sparse path, how many pivots ran as fused stacked sweeps vs on the
+    #: per-row path, and how many fused ops fell back to exact bignum
+    #: arithmetic under the int64 overflow bound.
+    resolved_packed: int = 0
+    resolved_exact: int = 0
+    stacked_pivots: int = 0
+    row_pivots: int = 0
+    overflow_fallbacks: int = 0
 
     def record(self, rows: int, cols: int) -> None:
         self.instances += 1
@@ -97,6 +108,22 @@ class LpStatistics:
     def average_cols(self) -> float:
         return self.total_cols / self.instances if self.instances else 0.0
 
+    @property
+    def kernel_chosen(self) -> str:
+        """Which kernel the run's LP/projection work actually resolved to.
+
+        ``"packed"`` / ``"exact"`` when every resolution agreed,
+        ``"mixed"`` when both paths ran (e.g. ``auto`` crossing the
+        width threshold per instance), ``""`` when nothing resolved.
+        """
+        if self.resolved_packed and self.resolved_exact:
+            return "mixed"
+        if self.resolved_packed:
+            return "packed"
+        if self.resolved_exact:
+            return "exact"
+        return ""
+
     def to_dict(self) -> dict:
         """Plain-JSON view: the raw counters plus derived averages.
 
@@ -118,8 +145,14 @@ class LpStatistics:
             "oracle_queries": self.oracle_queries,
             "cex_rows": self.cex_rows,
             "flat_directions": self.flat_directions,
+            "resolved_packed": self.resolved_packed,
+            "resolved_exact": self.resolved_exact,
+            "stacked_pivots": self.stacked_pivots,
+            "row_pivots": self.row_pivots,
+            "overflow_fallbacks": self.overflow_fallbacks,
             "average_rows": self.average_rows,
             "average_cols": self.average_cols,
+            "kernel_chosen": self.kernel_chosen,
         }
 
     @classmethod
@@ -139,6 +172,11 @@ class LpStatistics:
             oracle_queries=data.get("oracle_queries", 0),
             cex_rows=data.get("cex_rows", 0),
             flat_directions=data.get("flat_directions", 0),
+            resolved_packed=data.get("resolved_packed", 0),
+            resolved_exact=data.get("resolved_exact", 0),
+            stacked_pivots=data.get("stacked_pivots", 0),
+            row_pivots=data.get("row_pivots", 0),
+            overflow_fallbacks=data.get("overflow_fallbacks", 0),
         )
 
     def merge(self, other: "LpStatistics") -> None:
@@ -155,6 +193,11 @@ class LpStatistics:
         self.oracle_queries += other.oracle_queries
         self.cex_rows += other.cex_rows
         self.flat_directions += other.flat_directions
+        self.resolved_packed += other.resolved_packed
+        self.resolved_exact += other.resolved_exact
+        self.stacked_pivots += other.stacked_pivots
+        self.row_pivots += other.row_pivots
+        self.overflow_fallbacks += other.overflow_fallbacks
 
 
 @dataclass

@@ -75,7 +75,7 @@ def synthesize_monodim(
     the defaults replay the paper's extremal-counterexample loop exactly.
     """
     template = LinearTemplate(
-        problem, integer_mode=integer_mode, smt_mode=smt_mode
+        problem, integer_mode=integer_mode, smt_mode=smt_mode, kernel=kernel
     )
     engine = CegisEngine(
         make_oracle(oracle, seed=oracle_seed),

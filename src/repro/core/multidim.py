@@ -57,6 +57,7 @@ def synthesize_multidim(
         integer_mode=integer_mode,
         smt_mode=smt_mode,
         max_dimension=max_dimension,
+        kernel=kernel,
     )
     engine = CegisEngine(
         make_oracle(oracle, seed=oracle_seed),

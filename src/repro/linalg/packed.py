@@ -42,9 +42,10 @@ unavailable, ``kernel="auto"`` resolves to the exact path and
 from __future__ import annotations
 
 import os
+import threading
 from fractions import Fraction
 from math import gcd
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.linalg.rational import Rat, as_fraction
 from repro.linalg.sparse import SparseRow
@@ -62,17 +63,47 @@ except ImportError:  # pragma: no cover
 KERNELS = ("auto", "packed", "exact")
 
 #: Width (index-universe size, sentinel slot included) below which
-#: ``kernel="auto"`` keeps the exact path: the vectorised merge only
-#: amortises its fixed numpy-call overhead past roughly this many
-#: columns (measured crossover ~24; the margin keeps narrow tableaus,
-#: which dominate the paper's own benchmarks, on the allocation-light
-#: Python path).
-PACKED_MIN_WIDTH = 32
+#: ``kernel="auto"`` keeps the exact path.  Tuned against the
+#: ``kernel_crossover`` sweep in BENCH_kernel.json: the stacked tableau
+#: (:mod:`repro.linalg.stacked`) reaches wall-clock parity with the
+#: exact rows at ~55 standard-form columns and wins from there up
+#: (1.3x at ~69, 1.7x at ~86, >2.5x for the really wide systems).
+#: Against the WTC corpus' resolve-width histogram this sends the
+#: ranking-LP tableaus (~60-75 columns) to the stacked kernel while the
+#: many narrow projection-redundancy LPs (3-12 columns) keep the exact
+#: rows, which beat numpy-call overhead at those sizes.
+PACKED_MIN_WIDTH = 56
 
 _INT64_MAX = 2**63 - 1
 _ZERO = Fraction(0)
 
-_overflow_fallbacks = 0
+
+class _KernelCounters(threading.local):
+    """Per-thread kernel observability counters.
+
+    Thread-local for the same reason projection statistics are: two
+    provers racing in one process (``nonterm=auto``) must not interleave
+    increments or fold each other's fallbacks into their results.
+    """
+
+    def __init__(self) -> None:
+        self.overflow_fallbacks = 0
+        self.stacked_pivots = 0
+        self.row_pivots = 0
+        self.resolved_packed = 0
+        self.resolved_exact = 0
+
+
+_counters = _KernelCounters()
+
+#: Counter names exposed by :func:`kernel_counters`, in snapshot order.
+COUNTER_FIELDS = (
+    "overflow_fallbacks",
+    "stacked_pivots",
+    "row_pivots",
+    "resolved_packed",
+    "resolved_exact",
+)
 
 
 def numpy_available() -> bool:
@@ -81,18 +112,49 @@ def numpy_available() -> bool:
 
 
 def overflow_fallbacks() -> int:
-    """Process-wide count of fused ops re-run exactly due to the int64 bound."""
-    return _overflow_fallbacks
+    """This thread's count of fused ops re-run exactly due to the int64 bound."""
+    return _counters.overflow_fallbacks
 
 
 def reset_overflow_fallbacks() -> None:
-    global _overflow_fallbacks
-    _overflow_fallbacks = 0
+    _counters.overflow_fallbacks = 0
 
 
 def _count_fallback() -> None:
-    global _overflow_fallbacks
-    _overflow_fallbacks += 1
+    _counters.overflow_fallbacks += 1
+
+
+def count_stacked_pivot() -> None:
+    """One pivot executed as a fused stacked-matrix sweep."""
+    _counters.stacked_pivots += 1
+
+
+def count_row_pivot() -> None:
+    """One pivot executed on the per-row exact path."""
+    _counters.row_pivots += 1
+
+
+def kernel_counters() -> Dict[str, int]:
+    """This thread's kernel counters as a plain dict."""
+    return {name: getattr(_counters, name) for name in COUNTER_FIELDS}
+
+
+def kernel_counters_snapshot() -> Tuple[int, ...]:
+    """An opaque snapshot for :func:`kernel_counters_since`."""
+    return tuple(getattr(_counters, name) for name in COUNTER_FIELDS)
+
+
+def kernel_counters_since(snapshot: Tuple[int, ...]) -> Dict[str, int]:
+    """Per-counter deltas since *snapshot*, taken on the same thread."""
+    return {
+        name: getattr(_counters, name) - before
+        for name, before in zip(COUNTER_FIELDS, snapshot)
+    }
+
+
+def reset_kernel_counters() -> None:
+    for name in COUNTER_FIELDS:
+        setattr(_counters, name, 0)
 
 
 def resolve_kernel(kernel: str, width: int) -> str:
@@ -101,13 +163,16 @@ def resolve_kernel(kernel: str, width: int) -> str:
     *width* is the size of the row index universe (sentinel included)
     the caller is about to build.  ``"auto"`` picks packed only when
     numpy is importable **and** the rows are wide enough to win;
-    ``"packed"`` insists (and raises when numpy is unavailable).
+    ``"packed"`` insists (and raises when numpy is unavailable).  Every
+    resolution is counted (``resolved_packed`` / ``resolved_exact``) so
+    ``LpStatistics`` can report which kernel actually ran.
     """
     if kernel not in KERNELS:
         raise ValueError(
             "unknown kernel %r (available: %s)" % (kernel, ", ".join(KERNELS))
         )
     if kernel == "exact":
+        _counters.resolved_exact += 1
         return "exact"
     if kernel == "packed":
         if _np is None:
@@ -115,9 +180,12 @@ def resolve_kernel(kernel: str, width: int) -> str:
                 "kernel='packed' requires numpy (install the repro[fast] "
                 "extra); use kernel='auto' or 'exact' without it"
             )
+        _counters.resolved_packed += 1
         return "packed"
     if _np is not None and width >= PACKED_MIN_WIDTH:
+        _counters.resolved_packed += 1
         return "packed"
+    _counters.resolved_exact += 1
     return "exact"
 
 
@@ -189,6 +257,23 @@ class PackedRow:
         """The same value as an exact :class:`SparseRow`."""
         indices, numerators = self._view()
         return SparseRow._make(list(indices), list(numerators), self.denominator)
+
+    def _raw_sparse(self) -> SparseRow:
+        """An exact view keeping the numerators *verbatim* (no gcd).
+
+        ``_merge`` callers pick ``sa``/``sb``/``den`` against the raw
+        numerator arrays of both operands, so the overflow fallback must
+        hand :meth:`SparseRow._merge` the numerators unchanged —
+        :meth:`to_sparse` renormalises by the row gcd, which under the
+        stacked tableau's deferred renormalisation can be large, and a
+        rescaled operand silently breaks the caller's convention.
+        """
+        indices, numerators = self._view()
+        row = object.__new__(SparseRow)
+        row.indices = indices
+        row.numerators = numerators
+        row.denominator = self.denominator
+        return row
 
     # -- the sparse view (Python ints, shared with SparseRow interop) ------
 
@@ -315,12 +400,12 @@ class PackedRow:
         """``(sa * self + sb * other) / den``, packed when it fits int64."""
         if not isinstance(other, PackedRow):
             # Mixed operands (the partner already fell back): stay exact.
-            return self.to_sparse()._merge(other, sa, sb, den)
+            return self._raw_sparse()._merge(other, sa, sb, den)
         max_a = self._max_abs if sa else 0
         max_b = other._max_abs if sb else 0
         if abs(sa) * max_a + abs(sb) * max_b > _INT64_MAX:
             _count_fallback()
-            return self.to_sparse()._merge(other.to_sparse(), sa, sb, den)
+            return self._raw_sparse()._merge(other._raw_sparse(), sa, sb, den)
         a, b = self._dense, other._dense
         if a.shape[0] != b.shape[0]:
             width = max(a.shape[0], b.shape[0])

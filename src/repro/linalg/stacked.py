@@ -1,0 +1,390 @@
+"""Stacked int64 tableau — whole-matrix fused pivots for the packed kernel.
+
+PR 8's :class:`~repro.linalg.packed.PackedRow` vectorised each row
+operation individually, which only amortises the fixed numpy-call
+overhead on *wide* rows: every pivot over an ``n``-row tableau still
+paid ``n`` separate merge calls, so ``kernel="auto"`` kept the
+paper-scale narrow tableaus on the per-row sparse path.
+
+:class:`StackedTableau` stores every tableau row in **one contiguous 2D
+int64 matrix** (rows x fused-rhs universe: slot ``k`` holds column
+``k - 1``, so the ``-1`` rhs sentinel lives in slot 0) with a per-row
+Python-int denominator vector.  A pivot then becomes a single broadcast
+multiply-subtract over all affected rows::
+
+    M[affected] = p * M[affected] - s[affected, None] * M[pivot]
+    den[affected] *= p
+
+instead of one ``_merge`` per row; column gathers for the ratio test
+and the dual rhs sign sweep are plain slices.
+
+**Deferred GCD.**  Unlike ``SparseRow``/``PackedRow``, live rows are
+*not* GCD-normalised after every operation: each stored row is the
+canonical row times a positive integer scale, which is harmless because
+every pivot decision the simplex loops make is invariant under positive
+per-row scaling — Bland's entering scan reads signs of one row, the
+primal ratio test compares ``rhs_i * coef_j`` cross-products in which
+the two per-row scales multiply both sides equally, and the dual ratio
+test mixes exactly one cost-row and one pivot-row factor per side.
+Value extraction goes through exact ``Fraction``/``SparseRow``
+conversions which normalise on the way out, so statuses, optima, pivot
+sequences and certificates are bit-identical to the exact kernel's.
+Rows are renormalised (one masked ``np.gcd.reduce`` row pass) only when
+their max-abs numerator crosses :data:`RENORM_THRESHOLD`, which
+restores the canonical representation exactly.
+
+**Overflow contract, amortised per pivot.**  Before the fused sweep,
+an a-priori bound computed from the pivot value and each row's cached
+max-abs numerator decides overflow per row::
+
+    p * max_abs(row) + |s_row| * max_abs(pivot_row) <= 2**63 - 1
+
+Rows failing the bound are renormalised and re-checked; rows still
+failing drop out of the matrix to the exact :class:`SparseRow` path
+(kept in a side table, counted by
+:func:`repro.linalg.packed.overflow_fallbacks`) and return to the
+matrix as soon as GCD normalisation shrinks them back into int64 range.
+No wrapped value is ever stored.
+
+numpy is optional exactly as in :mod:`repro.linalg.packed`: this module
+imports cleanly without it (or under ``REPRO_NO_NUMPY``), and the
+simplex layer only instantiates :class:`StackedTableau` after
+``resolve_kernel`` returned ``"packed"``, which requires numpy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Iterator, List, Optional, Tuple
+
+# Shares the packed module's numpy gate (_np is None without numpy or
+# under REPRO_NO_NUMPY) and its thread-local fallback counters, so the
+# overflow contract is reported through one set of counters.
+from repro.linalg.packed import (  # noqa: F401  (re-exported gate)
+    _INT64_MAX,
+    _count_fallback,
+    _np,
+    PackedRow,
+)
+from repro.linalg.sparse import SparseRow
+
+_ZERO = Fraction(0)
+
+#: Live rows whose max-abs numerator exceeds this are GCD-renormalised
+#: after the pivot.  Well below ``2**63`` so that the per-row overflow
+#: bound ``p * max_abs + |s| * max_abs(pivot)`` keeps headroom for the
+#: next pivot: two renormalised rows multiply to at most ~2**62.
+RENORM_THRESHOLD = 2**30
+
+
+class StackedTableau:
+    """All tableau rows in one contiguous int64 matrix.
+
+    Storage:
+
+    * ``_matrix`` — 2D int64, capacity-doubling on both axes;
+      ``_matrix[i, k]`` is row ``i``'s numerator for column ``k - 1``
+      (slot 0 is the fused rhs sentinel).
+    * ``_dens`` — per-row positive Python-int denominators (may exceed
+      64 bits, e.g. while GCD normalisation is deferred).
+    * ``_maxabs`` — per-row cached maximum absolute numerator, the
+      input to the a-priori overflow bound.
+    * ``_exact`` — the side table of overflowed rows as canonical
+      :class:`SparseRow` values; a row index is either live in the
+      matrix or present here, never both.
+
+    Row *values* (numerator/denominator vectors) are exact rationals at
+    all times; only the *representation* of live rows may carry a
+    positive integer scale until the next renormalisation.
+    """
+
+    __slots__ = ("_matrix", "_dens", "_maxabs", "_exact", "num_rows", "width")
+
+    def __init__(self, width: int):
+        if _np is None:  # pragma: no cover - guarded by resolve_kernel
+            raise RuntimeError(
+                "StackedTableau requires numpy (install the repro[fast] "
+                "extra); use kernel='auto' or 'exact' without it"
+            )
+        self.width = width
+        self.num_rows = 0
+        self._matrix = _np.zeros((8, max(width, 4)), dtype=_np.int64)
+        self._dens: List[int] = []
+        self._maxabs: List[int] = []
+        self._exact: Dict[int, SparseRow] = {}
+
+    # -- growth ------------------------------------------------------------
+
+    def _ensure_row_capacity(self, needed: int) -> None:
+        capacity = self._matrix.shape[0]
+        if needed <= capacity:
+            return
+        grown = _np.zeros(
+            (max(needed, capacity * 2), self._matrix.shape[1]),
+            dtype=_np.int64,
+        )
+        grown[:capacity] = self._matrix
+        self._matrix = grown
+
+    def ensure_width(self, width: int) -> None:
+        """Grow the logical index universe (new columns are all-zero)."""
+        if width <= self.width:
+            return
+        capacity = self._matrix.shape[1]
+        if width > capacity:
+            grown = _np.zeros(
+                (self._matrix.shape[0], max(width, capacity * 2)),
+                dtype=_np.int64,
+            )
+            grown[:, :capacity] = self._matrix
+            self._matrix = grown
+        self.width = width
+
+    def append_row(self, row) -> None:
+        """Append a :class:`SparseRow`/:class:`PackedRow`.
+
+        Rows that do not fit the matrix (an index outside the universe,
+        a numerator beyond int64) go straight to the exact side table.
+        """
+        index = self.num_rows
+        self._ensure_row_capacity(index + 1)
+        self.num_rows = index + 1
+        self._dens.append(1)
+        self._maxabs.append(0)
+        if isinstance(row, PackedRow) and row.width <= self.width:
+            self._matrix[index, : row.width] = row._dense
+            self._dens[index] = row.denominator
+            self._maxabs[index] = row._max_abs
+            return
+        sparse = row if isinstance(row, SparseRow) else row.to_sparse()
+        if not self._try_promote(index, sparse):
+            self._exact[index] = sparse
+
+    # -- live/exact transitions --------------------------------------------
+
+    def is_exact(self, index: int) -> bool:
+        return index in self._exact
+
+    def exact_rows(self) -> int:
+        """How many rows currently sit on the exact side table."""
+        return len(self._exact)
+
+    def _try_promote(self, index: int, sparse: SparseRow) -> bool:
+        """Install *sparse* as a live matrix row if it fits int64."""
+        width = self.width
+        max_abs = 0
+        for position, numerator in zip(sparse.indices, sparse.numerators):
+            if position < -1 or position >= width - 1:
+                return False
+            magnitude = -numerator if numerator < 0 else numerator
+            if magnitude > max_abs:
+                max_abs = magnitude
+        if max_abs > _INT64_MAX:
+            return False
+        row = self._matrix[index]
+        row[:width] = 0
+        for position, numerator in zip(sparse.indices, sparse.numerators):
+            row[position + 1] = numerator
+        self._dens[index] = sparse.denominator
+        self._maxabs[index] = max_abs
+        self._exact.pop(index, None)
+        return True
+
+    def _demote(self, index: int, sparse: SparseRow) -> None:
+        self._exact[index] = sparse
+        self._matrix[index, : self.width] = 0
+        self._dens[index] = 1
+        self._maxabs[index] = 0
+
+    def _store_sparse(self, index: int, sparse: SparseRow) -> None:
+        """Store an exactly-computed row, back in the matrix when it fits."""
+        if not self._try_promote(index, sparse):
+            self._demote(index, sparse)
+
+    def _renormalize(self, index: int) -> None:
+        """Deferred GCD pass on a live row (restores the canonical form)."""
+        dense = self._matrix[index, : self.width]
+        divisor = int(_np.gcd.reduce(_np.abs(dense)))
+        if divisor == 0:
+            self._dens[index] = 1
+            self._maxabs[index] = 0
+            return
+        divisor = gcd(divisor, self._dens[index])
+        if divisor > 1:
+            dense //= divisor
+            self._dens[index] //= divisor
+            self._maxabs[index] //= divisor
+
+    # -- reads -------------------------------------------------------------
+
+    def column(self, col: int) -> List[int]:
+        """Numerators of column *col* across every row: one slice."""
+        values = self._matrix[: self.num_rows, col + 1].tolist()
+        for index, row in self._exact.items():
+            values[index] = row.numerator_at(col)
+        return values
+
+    def value_at(self, index: int, col: int) -> Fraction:
+        row = self._exact.get(index)
+        if row is not None:
+            return row.get(col)
+        numerator = int(self._matrix[index, col + 1])
+        if not numerator:
+            return _ZERO
+        return Fraction(numerator, self._dens[index])
+
+    def row_entries(self, index: int) -> Iterator[Tuple[int, int]]:
+        """The row's nonzero ``(column, numerator)`` pairs, ascending."""
+        row = self._exact.get(index)
+        if row is not None:
+            return row.iter_scaled()
+        dense = self._matrix[index, : self.width]
+        positions = _np.nonzero(dense)[0]
+        return zip(
+            (position - 1 for position in positions.tolist()),
+            dense[positions].tolist(),
+        )
+
+    def row_view(self, index: int):
+        """Row *index* as a :class:`PackedRow` sharing the matrix storage.
+
+        The view is transient (valid until the next pivot) and may be
+        un-normalised; it exists so the simplex cost row can merge
+        against matrix rows without a copy.  Exact rows are returned as
+        their :class:`SparseRow`.
+        """
+        row = self._exact.get(index)
+        if row is not None:
+            return row
+        view = object.__new__(PackedRow)
+        view._dense = self._matrix[index, : self.width]
+        view.denominator = self._dens[index]
+        view._max_abs = self._maxabs[index]
+        view._sparse = None
+        return view
+
+    def to_sparse(self, index: int) -> SparseRow:
+        """Row *index* as a canonical exact :class:`SparseRow`."""
+        row = self._exact.get(index)
+        if row is not None:
+            return row
+        dense = self._matrix[index, : self.width]
+        positions = _np.nonzero(dense)[0]
+        return SparseRow._make(
+            [position - 1 for position in positions.tolist()],
+            dense[positions].tolist(),
+            self._dens[index],
+        )
+
+    # -- the fused pivot ---------------------------------------------------
+
+    def pivot(
+        self,
+        pivot_index: int,
+        col: int,
+        column: Optional[List[int]] = None,
+    ) -> None:
+        """Make *col* basic in row *pivot_index*: one fused sweep.
+
+        *column* is the pre-gathered column (from :meth:`column`); rows
+        must be unchanged since the gather.  The pivot row is normalised
+        in place (denominator becomes its *col* numerator), then every
+        other row with a nonzero *col* entry is eliminated — live rows
+        through one broadcast multiply-subtract, bound-failing and
+        already-exact rows through exact ``SparseRow`` merges.
+        """
+        if column is None:
+            column = self.column(col)
+        width = self.width
+
+        pivot_sparse = self._exact.get(pivot_index)
+        if pivot_sparse is not None:
+            normalized = pivot_sparse.pivot_normalized(col)
+            self._exact[pivot_index] = normalized
+            if self._try_promote(pivot_index, normalized):
+                pivot_sparse = None
+            else:
+                pivot_sparse = normalized
+        else:
+            raw = column[pivot_index]
+            row = self._matrix[pivot_index, :width]
+            if raw < 0:
+                _np.negative(row, out=row)
+                self._dens[pivot_index] = -raw
+            else:
+                self._dens[pivot_index] = raw
+            if self._maxabs[pivot_index] > RENORM_THRESHOLD:
+                self._renormalize(pivot_index)
+
+        if pivot_sparse is not None:
+            # Exact pivot row: every affected row merges exactly.
+            for index in range(self.num_rows):
+                if index == pivot_index or not column[index]:
+                    continue
+                current = self._exact.get(index)
+                if current is None:
+                    _count_fallback()
+                    current = self.to_sparse(index)
+                self._store_sparse(
+                    index, current.eliminate(col, pivot_sparse)
+                )
+            return
+
+        pivot_value = int(self._matrix[pivot_index, col + 1])  # > 0
+        pivot_maxabs = self._maxabs[pivot_index]
+        fused_rows: List[int] = []
+        fused_scales: List[int] = []
+        lazy_pivot: Optional[SparseRow] = None
+        for index in range(self.num_rows):
+            scale = column[index]
+            if index == pivot_index or not scale:
+                continue
+            current = self._exact.get(index)
+            if current is None:
+                magnitude = -scale if scale < 0 else scale
+                if (
+                    pivot_value * self._maxabs[index]
+                    + magnitude * pivot_maxabs
+                    > _INT64_MAX
+                ):
+                    self._renormalize(index)
+                    scale = int(self._matrix[index, col + 1])
+                    magnitude = -scale if scale < 0 else scale
+                    if (
+                        pivot_value * self._maxabs[index]
+                        + magnitude * pivot_maxabs
+                        > _INT64_MAX
+                    ):
+                        _count_fallback()
+                        current = self.to_sparse(index)
+                if current is None:
+                    fused_rows.append(index)
+                    fused_scales.append(scale)
+                    continue
+            if lazy_pivot is None:
+                lazy_pivot = self.to_sparse(pivot_index)
+            self._store_sparse(index, current.eliminate(col, lazy_pivot))
+
+        if not fused_rows:
+            return
+        # The fused broadcast sweep: every product and the final values
+        # are bounded by the per-row check above, so nothing wraps.
+        selector = _np.array(fused_rows, dtype=_np.intp)
+        scales = _np.array(fused_scales, dtype=_np.int64)
+        pivot_dense = self._matrix[pivot_index, :width]
+        block = self._matrix[selector, :width] * pivot_value
+        block -= scales[:, None] * pivot_dense[None, :]
+        self._matrix[selector, :width] = block
+        new_maxabs = _np.abs(block).max(axis=1).tolist()
+        dens = self._dens
+        maxabs = self._maxabs
+        for position, index in enumerate(fused_rows):
+            magnitude = new_maxabs[position]
+            maxabs[index] = magnitude
+            if magnitude == 0:
+                dens[index] = 1
+            else:
+                dens[index] *= pivot_value
+                if magnitude > RENORM_THRESHOLD:
+                    self._renormalize(index)

@@ -26,8 +26,14 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.linalg.packed import PackedRow, pack_row, resolve_kernel
+from repro.linalg.packed import (
+    count_row_pivot,
+    count_stacked_pivot,
+    pack_row,
+    resolve_kernel,
+)
 from repro.linalg.sparse import SparseRow
+from repro.linalg.stacked import StackedTableau
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
 from repro.lp.problem import LpResult, LpStatus, Sense
@@ -209,29 +215,25 @@ class _Tableau:
     every pivot counter the warm-start machinery reports — is identical
     to the dense-``Fraction`` tableau this replaces.
 
-    With ``kernel="packed"`` rows are held as
-    :class:`~repro.linalg.packed.PackedRow` fixed-width int64 arrays:
-    every fused pivot/elimination runs as a vectorised numpy sweep, and
-    the Bland/ratio scans gather their per-row column values in one
-    batched pass over the tableau before comparing the surviving
-    candidates exactly.  Rows whose values outgrow int64 transparently
-    fall back to exact :class:`SparseRow` arithmetic (see the overflow
-    contract in :mod:`repro.linalg.packed`), so the pivot sequence is
-    bit-identical to the exact kernel's in either mode.
+    With ``kernel="packed"`` the :class:`_StackedTableau` subclass holds
+    every row in one contiguous int64 matrix
+    (:class:`~repro.linalg.stacked.StackedTableau`): a pivot runs as a
+    single fused broadcast sweep over all affected rows, and the
+    Bland/ratio scans gather their per-row column values as plain
+    slices.  Rows whose values outgrow int64 transparently fall back to
+    exact :class:`SparseRow` arithmetic (see the overflow contract in
+    :mod:`repro.linalg.stacked`), so the pivot sequence is bit-identical
+    to the exact kernel's in either mode.
     """
+
+    kernel = "exact"
 
     def __init__(
         self,
         rows: List[SparseRow],
         num_cols: int,
         cost: SparseRow,
-        kernel: str = "exact",
     ):
-        self.kernel = kernel
-        if kernel == "packed":
-            width = num_cols + 1  # one slot per column plus the _RHS sentinel
-            rows = [pack_row(row, width) for row in rows]
-            cost = pack_row(cost, width)
         self.rows = rows
         self.num_rows = len(rows)
         self.num_cols = num_cols
@@ -244,10 +246,8 @@ class _Tableau:
         self._gathered: Optional[Tuple[int, List[int]]] = None
 
     def _pack(self, row: SparseRow):
-        """Pack a freshly-built row when the tableau runs the packed kernel."""
-        if self.kernel != "packed":
-            return row
-        return pack_row(row, self.num_cols + 1)
+        """Hook for the packed subclass; the exact tableau keeps rows as-is."""
+        return row
 
     def install_cost(self, cost: List[Fraction]) -> None:
         """Install a new objective and price it out against the basis."""
@@ -310,25 +310,12 @@ class _Tableau:
     # -- pivoting ------------------------------------------------------------
 
     def _column(self, col: int) -> List[int]:
-        """Numerators of column *col* across every row, one batched sweep.
+        """Numerators of column *col* across every row, one batched sweep."""
+        return [current.numerator_at(col) for current in self.rows]
 
-        Under the packed kernel each row's value is a single dense-slot
-        read (``ndarray.item`` returns a Python int directly), skipping
-        the per-row ``numerator_at`` method-call overhead that dominates
-        the pivot scans on wide tableaus.
-        """
-        position = col + 1
-        column = []
-        append = column.append
-        for current in self.rows:
-            if type(current) is PackedRow:
-                dense = current._dense
-                append(
-                    dense.item(position) if position < dense.shape[0] else 0
-                )
-            else:
-                append(current.numerator_at(col))
-        return column
+    def row_entries(self, row: int):
+        """Row *row*'s nonzero ``(column, numerator)`` pairs, ascending."""
+        return self.rows[row].iter_scaled()
 
     def pivot(self, row: int, col: int) -> None:
         """Pivot so that column *col* becomes basic in row *row*.
@@ -336,11 +323,7 @@ class _Tableau:
         The pivot column is gathered once across the tableau, then every
         row with a nonzero entry is eliminated through one fused merge
         (the gathered value feeds the merge directly, so no row is asked
-        for the same entry twice).  Under the packed kernel every
-        elimination result is re-packed: a row whose values once exceeded
-        int64 (and fell back to an exact ``SparseRow``) returns to the
-        fast path as soon as GCD normalisation shrinks its entries back
-        into range, instead of staying exact for the rest of the solve.
+        for the same entry twice).
         """
         cached = self._gathered
         self._gathered = None
@@ -349,24 +332,22 @@ class _Tableau:
         column = cached[1] if cached and cached[0] == col else self._column(col)
         pivot_row = self.rows[row].pivot_normalized(col)
         self.rows[row] = pivot_row
-        packed = self.kernel == "packed"
         p_c = pivot_row.numerator_at(col)
         for other in range(self.num_rows):
             s_c = column[other]
             if other != row and s_c:
                 current = self.rows[other]
-                result = current._merge(
+                self.rows[other] = current._merge(
                     pivot_row, p_c, -s_c, current.denominator * p_c
                 )
-                self.rows[other] = self._pack(result) if packed else result
         s_c = self._cost.numerator_at(col)
         if s_c:
-            result = self._cost._merge(
+            self._cost = self._cost._merge(
                 pivot_row, p_c, -s_c, self._cost.denominator * p_c
             )
-            self._cost = self._pack(result) if packed else result
         self.basis[row] = col
         self.pivot_count += 1
+        count_row_pivot()
 
     def reduced_cost_at(self, col: int) -> Fraction:
         """Reduced cost of one column for the current basis."""
@@ -429,13 +410,8 @@ class _Tableau:
         for row, coefficient in enumerate(column):
             if coefficient <= 0:
                 continue
-            current = rows[row]
             # Lazy rhs read — only rows surviving the sign test pay it.
-            rhs = (
-                current._dense.item(0)
-                if type(current) is PackedRow
-                else current.numerator_at(_RHS)
-            )
+            rhs = rows[row].numerator_at(_RHS)
             if leaving is None:
                 take = True
             else:
@@ -478,10 +454,9 @@ class _Tableau:
             # The entering ratio is reduced[col] / (-coefficient); the cost
             # and pivot row denominators are constant across candidates, so
             # comparing numerator cross-products picks the same column.
-            pivot_row = self.rows[leaving]
             entering = None
             best_cost = best_coefficient = 0
-            for col, coefficient in pivot_row.iter_scaled():
+            for col, coefficient in self.row_entries(leaving):
                 if col == _RHS or coefficient >= 0:
                     continue
                 if allowed_columns is not None and col not in allowed_columns:
@@ -504,6 +479,149 @@ class _Tableau:
         for row, basic_col in enumerate(self.basis):
             direction[basic_col] = -self.rows[row].get(entering)
         return direction
+
+
+class _StackedTableau(_Tableau):
+    """The packed kernel: rows live in one stacked int64 matrix.
+
+    Delegates all row storage to
+    :class:`~repro.linalg.stacked.StackedTableau` so that a pivot is one
+    fused broadcast sweep and the Bland/ratio/dual scans gather their
+    per-row values as plain slices.  The cost row stays a
+    :class:`~repro.linalg.packed.PackedRow` (or an exact ``SparseRow``
+    after an overflow) and merges against zero-copy views of the matrix
+    rows.  The inherited ``optimize``/``dual_optimize`` loops run
+    unchanged — only the storage-touching methods are overridden — and
+    every pivot decision compares exact values, so statuses, optima and
+    pivot sequences are bit-identical to the exact tableau's.
+    """
+
+    kernel = "packed"
+
+    def __init__(
+        self,
+        rows: List[SparseRow],
+        num_cols: int,
+        cost: SparseRow,
+    ):
+        width = num_cols + 1  # one slot per column plus the _RHS sentinel
+        stacked = StackedTableau(width)
+        for row in rows:
+            stacked.append_row(row)
+        self.stacked = stacked
+        self.rows = None  # all row storage lives in self.stacked
+        self.num_rows = stacked.num_rows
+        self.num_cols = num_cols
+        self.basis = []
+        self._cost = pack_row(cost, width)
+        self.pivot_count = 0
+        self._gathered = None
+
+    def _pack(self, row: SparseRow):
+        return pack_row(row, self.num_cols + 1)
+
+    def install_cost(self, cost: List[Fraction]) -> None:
+        priced = self._pack(SparseRow.from_pairs(enumerate(cost)))
+        stacked = self.stacked
+        for row_index, basic_col in enumerate(self.basis):
+            if priced.numerator_at(basic_col):
+                priced = priced.eliminate(
+                    basic_col, stacked.row_view(row_index)
+                )
+        self._cost = priced
+
+    def append_column(self, cost: Fraction = _ZERO) -> int:
+        column = super().append_column(cost)
+        self.stacked.ensure_width(self.num_cols + 1)
+        return column
+
+    def append_row(self, row: SparseRow, basic_column: int) -> None:
+        self.stacked.append_row(row)
+        self.basis.append(basic_column)
+        self.num_rows += 1
+        self._gathered = None
+
+    def eliminate_against_basis(self, row: SparseRow) -> SparseRow:
+        stacked = self.stacked
+        for row_index, basic_col in enumerate(self.basis):
+            if row.numerator_at(basic_col):
+                row = row.eliminate(basic_col, stacked.row_view(row_index))
+        return row
+
+    def _column(self, col: int) -> List[int]:
+        return self.stacked.column(col)
+
+    def row_entries(self, row: int):
+        return self.stacked.row_entries(row)
+
+    def pivot(self, row: int, col: int) -> None:
+        cached = self._gathered
+        self._gathered = None
+        column = cached[1] if cached and cached[0] == col else self._column(col)
+        self.stacked.pivot(row, col, column)
+        s_c = self._cost.numerator_at(col)
+        if s_c:
+            pivot_view = self.stacked.row_view(row)
+            p_c = pivot_view.numerator_at(col)
+            result = self._cost._merge(
+                pivot_view, p_c, -s_c, self._cost.denominator * p_c
+            )
+            self._cost = self._pack(result)
+        self.basis[row] = col
+        self.pivot_count += 1
+        count_stacked_pivot()
+
+    def _ratio_test(self, entering: int) -> Optional[int]:
+        column = self._column(entering)
+        self._gathered = (entering, column)
+        rhs_column = self.stacked.column(_RHS)
+        leaving = None
+        best_rhs = best_coefficient = 0
+        for row, coefficient in enumerate(column):
+            if coefficient <= 0:
+                continue
+            rhs = rhs_column[row]
+            if leaving is None:
+                take = True
+            else:
+                lhs = rhs * best_coefficient
+                rhs_cross = best_rhs * coefficient
+                take = lhs < rhs_cross or (
+                    lhs == rhs_cross
+                    and self.basis[row] < self.basis[leaving]
+                )
+            if take:
+                leaving = row
+                best_rhs = rhs
+                best_coefficient = coefficient
+        return leaving
+
+    def column_values(self) -> List[Fraction]:
+        values = [_ZERO] * self.num_cols
+        stacked = self.stacked
+        for row, col in enumerate(self.basis):
+            values[col] = stacked.value_at(row, _RHS)
+        return values
+
+    def ray_direction(self, entering: int) -> List[Fraction]:
+        direction = [_ZERO] * self.num_cols
+        direction[entering] = _ONE
+        stacked = self.stacked
+        for row, basic_col in enumerate(self.basis):
+            direction[basic_col] = -stacked.value_at(row, entering)
+        return direction
+
+
+def _make_tableau(
+    rows: List[SparseRow],
+    num_cols: int,
+    cost: SparseRow,
+    kernel: str,
+) -> _Tableau:
+    """Build the tableau variant for an already-resolved *kernel*."""
+    if kernel == "packed":
+        return _StackedTableau(rows, num_cols, cost)
+    return _Tableau(rows, num_cols, cost)
 
 
 def _two_phase(
@@ -541,8 +659,8 @@ def _two_phase(
         (artificial_start + position, _ONE)
         for position in range(len(needy_rows))
     ]
-    tableau = _Tableau(rows, num_cols + len(needy_rows),
-                       SparseRow.from_pairs(phase1_cost), kernel=kernel)
+    tableau = _make_tableau(rows, num_cols + len(needy_rows),
+                            SparseRow.from_pairs(phase1_cost), kernel)
     tableau.basis = [
         artificial_of_row.get(row_index, standard.basis_candidate[row_index])
         for row_index in range(num_rows)
@@ -560,7 +678,7 @@ def _two_phase(
     for row in range(num_rows):
         if tableau.basis[row] >= artificial_start:
             replacement = None
-            for col, _ in tableau.rows[row].iter_scaled():
+            for col, _ in tableau.row_entries(row):
                 if 0 <= col < num_cols:
                     replacement = col
                     break

@@ -136,11 +136,13 @@ class RecurrenceSynthesizer:
         budget: int = DEFAULT_BUDGET,
         observers: Sequence[CegisObserver] = (),
         should_stop: Optional[Callable[[], bool]] = None,
+        kernel: str = "exact",
     ):
         self.automaton = automaton
         self.budget = max(1, int(budget))
         self.observers = tuple(obs for obs in observers if obs is not None)
         self.should_stop = should_stop
+        self.kernel = kernel
         self.statistics = NontermStatistics()
         self._variables = list(automaton.variables)
         self._integer = set(automaton.integer_variables)
@@ -366,7 +368,7 @@ class RecurrenceSynthesizer:
             self.statistics.refinements += 1
             if S:
                 feasible = check_conjunction(
-                    S, integer_variables=self._integer
+                    S, integer_variables=self._integer, kernel=self.kernel
                 )
                 if not feasible.satisfiable:
                     return None
@@ -413,11 +415,13 @@ class RecurrenceSynthesizer:
                     # The row can never hold after the pass; any state of
                     # S (known feasible) escapes.
                     witness = check_conjunction(
-                        S, integer_variables=self._integer
+                        S, integer_variables=self._integer, kernel=self.kernel
                     )
                     return witness.model, row
                 result = check_conjunction(
-                    S + [branch], integer_variables=self._integer
+                    S + [branch],
+                    integer_variables=self._integer,
+                    kernel=self.kernel,
                 )
                 if result.satisfiable:
                     return result.model, row
@@ -471,7 +475,7 @@ class RecurrenceSynthesizer:
                 self.statistics.stems += 1
                 rows, slots_by_step, integer_names = attempt
                 result = check_conjunction(
-                    rows, integer_variables=integer_names
+                    rows, integer_variables=integer_names, kernel=self.kernel
                 )
                 if not result.satisfiable:
                     continue
@@ -648,6 +652,7 @@ def synthesize_recurrence(
     budget: int = DEFAULT_BUDGET,
     observers: Sequence[CegisObserver] = (),
     should_stop: Optional[Callable[[], bool]] = None,
+    kernel: str = "exact",
 ) -> NontermResult:
     """Search for a recurrence set of *automaton*; see the module doc."""
     synthesizer = RecurrenceSynthesizer(
@@ -655,5 +660,6 @@ def synthesize_recurrence(
         budget=budget,
         observers=observers,
         should_stop=should_stop,
+        kernel=kernel,
     )
     return synthesizer.synthesize()

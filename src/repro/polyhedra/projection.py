@@ -37,7 +37,13 @@ from fractions import Fraction
 from math import gcd
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.linalg.packed import pack_row, resolve_kernel
+from repro.linalg.packed import (
+    _INT64_MAX,
+    _np,
+    PackedRow,
+    pack_row,
+    resolve_kernel,
+)
 from repro.linalg.sparse import SparseRow
 from repro.linexpr.constraint import Constraint, Relation
 from repro.linexpr.expr import LinExpr
@@ -326,6 +332,109 @@ def _combine_pair(
     return combined, relation, upper_history | lower_history
 
 
+class _BlockedLowers:
+    """The packed lower rows of one FM step, stacked for blocked combination.
+
+    For each packed upper, every ``upper x lower`` combination is then
+    one broadcast multiply-add over the stacked matrix plus one masked
+    ``np.gcd.reduce`` normalisation pass, instead of a ``PackedRow``
+    merge (and its own gcd pass) per pair.  Only denominator-1 rows
+    participate — every row the projection layer builds is
+    direction-normalised, so this covers all packed rows — and each pair
+    is guarded by the same a-priori int64 bound as the per-row kernel;
+    pairs failing it take the exact per-pair path.
+    """
+
+    __slots__ = ("width", "matrix", "coefficients", "maxabs", "positions")
+
+    @classmethod
+    def build(
+        cls, uppers: List[_HistRow], lowers: List[_HistRow], index: int
+    ) -> Optional["_BlockedLowers"]:
+        if _np is None:
+            return None
+        stackable = [
+            (position, entry[0])
+            for position, entry in enumerate(lowers)
+            if type(entry[0]) is PackedRow and entry[0].denominator == 1
+        ]
+        if len(stackable) < 2:
+            return None
+        width = max(row.width for _, row in stackable)
+        for entry in uppers:
+            row = entry[0]
+            if type(row) is PackedRow and row.width > width:
+                width = row.width
+        blocked = object.__new__(cls)
+        blocked.width = width
+        blocked.matrix = _np.stack(
+            [row.widened(width)._dense for _, row in stackable]
+        )
+        blocked.coefficients = [
+            row.numerator_at(index) for _, row in stackable  # each < 0
+        ]
+        blocked.maxabs = [row._max_abs for _, row in stackable]
+        blocked.positions = [position for position, _ in stackable]
+        return blocked
+
+    def combine(self, upper_row, index: int):
+        """All in-bound combinations with *upper_row*, one fused sweep.
+
+        Returns ``{lower position: (combined, constant_only, constant)}``
+        (combinations whose products would overflow int64 are absent and
+        fall back to the exact per-pair path), or ``None`` when the
+        upper itself cannot participate.
+        """
+        if type(upper_row) is not PackedRow or upper_row.denominator != 1:
+            return None
+        scale = upper_row.numerator_at(index)  # > 0
+        upper_maxabs = upper_row._max_abs
+        in_bound = [
+            j
+            for j, (coefficient, maxabs) in enumerate(
+                zip(self.coefficients, self.maxabs)
+            )
+            if -coefficient * upper_maxabs + scale * maxabs <= _INT64_MAX
+        ]
+        if not in_bound:
+            return {}
+        if len(in_bound) == len(self.positions):
+            matrix = self.matrix
+            lower_scales = self.coefficients
+        else:
+            matrix = self.matrix[_np.array(in_bound, dtype=_np.intp)]
+            lower_scales = [self.coefficients[j] for j in in_bound]
+        upper_dense = upper_row.widened(self.width)._dense
+        # out = (-b_l) * upper + a_u * lower for every stacked lower l;
+        # every product and sum is covered by the per-pair bound above.
+        out = _np.array(lower_scales, dtype=_np.int64)[:, None] * (
+            -upper_dense
+        )[None, :]
+        out += scale * matrix
+        magnitudes = _np.abs(out)
+        divisors = _np.gcd.reduce(magnitudes, axis=1)
+        peaks = magnitudes.max(axis=1)
+        _np.maximum(divisors, 1, out=divisors)
+        out //= divisors[:, None]
+        peaks //= divisors
+        nonconstant = _np.count_nonzero(out[:, 1:], axis=1).tolist()
+        peak_list = peaks.tolist()
+        constant_list = out[:, 0].tolist()
+        combos = {}
+        for k, j in enumerate(in_bound):
+            row = object.__new__(PackedRow)
+            row._dense = out[k]
+            row.denominator = 1
+            row._max_abs = int(peak_list[k])
+            row._sparse = None
+            combos[self.positions[j]] = (
+                row,
+                nonconstant[k] == 0,
+                constant_list[k],
+            )
+        return combos
+
+
 def _eliminate_index(
     rows: List[_HistRow], index: int, kohler_bound: Optional[int]
 ) -> List[_HistRow]:
@@ -362,11 +471,33 @@ def _eliminate_index(
             lowers.append(entry)
         else:
             result.append(entry)
+    blocked = (
+        _BlockedLowers.build(uppers, lowers, index) if uppers else None
+    )
     for upper in uppers:
-        for lower in lowers:
-            combined, relation, history = _combine_pair(upper, lower, index)
-            if _is_trivially_true(combined, relation):
-                continue
+        combos = blocked.combine(upper[0], index) if blocked else None
+        for position, lower in enumerate(lowers):
+            pre = combos.get(position) if combos is not None else None
+            if pre is not None:
+                combined, constant_only, constant = pre
+                relation = (
+                    Relation.LT
+                    if upper[1] is Relation.LT or lower[1] is Relation.LT
+                    else Relation.LE
+                )
+                history = upper[2] | lower[2]
+                statistics.combinations += 1
+                if constant_only and (
+                    constant < 0
+                    or (constant == 0 and relation is not Relation.LT)
+                ):
+                    continue
+            else:
+                combined, relation, history = _combine_pair(
+                    upper, lower, index
+                )
+                if _is_trivially_true(combined, relation):
+                    continue
             if kohler_bound is not None and len(history) > kohler_bound:
                 statistics.rows_pruned_kohler += 1
                 statistics.lp_calls_saved += 1

@@ -402,6 +402,68 @@ def _kernel_lp_instances(quick: bool, seed: int):
     return built
 
 
+def _narrow_lp_instances(variables: int, instances: int, seed: int):
+    """Seeded narrow LPs at WTC tableau scale (a handful of variables).
+
+    Same box-plus-coupling shape as the wide batch, scaled down: the
+    ranking LPs and SMT theory checks of the paper's corpus live at
+    these widths, so this is the regime the ``auto`` crossover has to
+    get right.
+    """
+    from repro.linexpr.constraint import Constraint, Relation
+    from repro.linexpr.expr import LinExpr
+
+    rng = random.Random(seed * 1000 + variables)
+    coupling = max(3, variables // 3)
+    built = []
+    for _ in range(instances):
+        names = ["x%d" % i for i in range(variables)]
+        constraints = []
+        for name in names:
+            constraints.append(
+                Constraint(LinExpr({name: Fraction(-1)}), Relation.LE)
+            )
+            constraints.append(
+                Constraint(
+                    LinExpr({name: Fraction(1)}, Fraction(-rng.randint(5, 25))),
+                    Relation.LE,
+                )
+            )
+        for index in range(coupling):
+            terms = {
+                name: Fraction(rng.choice((-2, -1, 1, 2)))
+                for name in names
+                if rng.random() < 0.8
+            }
+            if not terms:
+                terms = {names[0]: Fraction(1)}
+            if index % 2 == 0:
+                constraints.append(
+                    Constraint(
+                        LinExpr(
+                            {name: -c for name, c in terms.items()},
+                            Fraction(rng.randint(2, max(2, variables // 2))),
+                        ),
+                        Relation.LE,
+                    )
+                )
+            else:
+                constraints.append(
+                    Constraint(
+                        LinExpr(
+                            terms,
+                            Fraction(-rng.randint(variables, 4 * variables)),
+                        ),
+                        Relation.LE,
+                    )
+                )
+        objective = LinExpr(
+            {name: Fraction(rng.randint(1, 3)) for name in names}
+        )
+        built.append((objective, constraints))
+    return built
+
+
 def _kernel_projection_systems(quick: bool, seed: int):
     """Seeded wide constraint systems for the packed FM comparison.
 
@@ -479,6 +541,30 @@ def bench_kernel_packed(quick: bool = False, seed: int = 0) -> Dict:
     if lp_outcomes["packed"] != lp_outcomes["exact"]:
         raise AssertionError("packed and exact kernels disagree on an LP")
 
+    # WTC-scale narrow batch: 24 variables standard-form to ~75 columns,
+    # the top of the corpus' ranking-LP width band (and squarely in the
+    # width class ``auto`` sends to the stacked kernel).  The stacked
+    # tableau must win here, or ``auto`` has no business picking it.
+    narrow_lps = _narrow_lp_instances(
+        24, 12 if quick else 36, seed + 7
+    )
+    narrow_timings = {"packed": 0.0, "exact": 0.0}
+    narrow_outcomes: Dict[str, List] = {"packed": [], "exact": []}
+    for kernel in ("exact", "packed"):
+        started = time.perf_counter()
+        for objective, constraints in narrow_lps:
+            outcome = solve_lp(
+                objective, constraints, Sense.MAXIMIZE, kernel=kernel
+            )
+            narrow_outcomes[kernel].append(
+                (outcome.status, outcome.objective, outcome.pivots)
+            )
+        narrow_timings[kernel] = time.perf_counter() - started
+    if narrow_outcomes["packed"] != narrow_outcomes["exact"]:
+        raise AssertionError(
+            "packed and exact kernels disagree on a narrow LP"
+        )
+
     projection_timings = {"packed": 0.0, "exact": 0.0}
     projection_results: Dict[str, List] = {"packed": [], "exact": []}
     for kernel in ("exact", "packed"):
@@ -500,6 +586,8 @@ def bench_kernel_packed(quick: bool = False, seed: int = 0) -> Dict:
         "wall_seconds": round(
             timings["packed"]
             + timings["exact"]
+            + narrow_timings["packed"]
+            + narrow_timings["exact"]
             + projection_timings["packed"]
             + projection_timings["exact"],
             4,
@@ -511,6 +599,17 @@ def bench_kernel_packed(quick: bool = False, seed: int = 0) -> Dict:
         "simplex_speedup": round(timings["exact"] / timings["packed"], 2)
         if timings["packed"]
         else None,
+        "narrow_lps_solved": len(narrow_lps),
+        "narrow_pivots": sum(
+            entry[2] for entry in narrow_outcomes["packed"]
+        ),
+        "narrow_packed_seconds": round(narrow_timings["packed"], 4),
+        "narrow_exact_seconds": round(narrow_timings["exact"], 4),
+        "narrow_speedup": round(
+            narrow_timings["exact"] / narrow_timings["packed"], 2
+        )
+        if narrow_timings["packed"]
+        else None,
         "projections": len(projections),
         "projection_packed_seconds": round(projection_timings["packed"], 4),
         "projection_exact_seconds": round(projection_timings["exact"], 4),
@@ -520,6 +619,96 @@ def bench_kernel_packed(quick: bool = False, seed: int = 0) -> Dict:
         if projection_timings["packed"]
         else None,
         "overflow_fallbacks": overflow_fallbacks(),
+        "verdicts_identical": True,
+    }
+
+
+#: The LP widths (variable counts) of the ``kernel_crossover`` sweep.
+#: The sweep stops at 80 variables: past that, the dense ±1/±2
+#: coupling rows of the narrow generator push mid-solve subdeterminants
+#: over int64 and the measurement becomes a fallback storm rather than
+#: a kernel comparison — the in-range wide regime is what
+#: ``kernel_packed``'s 200-variable batch measures.
+CROSSOVER_WIDTHS = (3, 5, 8, 12, 20, 40, 80)
+
+
+def bench_kernel_crossover(quick: bool = False, seed: int = 0) -> Dict:
+    """Stacked-vs-exact width sweep: where does the fast path start winning?
+
+    Solves seeded LP batches at each width of :data:`CROSSOVER_WIDTHS`
+    under both kernels, asserts identical statuses / optima / pivot
+    counts per width, and reports the per-width speedup.  The
+    ``crossover_width`` — the smallest width from which the stacked
+    kernel never loses again — is what :data:`repro.linalg.packed.
+    PACKED_MIN_WIDTH` (the ``auto`` threshold) is tuned against; the
+    report carries both so a drift between them is visible in CI.
+    """
+    from repro.linalg.packed import PACKED_MIN_WIDTH, numpy_available
+    from repro.lp.problem import Sense
+    from repro.lp.simplex import solve_lp
+
+    if not numpy_available():
+        return {
+            "suite": "kernel_crossover",
+            "wall_seconds": 0.0,
+            "skipped": "numpy unavailable (exact kernel only)",
+        }
+
+    widths = (5, 12, 40) if quick else CROSSOVER_WIDTHS
+    wall = 0.0
+    points = []
+    for width in widths:
+        instances = max(2, (48 if quick else 144) // width)
+        lps = _narrow_lp_instances(width, instances, seed)
+        timings = {"packed": 0.0, "exact": 0.0}
+        outcomes: Dict[str, List] = {"packed": [], "exact": []}
+        for kernel in ("exact", "packed"):
+            started = time.perf_counter()
+            for objective, constraints in lps:
+                outcome = solve_lp(
+                    objective, constraints, Sense.MAXIMIZE, kernel=kernel
+                )
+                outcomes[kernel].append(
+                    (outcome.status, outcome.objective, outcome.pivots)
+                )
+            timings[kernel] = time.perf_counter() - started
+        if outcomes["packed"] != outcomes["exact"]:
+            raise AssertionError(
+                "packed and exact kernels disagree at width %d" % width
+            )
+        wall += timings["packed"] + timings["exact"]
+        points.append(
+            {
+                "width": width,
+                "instances": instances,
+                "pivots": sum(entry[2] for entry in outcomes["packed"]),
+                "packed_seconds": round(timings["packed"], 4),
+                "exact_seconds": round(timings["exact"], 4),
+                "speedup": round(timings["exact"] / timings["packed"], 2)
+                if timings["packed"]
+                else None,
+            }
+        )
+
+    # Smallest width from which the stacked kernel never loses again.
+    crossover_width = None
+    for index, point in enumerate(points):
+        speedup = point["speedup"]
+        if speedup is not None and speedup >= 1.0:
+            tail = points[index:]
+            if all(
+                later["speedup"] is None or later["speedup"] >= 1.0
+                for later in tail
+            ):
+                crossover_width = point["width"]
+                break
+
+    return {
+        "suite": "kernel_crossover",
+        "wall_seconds": round(wall, 4),
+        "points": points,
+        "crossover_width": crossover_width,
+        "packed_min_width": PACKED_MIN_WIDTH,
         "verdicts_identical": True,
     }
 
@@ -1058,6 +1247,7 @@ SUITE_RUNNERS = {
     "table1_wtc": lambda quick, seed: bench_table1_slice(quick=quick),
     "cegis_ablation": bench_cegis_ablation,
     "kernel_packed": bench_kernel_packed,
+    "kernel_crossover": bench_kernel_crossover,
     "cex_batch_ablation": bench_cex_batch_ablation,
     "service": bench_service,
     "nonterm": bench_nonterm,
@@ -1072,6 +1262,7 @@ DEFAULT_SUITES = (
     "table1_wtc",
     "cegis_ablation",
     "kernel_packed",
+    "kernel_crossover",
     "cex_batch_ablation",
 )
 

@@ -210,7 +210,11 @@ class ResultCache:
         with self._lock:
             self._stats.hits += 1
         result.provenance = Provenance(
-            cache="hit", key=key, revalidated=revalidated, worker_pid=os.getpid()
+            cache="hit",
+            key=key,
+            revalidated=revalidated,
+            worker_pid=os.getpid(),
+            kernel=result.lp_statistics.kernel_chosen,
         )
         return result
 

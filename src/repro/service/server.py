@@ -173,6 +173,11 @@ class _CachingExecutor:
         self.breaker = breaker
         self.timeout = timeout
         self.faults = faults if faults is not None else INERT_INJECTOR
+        # Which LP kernel served each computed payload, plus the total
+        # overflow fallbacks those payloads reported (cache hits replay
+        # the original compute and are not re-counted here).
+        self._kernel_lock = threading.Lock()
+        self._kernel_tally: dict = {"overflow_fallbacks": 0}
 
     #: Width of the analyze_batch fan-out (1 = in-order).
     @property
@@ -281,13 +286,21 @@ class _CachingExecutor:
         finally:
             if not settled:
                 self.breaker.record_neutral(request.tool)
+        kernel = result.lp_statistics.kernel_chosen
         result.provenance = Provenance(
             cache=disposition,
             key=effective.cache_key(),
             revalidated=False,
             worker_pid=pid,
             degraded=degradations,
+            kernel=kernel,
         )
+        with self._kernel_lock:
+            label = kernel or "none"
+            self._kernel_tally[label] = self._kernel_tally.get(label, 0) + 1
+            self._kernel_tally["overflow_fallbacks"] += (
+                result.lp_statistics.overflow_fallbacks
+            )
         return result
 
     def _compute(self, request: AnalysisRequest) -> Tuple[AnalysisResult, int]:
@@ -309,6 +322,8 @@ class _CachingExecutor:
             document["admission"] = self.gate.stats()
         if self.breaker is not None:
             document["breaker"] = self.breaker.stats()
+        with self._kernel_lock:
+            document["kernels"] = dict(self._kernel_tally)
         if self.faults.active:
             document["faults"] = self.faults.log.to_dict()
         return document

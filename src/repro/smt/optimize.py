@@ -64,10 +64,12 @@ class OptimizingSmtSolver:
         self,
         integer_variables: Optional[Iterable[str]] = None,
         mode: str | SearchMode = SearchMode.LOCAL,
+        kernel: str = "exact",
     ):
         self._formulas: List[Formula] = []
         self._integer_variables: Set[str] = set(integer_variables or ())
         self._mode = SearchMode(mode) if isinstance(mode, str) else mode
+        self._kernel = kernel
         self.statistics: Dict[str, int] = {
             "queries": 0,
             "assignments_explored": 0,
@@ -111,7 +113,9 @@ class OptimizingSmtSolver:
     # -- internals ---------------------------------------------------------------------
 
     def _fresh_solver(self) -> SmtSolver:
-        solver = SmtSolver(integer_variables=self._integer_variables)
+        solver = SmtSolver(
+            integer_variables=self._integer_variables, kernel=self._kernel
+        )
         for formula in self._formulas:
             solver.assert_formula(formula)
         return solver
@@ -186,11 +190,24 @@ class OptimizingSmtSolver:
         if integers:
             try:
                 return solve_ilp(
-                    objective, list(closure), integers, Sense.MINIMIZE, names
+                    objective,
+                    list(closure),
+                    integers,
+                    Sense.MINIMIZE,
+                    names,
+                    kernel=self._kernel,
                 )
             except BranchAndBoundLimit:
-                return solve_lp(objective, list(closure), Sense.MINIMIZE, names)
-        return solve_lp(objective, list(closure), Sense.MINIMIZE, names)
+                return solve_lp(
+                    objective,
+                    list(closure),
+                    Sense.MINIMIZE,
+                    names,
+                    kernel=self._kernel,
+                )
+        return solve_lp(
+            objective, list(closure), Sense.MINIMIZE, names, kernel=self._kernel
+        )
 
     @staticmethod
     def _satisfies(

@@ -66,8 +66,10 @@ class SmtSolver:
         integer_variables: Optional[Iterable[str]] = None,
         max_theory_iterations: int = 10_000,
         core_minimization_limit: int = 12,
+        kernel: str = "exact",
     ):
         self._sat = SatSolver()
+        self._kernel = kernel
         self._encoder = CnfEncoder(self._sat)
         self._integer_variables: Set[str] = set(integer_variables or ())
         self._free_variables: Set[str] = set()
@@ -149,6 +151,7 @@ class SmtSolver:
                 constraints,
                 self._integer_variables,
                 minimize_core=len(constraints) <= self._core_minimization_limit,
+                kernel=self._kernel,
             )
             if outcome.satisfiable:
                 return literals, outcome.model

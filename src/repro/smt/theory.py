@@ -69,6 +69,7 @@ def check_conjunction(
     constraints: Sequence[Constraint],
     integer_variables: Optional[Set[str]] = None,
     minimize_core: bool = True,
+    kernel: str = "exact",
 ) -> TheoryResult:
     """Decide satisfiability of a conjunction of linear constraints."""
     integer_variables = integer_variables or set()
@@ -99,6 +100,7 @@ def check_conjunction(
             Sense.MAXIMIZE,
             all_variables,
             integer_variables,
+            kernel,
         )
         satisfiable = (
             outcome.status is LpStatus.OPTIMAL
@@ -112,6 +114,7 @@ def check_conjunction(
             Sense.MINIMIZE,
             all_variables,
             integer_variables,
+            kernel,
         )
         satisfiable = outcome.status is not LpStatus.INFEASIBLE
 
@@ -125,7 +128,7 @@ def check_conjunction(
 
     core = list(range(len(constraints)))
     if minimize_core:
-        core = _minimize_core(constraints, integer_variables)
+        core = _minimize_core(constraints, integer_variables, kernel)
     return TheoryResult(False, core=core)
 
 
@@ -135,6 +138,7 @@ def _solve(
     sense: Sense,
     variables: Sequence[str],
     integer_variables: Set[str],
+    kernel: str = "exact",
 ):
     names = sorted(
         set(variables)
@@ -145,17 +149,24 @@ def _solve(
     if relevant_integers:
         try:
             return solve_ilp(
-                objective, list(rows), relevant_integers, sense, names
+                objective,
+                list(rows),
+                relevant_integers,
+                sense,
+                names,
+                kernel=kernel,
             )
         except BranchAndBoundLimit:
             # Fall back to the rational relaxation: for the synthesis loop a
             # rational witness is still a sound counterexample direction.
-            return solve_lp(objective, list(rows), sense, names)
-    return solve_lp(objective, list(rows), sense, names)
+            return solve_lp(objective, list(rows), sense, names, kernel=kernel)
+    return solve_lp(objective, list(rows), sense, names, kernel=kernel)
 
 
 def _minimize_core(
-    constraints: Sequence[Constraint], integer_variables: Set[str]
+    constraints: Sequence[Constraint],
+    integer_variables: Set[str],
+    kernel: str = "exact",
 ) -> List[int]:
     """Single-pass deletion filter: an irreducible unsatisfiable core.
 
@@ -170,7 +181,7 @@ def _minimize_core(
         trial = [index for index in core if index != candidate]
         subset = [constraints[index] for index in trial]
         result = check_conjunction(
-            subset, integer_variables, minimize_core=False
+            subset, integer_variables, minimize_core=False, kernel=kernel
         )
         if not result.satisfiable:
             core = trial

@@ -43,10 +43,12 @@ class LinearTemplate:
         problem: TerminationProblem,
         integer_mode: bool = False,
         smt_mode: str | SearchMode = SearchMode.LOCAL,
+        kernel: str = "exact",
     ):
         self.problem = problem
         self.integer_mode = integer_mode
         self.smt_mode = smt_mode
+        self.kernel = kernel
         #: ``Φ``: the disjunction over blocks, built once per template and
         #: shared by every oracle query of every component.
         self.transition_formula = problem.transition_formula()
@@ -77,6 +79,7 @@ class LinearTemplate:
             self.transition_formula,
             extra_constraints,
             self.integer_mode,
+            kernel=self.kernel,
         )
 
 
@@ -94,8 +97,14 @@ class LexicographicTemplate(LinearTemplate):
         integer_mode: bool = False,
         smt_mode: str | SearchMode = SearchMode.LOCAL,
         max_dimension: Optional[int] = None,
+        kernel: str = "exact",
     ):
-        super().__init__(problem, integer_mode=integer_mode, smt_mode=smt_mode)
+        super().__init__(
+            problem,
+            integer_mode=integer_mode,
+            smt_mode=smt_mode,
+            kernel=kernel,
+        )
         self.max_dimension = (
             max_dimension
             if max_dimension is not None

@@ -1,0 +1,358 @@
+"""The stacked int64 tableau: bit-identical to the exact per-row path.
+
+The stacked tableau (:mod:`repro.linalg.stacked`) defers the per-row gcd
+renormalisation of the exact kernel, so its live rows are *positive
+integer multiples* of the canonical rows.  Every pivot decision of the
+simplex (Bland's entering scan, both ratio tests) is invariant under
+positive per-row scaling, so the pivot sequence — and therefore every
+status, optimum, assignment, ray and counter — must match the exact
+kernel bit for bit, including when rows overflow int64 and drop to the
+exact side table mid-solve.  These tests enforce that end to end and
+pin the raw-numerator contract of the overflow fallback that a scaled
+operand once broke.
+"""
+
+import os
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import packed as packed_module
+from repro.linalg.packed import (
+    kernel_counters_since,
+    kernel_counters_snapshot,
+    numpy_available,
+    overflow_fallbacks,
+    pack_row,
+)
+from repro.linalg.sparse import SparseRow
+from repro.linexpr.constraint import Constraint, Relation
+from repro.linexpr.expr import LinExpr, var
+from repro.lp.problem import LpStatus, Sense
+from repro.lp.simplex import SimplexState, solve_lp
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="stacked tableau requires numpy"
+)
+
+x, y = var("x"), var("y")
+
+
+def _random_lp(seed, variables, rows, magnitude=6):
+    """A seeded LP; ``magnitude`` scales how fast subdeterminants grow."""
+    rng = random.Random(seed)
+    names = ["v%d" % i for i in range(variables)]
+    constraints = []
+    for name in names:
+        constraints.append(
+            Constraint(LinExpr({name: Fraction(-1)}), Relation.LE)
+        )
+        constraints.append(
+            Constraint(
+                LinExpr({name: Fraction(1)}, Fraction(-rng.randint(3, 25))),
+                Relation.LE,
+            )
+        )
+    for _ in range(rows):
+        terms = {
+            name: Fraction(rng.randint(-magnitude, magnitude))
+            for name in rng.sample(names, min(variables, rng.randint(2, 8)))
+        }
+        relation = Relation.EQ if rng.random() < 0.15 else Relation.LE
+        constraints.append(
+            Constraint(LinExpr(terms, Fraction(-rng.randint(0, 40))), relation)
+        )
+    objective = LinExpr(
+        {
+            name: Fraction(rng.randint(-4, 4))
+            for name in rng.sample(names, min(variables, 10))
+        }
+    )
+    return objective, constraints
+
+
+def _outcome_tuple(result):
+    return (
+        result.status,
+        result.objective,
+        result.assignment,
+        result.ray,
+        result.pivots,
+    )
+
+
+@needs_numpy
+class TestStackedTableauUnit:
+    def _tableau(self, rows, width):
+        from repro.linalg.stacked import StackedTableau
+
+        stacked = StackedTableau(width)
+        for row in rows:
+            stacked.append_row(pack_row(row, width))
+        return stacked
+
+    def test_append_column_value_roundtrip(self):
+        rows = [
+            SparseRow.from_pairs([(-1, 7), (0, 2), (2, -3)]),
+            SparseRow.from_pairs([(1, 5)]),
+        ]
+        stacked = self._tableau(rows, 4)
+        assert stacked.num_rows == 2
+        assert stacked.column(0) == [2, 0]
+        assert stacked.column(-1) == [7, 0]
+        assert stacked.value_at(0, 2) == Fraction(-3)
+        assert sorted(stacked.row_entries(1)) == [(1, 5)]
+
+    def test_row_view_shares_values_with_matrix(self):
+        rows = [SparseRow.from_pairs([(0, 4), (1, -6)])]
+        stacked = self._tableau(rows, 3)
+        view = stacked.row_view(0)
+        assert view.numerator_at(0) == 4
+        assert view.numerator_at(1) == -6
+        assert view.denominator == 1
+
+    def test_pivot_matches_sparse_elimination(self):
+        rows = [
+            SparseRow.from_pairs([(-1, 10), (0, 2), (1, 1)]),
+            SparseRow.from_pairs([(-1, 8), (0, 1), (1, 3)]),
+        ]
+        stacked = self._tableau(rows, 3)
+        column = stacked.column(0)
+        stacked.pivot(0, 0, column)
+        # Exact reference: eliminate row 1 against the normalised pivot.
+        pivot = rows[0].pivot_normalized(0)
+        expected = rows[1].eliminate(0, pivot)
+        got = stacked.to_sparse(1)
+        assert got == expected
+        # The pivot row's *values* survive (possibly rescaled).
+        assert stacked.value_at(0, 0) == Fraction(1)
+
+    def test_wide_sparse_row_lands_in_exact_table(self):
+        from repro.linalg.stacked import StackedTableau
+
+        stacked = StackedTableau(3)
+        huge = SparseRow.from_pairs([(0, 2**64)])
+        stacked.append_row(huge)
+        assert stacked.is_exact(0)
+        assert stacked.column(0) == [2**64]
+
+    def test_ensure_width_preserves_rows(self):
+        rows = [SparseRow.from_pairs([(0, 3), (1, 4)])]
+        stacked = self._tableau(rows, 3)
+        stacked.ensure_width(50)
+        assert stacked.value_at(0, 1) == Fraction(4)
+        assert stacked.column(40) == [0]
+
+
+@needs_numpy
+class TestStackedSolveIdentity:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("variables,rows", [(4, 5), (12, 10), (30, 18)])
+    def test_bit_identical_across_widths(self, seed, variables, rows):
+        objective, constraints = _random_lp(seed, variables, rows)
+        for sense in (Sense.MAXIMIZE, Sense.MINIMIZE):
+            stacked = solve_lp(objective, constraints, sense, kernel="packed")
+            exact = solve_lp(objective, constraints, sense, kernel="exact")
+            assert _outcome_tuple(stacked) == _outcome_tuple(exact)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_hypothesis(self, seed):
+        rng = random.Random(seed)
+        objective, constraints = _random_lp(
+            seed, rng.randint(2, 16), rng.randint(2, 12)
+        )
+        stacked = solve_lp(objective, constraints, Sense.MAXIMIZE, kernel="packed")
+        exact = solve_lp(objective, constraints, Sense.MAXIMIZE, kernel="exact")
+        assert _outcome_tuple(stacked) == _outcome_tuple(exact)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_forced_overflow_stays_identical(self, seed):
+        """Large coefficients overflow int64 mid-solve; verdicts must hold."""
+        objective, constraints = _random_lp(
+            seed, 14, 14, magnitude=10**9
+        )
+        before = overflow_fallbacks()
+        stacked = solve_lp(objective, constraints, Sense.MAXIMIZE, kernel="packed")
+        engaged = overflow_fallbacks() - before
+        exact = solve_lp(objective, constraints, Sense.MAXIMIZE, kernel="exact")
+        assert _outcome_tuple(stacked) == _outcome_tuple(exact)
+        assert engaged > 0, "instance never exercised the fallback path"
+
+    def test_degenerate_and_edge_verdicts(self):
+        infeasible = [x <= 1, x >= 2]
+        unbounded = [x >= 0]
+        for kernel in ("packed", "exact"):
+            assert (
+                solve_lp(x, infeasible, Sense.MAXIMIZE, kernel=kernel).status
+                is LpStatus.INFEASIBLE
+            )
+            assert (
+                solve_lp(x, unbounded, Sense.MAXIMIZE, kernel=kernel).status
+                is LpStatus.UNBOUNDED
+            )
+
+
+@needs_numpy
+class TestStackedWarmIdentity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_warm_counters_and_verdicts_agree(self, seed):
+        objective, constraints = _random_lp(seed, 18, 8)
+        split = len(constraints) - 8
+        states = {
+            kernel: SimplexState(Sense.MAXIMIZE, kernel=kernel)
+            for kernel in ("packed", "exact")
+        }
+        for state in states.values():
+            state.add_constraints(constraints[:split])
+            state.set_objective(objective)
+        results = {k: s.solve() for k, s in states.items()}
+        assert _outcome_tuple(results["packed"]) == _outcome_tuple(
+            results["exact"]
+        )
+        for extra in constraints[split:]:
+            for state in states.values():
+                state.add_constraint(extra)
+            results = {k: s.solve() for k, s in states.items()}
+            assert _outcome_tuple(results["packed"]) == _outcome_tuple(
+                results["exact"]
+            )
+        for counter in (
+            "cold_solves",
+            "warm_solves",
+            "total_pivots",
+            "dual_repair_passes",
+            "incremental_repricings",
+        ):
+            assert getattr(states["packed"], counter) == getattr(
+                states["exact"], counter
+            ), counter
+
+
+@needs_numpy
+class TestRawMergeFallback:
+    """The overflow fallback must read *raw* numerators of scaled rows.
+
+    Regression: a live stacked row is ``scale * canonical``; its
+    ``to_sparse`` view divides the shared gcd back out.  A ``_merge``
+    caller computes ``sa``/``sb``/``den`` against the raw numerators, so
+    a fallback that renormalises an operand silently rescales one term
+    of the combination — this corrupted the simplex cost row whenever a
+    cost merge against a scaled pivot row overflowed int64.
+    """
+
+    def _scaled_packed(self, pairs, scale, width):
+        raw = SparseRow.from_pairs(pairs)
+        packed = pack_row(
+            SparseRow.from_pairs(
+                [(i, n * scale) for i, n in zip(raw.indices, raw.numerators)]
+            ),
+            width,
+        )
+        # from_pairs normalises, so force the scaled representation.
+        import numpy as np
+
+        row = object.__new__(packed_module.PackedRow)
+        dense = np.zeros(width, dtype=np.int64)
+        for i, n in zip(raw.indices, raw.numerators):
+            dense[i + 1] = n * scale
+        row._dense = dense
+        row.denominator = raw.denominator * scale
+        row._max_abs = int(abs(dense).max())
+        row._sparse = None
+        return row, raw
+
+    def test_fallback_merge_value_exact_on_scaled_operands(self):
+        scale = 362897878
+        cost = pack_row(
+            SparseRow.from_pairs([(-1, 11), (0, -751821541), (1, 5)]), 4
+        )
+        pivot, canonical = self._scaled_packed(
+            [(-1, 3), (0, 1), (2, -2)], scale, 4
+        )
+        s_c = cost.numerator_at(0)
+        p_c = pivot.numerator_at(0)
+        # Force the int64 guard: huge sa pushes the bound over the limit.
+        sa = p_c * 10**12
+        sb = -s_c * 10**12
+        den = cost.denominator * sa
+        before = overflow_fallbacks()
+        merged = cost._merge(pivot, sa, sb, den)
+        assert overflow_fallbacks() > before
+        for index in (-1, 0, 1, 2):
+            expected = Fraction(
+                sa * cost.numerator_at(index) + sb * pivot.numerator_at(index),
+                den,
+            )
+            assert (
+                Fraction(merged.numerator_at(index), merged.denominator)
+                == expected
+            )
+        # The entry being eliminated really cancels.
+        assert merged.numerator_at(0) * s_c <= 0 or s_c == 0
+
+    def test_mixed_operand_fallback_keeps_raw_numerators(self):
+        scaled, canonical = self._scaled_packed([(-1, 4), (1, 6)], 1000, 4)
+        other = SparseRow.from_pairs([(0, 2), (1, -3)])
+        sa, sb, den = 7, -5, 21
+        merged = scaled._merge(other, sa, sb, den)
+        for index in (-1, 0, 1):
+            expected = Fraction(
+                sa * scaled.numerator_at(index) + sb * other.numerator_at(index),
+                den,
+            )
+            assert (
+                Fraction(merged.numerator_at(index), merged.denominator)
+                == expected
+            )
+
+
+@needs_numpy
+class TestKernelCounters:
+    def test_stacked_and_row_pivots_attributed(self):
+        objective, constraints = _random_lp(0, 10, 6)
+        snapshot = kernel_counters_snapshot()
+        solve_lp(objective, constraints, Sense.MAXIMIZE, kernel="packed")
+        delta = kernel_counters_since(snapshot)
+        assert delta["stacked_pivots"] > 0
+        assert delta["row_pivots"] == 0
+        assert delta["resolved_packed"] == 1
+
+        snapshot = kernel_counters_snapshot()
+        solve_lp(objective, constraints, Sense.MAXIMIZE, kernel="exact")
+        delta = kernel_counters_since(snapshot)
+        assert delta["row_pivots"] > 0
+        assert delta["stacked_pivots"] == 0
+        assert delta["resolved_exact"] == 1
+
+
+class TestNoNumpyLane:
+    def test_stacked_refuses_cleanly_without_numpy(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.linalg.stacked import StackedTableau\n"
+            "from repro.linalg.packed import resolve_kernel\n"
+            "assert resolve_kernel('auto', 10_000) == 'exact'\n"
+            "try:\n"
+            "    StackedTableau(8)\n"
+            "except RuntimeError as error:\n"
+            "    assert 'numpy' in str(error)\n"
+            "else:\n"
+            "    raise AssertionError('StackedTableau built without numpy')\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        src = os.path.join(
+            os.path.dirname(packed_module.__file__), "..", ".."
+        )
+        env["PYTHONPATH"] = os.path.abspath(src)
+        completed = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr

@@ -29,6 +29,7 @@ EXPECTED_SUITES = {
     "cegis_ablation",
     "kernel_packed",
     "cex_batch_ablation",
+    "kernel_crossover",
 }
 
 
